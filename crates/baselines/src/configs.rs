@@ -1,0 +1,64 @@
+//! Ready-made [`TrainConfig`]s for the paper's learned methods (§VI-A).
+//!
+//! The first three comparison methods are configurations of the same
+//! trainer: full h/i-MADRL, h/i-MADRL(CoPO) — h-CoPO swapped for homogeneous
+//! CoPO — and MAPPO (centralised critic with value normalisation, no
+//! plug-ins). IPPO (the bare base module) is included for the ablation row
+//! "w/o i-EOI, h-CoPO".
+
+use agsc_madrl::{Ablation, TrainConfig};
+
+/// Full h/i-MADRL with the paper's winning hyperparameters
+/// (`ω_in = 0.003`, w/o SP, w/o CC, 25 % neighbour range — §VI-B).
+pub fn hi_madrl() -> TrainConfig {
+    TrainConfig::default()
+}
+
+/// h/i-MADRL(CoPO): the plug-in h-CoPO replaced by homogeneous CoPO, "in
+/// which two kinds of neighbors are considered equivalently".
+pub fn hi_madrl_copo() -> TrainConfig {
+    TrainConfig { ablation: Ablation::copo_baseline(), ..TrainConfig::default() }
+}
+
+/// MAPPO: centralised critic on the global state, value normalisation, no
+/// plug-in modules.
+pub fn mappo() -> TrainConfig {
+    TrainConfig {
+        ablation: Ablation::base_only(),
+        centralized_critic: true,
+        value_norm: true,
+        ..TrainConfig::default()
+    }
+}
+
+/// IPPO: fully independent learners, no plug-ins (the "w/o i-EOI, h-CoPO"
+/// ablation row and the trajectory baseline of Fig 2e/j).
+pub fn ippo() -> TrainConfig {
+    TrainConfig {
+        ablation: Ablation::base_only(),
+        centralized_critic: false,
+        ..TrainConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [hi_madrl(), hi_madrl_copo(), mappo(), ippo()] {
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        assert!(hi_madrl().ablation.use_eoi && hi_madrl().ablation.heterogeneous);
+        assert!(!hi_madrl_copo().ablation.heterogeneous);
+        assert!(hi_madrl_copo().ablation.use_copo);
+        assert!(mappo().centralized_critic);
+        assert!(!mappo().ablation.use_eoi && !mappo().ablation.use_copo);
+        assert!(!ippo().centralized_critic);
+    }
+}

@@ -1,0 +1,68 @@
+//! The Random baseline (§VI-A): every UV samples its action uniformly from
+//! the action space each timeslot.
+
+use agsc_env::UvAction;
+use agsc_madrl::Policy;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+
+/// Uniformly random policy.
+///
+/// Interior mutability keeps the [`Policy`] trait's `&self` signature; the
+/// policy is deterministic given its seed and call sequence.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: RefCell<ChaCha8Rng>,
+}
+
+impl RandomPolicy {
+    /// Seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: RefCell::new(ChaCha8Rng::seed_from_u64(seed)) }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn action(&self, _k: usize, _obs: &[f32]) -> UvAction {
+        let mut rng = self.rng.borrow_mut();
+        UvAction { heading: rng.gen_range(-1.0..=1.0), speed: rng.gen_range(-1.0..=1.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_in_range() {
+        let p = RandomPolicy::new(3);
+        for _ in 0..100 {
+            let a = p.action(0, &[]);
+            assert!((-1.0..=1.0).contains(&a.heading));
+            assert!((-1.0..=1.0).contains(&a.speed));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomPolicy::new(9);
+        let b = RandomPolicy::new(9);
+        for _ in 0..10 {
+            assert_eq!(a.action(0, &[]), b.action(0, &[]));
+        }
+    }
+
+    #[test]
+    fn actions_vary() {
+        let p = RandomPolicy::new(5);
+        let first = p.action(0, &[]);
+        let mut any_different = false;
+        for _ in 0..20 {
+            if p.action(0, &[]) != first {
+                any_different = true;
+            }
+        }
+        assert!(any_different);
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks behind Table VII: per-timeslot action
+//! selection latency of each method's deployed policy, plus the environment
+//! step itself and the core mat-mul primitive.
+
+use agsc_baselines::{EDivert, EDivertConfig};
+use agsc_datasets::presets;
+use agsc_env::{AirGroundEnv, EnvConfig, UvAction};
+use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig};
+use agsc_nn::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup_env() -> AirGroundEnv {
+    let dataset = presets::purdue(42);
+    let mut cfg = EnvConfig::default();
+    cfg.stochastic_fading = false;
+    AirGroundEnv::new(cfg, &dataset, 42)
+}
+
+/// Action-selection latency for one full timeslot (all four UVs) — the
+/// quantity Table VII reports per method.
+fn bench_action_selection(c: &mut Criterion) {
+    let env = setup_env();
+    let obs = env.observations();
+    let mut group = c.benchmark_group("table7_action_selection");
+
+    let trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42);
+    group.bench_function("hi_madrl_slot", |b| {
+        b.iter(|| {
+            for k in 0..env.num_uvs() {
+                black_box(trainer.policy_action(k, black_box(&obs[k])));
+            }
+        })
+    });
+
+    let edivert = EDivert::new(&env, EDivertConfig::default(), 42);
+    group.bench_function("e_divert_slot", |b| {
+        b.iter(|| {
+            for k in 0..env.num_uvs() {
+                black_box(edivert.action(k, black_box(&obs[k])));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Environment-step throughput (movement + NOMA scheduling over 100 PoIs).
+fn bench_env_step(c: &mut Criterion) {
+    c.bench_function("env_step_default", |b| {
+        let mut env = setup_env();
+        let actions = vec![UvAction { heading: 0.3, speed: 0.5 }; env.num_uvs()];
+        b.iter(|| {
+            if env.is_done() {
+                env.reset(42);
+            }
+            black_box(env.step(black_box(&actions)));
+        })
+    });
+}
+
+/// The hot mat-mul of the policy trunk (obs_dim × 64).
+fn bench_matmul(c: &mut Criterion) {
+    let env = setup_env();
+    let a = Matrix::full(100, env.obs_dim(), 0.5);
+    let b_m = Matrix::full(env.obs_dim(), 64, 0.1);
+    c.bench_function("matmul_100x312x64", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&b_m))))
+    });
+}
+
+criterion_group!(benches, bench_action_selection, bench_env_step, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper in sequence (budgets via AGSC_ITERS / AGSC_EVAL_EPISODES /
+//! AGSC_SEED). Individual targets are also available as binaries:
+//! `cargo run --release -p agsc-bench --bin table6_ablation`.
+
+use agsc_bench::experiments as exp;
+use agsc_bench::HarnessConfig;
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    println!("budget: {} training iterations, {} eval episodes, seed {}",
+             h.iters, h.eval_episodes, h.seed);
+    exp::table3_hyperparams(&h);
+    exp::table4_win_decay(&h);
+    exp::table5_neighbor_range(&h);
+    exp::table6_ablation(&h);
+    exp::table7_complexity(&h);
+    exp::fig2_trajectories(&h);
+    exp::fig3_4_num_uvs(&h);
+    exp::fig5_6_subchannels(&h);
+    exp::fig7_8_uav_height(&h);
+    exp::fig9_10_sinr(&h);
+    exp::fig11_coordination(&h);
+    exp::abl_gae(&h);
+    exp::abl_access(&h);
+}

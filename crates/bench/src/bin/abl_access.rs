@@ -1,0 +1,5 @@
+//! Regenerates the access-model ablation (NOMA vs TDMA vs OFDMA).
+fn main() {
+    let h = agsc_bench::HarnessConfig::from_env();
+    agsc_bench::experiments::abl_access(&h);
+}

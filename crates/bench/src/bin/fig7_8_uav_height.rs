@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7_8_uav_height experiment. Budget via AGSC_ITERS /
+//! AGSC_EVAL_EPISODES / AGSC_SEED.
+fn main() {
+    let h = agsc_bench::HarnessConfig::from_env();
+    agsc_bench::experiments::fig7_8_uav_height(&h);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3_hyperparams experiment. Budget via AGSC_ITERS /
+//! AGSC_EVAL_EPISODES / AGSC_SEED.
+fn main() {
+    let h = agsc_bench::HarnessConfig::from_env();
+    agsc_bench::experiments::table3_hyperparams(&h);
+}

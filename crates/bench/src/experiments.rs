@@ -1,0 +1,550 @@
+//! One function per table/figure of the paper's evaluation (§VI).
+//!
+//! Each prints the same rows/series the paper reports. Budgets come from
+//! [`HarnessConfig`]; see `EXPERIMENTS.md` for paper-vs-measured values.
+
+use crate::harness::{parallel_map, run_method, HarnessConfig, Method};
+use crate::table::{banner, metrics_header, metrics_row, rule, series_header, series_row};
+use agsc_baselines::ippo;
+use agsc_datasets::{presets, CampusDataset};
+use agsc_env::{render_ascii, AirGroundEnv, EnvConfig, Metrics, UvAction, UvKind};
+use agsc_madrl::{Ablation, HiMadrlTrainer, IntrinsicSchedule, Policy, TrainConfig};
+use std::time::Instant;
+
+/// The two campus datasets, generated from the harness seed.
+pub fn both_campuses(seed: u64) -> Vec<CampusDataset> {
+    vec![presets::purdue(seed), presets::ncsu(seed)]
+}
+
+/// Default simulation settings (Table II).
+pub fn base_env() -> EnvConfig {
+    EnvConfig::default()
+}
+
+// ---------------------------------------------------------------------------
+// Table III — hyperparameter tuning: ω_in × {SP, CC}
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table III: `ω_in ∈ {0.001, 0.003, 0.01}` crossed with
+/// parameter sharing (SP) and centralised critics (CC), both campuses.
+pub fn table3_hyperparams(h: &HarnessConfig) {
+    println!("{}", banner("Table III: hyperparameter tuning (win x SP x CC)"));
+    let grid = [(false, false), (true, false), (false, true), (true, true)];
+    for dataset in both_campuses(h.seed) {
+        println!("\n[{}]", dataset.name);
+        println!("{}", metrics_header("config"));
+        println!("{}", rule());
+        for &win in &[0.001f32, 0.003, 0.01] {
+            let jobs: Vec<(bool, bool)> = grid.to_vec();
+            let results = parallel_map(jobs.clone(), |&(sp, cc)| {
+                let cfg = TrainConfig {
+                    intrinsic: IntrinsicSchedule::Constant(win),
+                    shared_params: sp,
+                    centralized_critic: cc,
+                    ..TrainConfig::default()
+                };
+                run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            });
+            for ((sp, cc), m) in jobs.iter().zip(results.iter()) {
+                let label = format!(
+                    "win={win} {} {}",
+                    if *sp { "w/SP" } else { "w/oSP" },
+                    if *cc { "w/CC" } else { "w/oCC" }
+                );
+                println!("{}", metrics_row(&label, m));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — linearly decreased ω_in
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table IV: linear ω_in decay vs the constant winner.
+pub fn table4_win_decay(h: &HarnessConfig) {
+    println!("{}", banner("Table IV: impact of linearly decreased win"));
+    let schedules: Vec<(&str, IntrinsicSchedule)> = vec![
+        ("win 0.01 -> 0.001", IntrinsicSchedule::LinearDecay { from: 0.01, to: 0.001 }),
+        ("win 0.003 -> 0", IntrinsicSchedule::LinearDecay { from: 0.003, to: 0.0 }),
+        ("win = 0.003 (const)", IntrinsicSchedule::Constant(0.003)),
+    ];
+    for dataset in both_campuses(h.seed) {
+        println!("\n[{}]", dataset.name);
+        println!("{}", metrics_header("schedule"));
+        println!("{}", rule());
+        let results = parallel_map(schedules.clone(), |(_, sched)| {
+            let cfg = TrainConfig { intrinsic: *sched, ..TrainConfig::default() };
+            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+        });
+        for ((label, _), m) in schedules.iter().zip(results.iter()) {
+            println!("{}", metrics_row(label, m));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table V — homogeneous-neighbour range
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table V: neighbour range ∈ {10, 25, 33, 50, 66} % of the task
+/// area, efficiency only (as the paper reports).
+pub fn table5_neighbor_range(h: &HarnessConfig) {
+    println!("{}", banner("Table V: impact of neighbor range (% of task area)"));
+    let fracs = [0.10f64, 0.25, 0.33, 0.50, 0.66];
+    let ticks: Vec<String> = fracs.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+    for dataset in both_campuses(h.seed) {
+        let results = parallel_map(fracs.to_vec(), |&frac| {
+            let cfg = TrainConfig { neighbor_range_frac: frac, ..TrainConfig::default() };
+            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+        });
+        println!("\n[{}]", dataset.name);
+        println!("{}", series_header("range", &ticks));
+        println!(
+            "{}",
+            series_row("lambda", &results.iter().map(|m| m.efficiency).collect::<Vec<_>>())
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table VI — ablation study
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table VI: full / −i-EOI / −h-CoPO / −both.
+pub fn table6_ablation(h: &HarnessConfig) {
+    println!("{}", banner("Table VI: ablation study"));
+    let variants: Vec<(&str, Ablation)> = vec![
+        ("h/i-MADRL", Ablation::full()),
+        ("h/i-MADRL w/o i-EOI", Ablation::without_eoi()),
+        ("h/i-MADRL w/o h-CoPO", Ablation::without_copo()),
+        ("w/o i-EOI, h-CoPO", Ablation::base_only()),
+    ];
+    for dataset in both_campuses(h.seed) {
+        println!("\n[{}]", dataset.name);
+        println!("{}", metrics_header("variant"));
+        println!("{}", rule());
+        let results = parallel_map(variants.clone(), |(_, ab)| {
+            let cfg = TrainConfig { ablation: *ab, ..TrainConfig::default() };
+            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+        });
+        for ((label, _), m) in variants.iter().zip(results.iter()) {
+            println!("{}", metrics_row(label, m));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table VII — computational complexity
+// ---------------------------------------------------------------------------
+
+/// Regenerate Table VII: per-timeslot action-selection time and parameter
+/// memory per method.
+///
+/// "Mem. Usage" approximates the paper's GPU-memory column with the resident
+/// parameter + optimiser footprint (4 bytes × 4 copies per scalar under
+/// Adam) — the quantity that matters for the paper's on-board-deployment
+/// argument in §VI-F.
+pub fn table7_complexity(h: &HarnessConfig) {
+    println!("{}", banner("Table VII: computational complexity"));
+    let dataset = presets::purdue(h.seed);
+    let env_cfg = base_env();
+    let mut env = AirGroundEnv::new(env_cfg.clone(), &dataset, h.seed);
+    let obs = env.observations();
+
+    println!("{:<20} {:>16} {:>18}", "method", "time cost (us)", "param mem (KB)");
+    println!("{}", "-".repeat(56));
+    // Trainer-based methods share the same inference path (the plug-ins are
+    // training-time only — the paper's point in §VI-F).
+    for method in [Method::HiMadrl, Method::HiMadrlCopo, Method::Mappo] {
+        let t = HiMadrlTrainer::new(&env, method.train_config().unwrap(), 1, h.seed);
+        let reps = 200usize;
+        let start = Instant::now();
+        for _ in 0..reps {
+            for k in 0..env.num_uvs() {
+                std::hint::black_box(t.policy_action(k, &obs[k]));
+            }
+        }
+        let per_slot = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        // Actor+log_std per agent ≈ the deployed footprint.
+        let hidden = &t.config().hidden;
+        let obs_dim = env.obs_dim();
+        let mut per_agent = 0usize;
+        let mut prev = obs_dim;
+        for &w in hidden {
+            per_agent += prev * w + w;
+            prev = w;
+        }
+        per_agent += prev * 2 + 2 + 2;
+        let agents = if t.config().shared_params { 1 } else { env.num_uvs() };
+        let mem_kb = (per_agent * agents * 4 * 4) as f64 / 1024.0;
+        println!("{:<20} {:>16.1} {:>18.1}", method.name(), per_slot, mem_kb);
+    }
+    {
+        let learner =
+            agsc_baselines::EDivert::new(&env, agsc_baselines::EDivertConfig::default(), h.seed);
+        let reps = 200usize;
+        let start = Instant::now();
+        for _ in 0..reps {
+            for k in 0..env.num_uvs() {
+                std::hint::black_box(learner.action(k, &obs[k]));
+            }
+        }
+        let per_slot = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let cfg = agsc_baselines::EDivertConfig::default();
+        let obs_dim = env.obs_dim();
+        let gru = 3 * (obs_dim * cfg.gru_hidden + cfg.gru_hidden * cfg.gru_hidden + cfg.gru_hidden);
+        let mut head = 0usize;
+        let mut prev = cfg.gru_hidden;
+        for &w in &cfg.hidden {
+            head += prev * w + w;
+            prev = w;
+        }
+        head += prev * 2 + 2;
+        let mem_kb = ((gru + head) * env.num_uvs() * 4 * 4) as f64 / 1024.0;
+        println!("{:<20} {:>16.1} {:>18.1}", "e-Divert", per_slot, mem_kb);
+    }
+    let _ = env.step(&vec![UvAction::stay(); env.num_uvs()]);
+}
+
+// ---------------------------------------------------------------------------
+// Figure sweeps (Figs 3-10)
+// ---------------------------------------------------------------------------
+
+/// A parameter sweep: tick labels plus one `EnvConfig` per point.
+pub struct Sweep {
+    /// Figure title.
+    pub title: String,
+    /// X-axis name.
+    pub x_label: String,
+    /// Tick labels.
+    pub ticks: Vec<String>,
+    /// One environment per tick.
+    pub configs: Vec<EnvConfig>,
+}
+
+/// Run a sweep for all six methods on both campuses and print the five
+/// metric series each figure reports (λ ψ σ κ ξ).
+pub fn run_figure_sweep(sweep: &Sweep, h: &HarnessConfig) {
+    println!("{}", banner(&sweep.title));
+    for dataset in both_campuses(h.seed) {
+        println!("\n[{}]", dataset.name);
+        // Jobs: method-major so expensive methods interleave across threads.
+        let jobs: Vec<(Method, usize)> = Method::ALL
+            .iter()
+            .flat_map(|&m| (0..sweep.configs.len()).map(move |i| (m, i)))
+            .collect();
+        let results: Vec<Metrics> =
+            parallel_map(jobs.clone(), |&(m, i)| run_method(m, &sweep.configs[i], &dataset, h, None));
+        let metric_of = |m: &Metrics, sel: usize| match sel {
+            0 => m.efficiency,
+            1 => m.data_collection_ratio,
+            2 => m.data_loss_ratio,
+            3 => m.fairness,
+            _ => m.energy_ratio,
+        };
+        for (sel, name) in
+            [(0, "(a) efficiency"), (1, "(b) data collection"), (2, "(c) data loss"), (3, "(d) fairness"), (4, "(e) energy")]
+        {
+            println!("\n{name}");
+            println!("{}", series_header(&sweep.x_label, &sweep.ticks));
+            for (mi, m) in Method::ALL.iter().enumerate() {
+                let row: Vec<f64> = (0..sweep.configs.len())
+                    .map(|i| metric_of(&results[mi * sweep.configs.len() + i], sel))
+                    .collect();
+                println!("{}", series_row(m.name(), &row));
+            }
+        }
+    }
+}
+
+/// Figs 3-4: impact of the number of UAVs/UGVs (equal counts).
+pub fn fig3_4_num_uvs(h: &HarnessConfig) {
+    let counts = [1usize, 2, 3, 4, 5, 7, 10];
+    let sweep = Sweep {
+        title: "Figs 3-4: impact of no. of UAVs/UGVs".into(),
+        x_label: "No. of UAVs/UGVs".into(),
+        ticks: counts.iter().map(|c| c.to_string()).collect(),
+        configs: counts
+            .iter()
+            .map(|&c| {
+                let mut cfg = base_env();
+                cfg.num_uavs = c;
+                cfg.num_ugvs = c;
+                cfg
+            })
+            .collect(),
+    };
+    run_figure_sweep(&sweep, h);
+}
+
+/// Figs 5-6: impact of the number of subchannels.
+pub fn fig5_6_subchannels(h: &HarnessConfig) {
+    let zs = [1usize, 2, 3, 4, 5, 7, 10];
+    let sweep = Sweep {
+        title: "Figs 5-6: impact of no. of subchannels".into(),
+        x_label: "No. of Subchannels".into(),
+        ticks: zs.iter().map(|z| z.to_string()).collect(),
+        configs: zs
+            .iter()
+            .map(|&z| {
+                let mut cfg = base_env();
+                cfg.channel.subchannels = z;
+                cfg
+            })
+            .collect(),
+    };
+    run_figure_sweep(&sweep, h);
+}
+
+/// Figs 7-8: impact of the UAV hovering height.
+pub fn fig7_8_uav_height(h: &HarnessConfig) {
+    let heights = [60.0f64, 70.0, 90.0, 120.0, 150.0];
+    let sweep = Sweep {
+        title: "Figs 7-8: impact of UAV hovering height".into(),
+        x_label: "UAV height (m)".into(),
+        ticks: heights.iter().map(|v| format!("{v:.0}")).collect(),
+        configs: heights
+            .iter()
+            .map(|&hm| {
+                let mut cfg = base_env();
+                cfg.uav_height = hm;
+                cfg
+            })
+            .collect(),
+    };
+    run_figure_sweep(&sweep, h);
+}
+
+/// Figs 9-10: impact of the SINR threshold.
+pub fn fig9_10_sinr(h: &HarnessConfig) {
+    let thresholds = [-7.0f64, -2.2, 0.0, 3.0, 7.0];
+    let sweep = Sweep {
+        title: "Figs 9-10: impact of SINR threshold".into(),
+        x_label: "SINR threshold (dB)".into(),
+        ticks: thresholds.iter().map(|v| format!("{v}")).collect(),
+        configs: thresholds
+            .iter()
+            .map(|&db| {
+                let mut cfg = base_env();
+                cfg.channel.sinr_threshold_db = db;
+                cfg
+            })
+            .collect(),
+    };
+    run_figure_sweep(&sweep, h);
+}
+
+// ---------------------------------------------------------------------------
+// Fig 2 — trajectory patterns over the ablation grid
+// ---------------------------------------------------------------------------
+
+/// Train one variant and render a greedy episode's trajectories.
+fn render_variant(
+    label: &str,
+    cfg: TrainConfig,
+    dataset: &CampusDataset,
+    h: &HarnessConfig,
+) -> String {
+    let mut env = AirGroundEnv::new(base_env(), dataset, h.seed);
+    let mut t = HiMadrlTrainer::new(&env, cfg, h.iters, h.seed);
+    t.train(&mut env, h.iters);
+    env.reset(h.seed.wrapping_add(777));
+    while !env.is_done() {
+        let obs = env.observations();
+        let actions: Vec<UvAction> =
+            (0..env.num_uvs()).map(|k| t.policy_action(k, &obs[k])).collect();
+        env.step(&actions);
+    }
+    let trajectories = env.trajectories().to_vec();
+    let num_uavs = env
+        .uv_states()
+        .iter()
+        .filter(|u| u.kind == UvKind::Uav)
+        .count();
+    let drained: Vec<bool> = env.poi_remaining().iter().map(|&d| d <= 0.0).collect();
+    let art = render_ascii(
+        &env.bounds(),
+        env.poi_positions(),
+        &drained,
+        &trajectories[..num_uavs],
+        &trajectories[num_uavs..],
+        env.start(),
+        72,
+        24,
+    );
+    let m = env.metrics();
+    format!(
+        "--- {label} ({}) | lambda {:.3} psi {:.3} ---\n{art}",
+        dataset.name, m.efficiency, m.data_collection_ratio
+    )
+}
+
+/// Regenerate Fig 2: ASCII trajectory patterns for the ablation grid on both
+/// campuses (UAVs `A`/`B`, UGVs `a`/`b`, PoIs `.`, drained `*`, start `S`).
+pub fn fig2_trajectories(h: &HarnessConfig) {
+    println!("{}", banner("Fig 2: trajectory patterns over ablation study"));
+    let variants: Vec<(&str, TrainConfig)> = vec![
+        ("h/i-MADRL", TrainConfig::default()),
+        (
+            "h/i-MADRL(CoPO)",
+            TrainConfig { ablation: Ablation::copo_baseline(), ..TrainConfig::default() },
+        ),
+        (
+            "h/i-MADRL w/o h-CoPO",
+            TrainConfig { ablation: Ablation::without_copo(), ..TrainConfig::default() },
+        ),
+        (
+            "h/i-MADRL w/o i-EOI",
+            TrainConfig { ablation: Ablation::without_eoi(), ..TrainConfig::default() },
+        ),
+        ("IPPO", ippo()),
+    ];
+    for dataset in both_campuses(h.seed) {
+        let arts = parallel_map(variants.clone(), |(label, cfg)| {
+            render_variant(label, cfg.clone(), &dataset, h)
+        });
+        for art in arts {
+            println!("{art}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 11 — UV coordination and learned LCFs
+// ---------------------------------------------------------------------------
+
+/// Regenerate Fig 11: air-ground coordination traces (UAV↔UGV distances over
+/// highlighted timeslots) and the learned mean `(φ, χ)` per UV class.
+pub fn fig11_coordination(h: &HarnessConfig) {
+    println!("{}", banner("Fig 11: UV coordination and LCF values"));
+    for dataset in both_campuses(h.seed) {
+        let mut env = AirGroundEnv::new(base_env(), &dataset, h.seed);
+        let mut t = HiMadrlTrainer::new(&env, TrainConfig::default(), h.iters, h.seed);
+        t.train(&mut env, h.iters);
+
+        // Greedy episode, logging relay pairing and UAV-UGV separation.
+        env.reset(h.seed.wrapping_add(31));
+        let mut pair_count = 0usize;
+        let mut sep_samples: Vec<(usize, f64)> = Vec::new();
+        while !env.is_done() {
+            let obs = env.observations();
+            let actions: Vec<UvAction> =
+                (0..env.num_uvs()).map(|k| t.policy_action(k, &obs[k])).collect();
+            env.step(&actions);
+            let states = env.uv_states();
+            for &(u, g) in env.relay_pairs() {
+                pair_count += 1;
+                sep_samples.push((env.timeslot(), states[u].position.dist(&states[g].position)));
+            }
+        }
+        println!("\n[{}]", dataset.name);
+        println!(
+            "relay pairs formed over the episode: {pair_count} / {} slots",
+            env.config().horizon
+        );
+        for probe in [5usize, 25, 50, 75, 100] {
+            let near: Vec<f64> = sep_samples
+                .iter()
+                .filter(|(t0, _)| t0.abs_diff(probe) <= 5)
+                .map(|&(_, d)| d)
+                .collect();
+            if near.is_empty() {
+                println!("  t~{probe:>3}: no active relay pair");
+            } else {
+                let mean = near.iter().sum::<f64>() / near.len() as f64;
+                println!("  t~{probe:>3}: mean UAV-UGV separation {mean:>7.1} m ({} pairs)", near.len());
+            }
+        }
+        let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = t.mean_lcf_by_kind();
+        println!("learned mean LCFs (degrees):");
+        println!("  UAVs: phi {uav_phi:>5.1}  chi {uav_chi:>5.1}");
+        println!("  UGVs: phi {ugv_phi:>5.1}  chi {ugv_chi:>5.1}");
+        let m = env.metrics();
+        println!("episode metrics: {}", metrics_row("h/i-MADRL", &m).trim_start());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Design-choice ablation: GAE-λ (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+/// Ablate the advantage estimator: one-step TD (paper Eqn 24, λ = 0) vs
+/// GAE-0.95 vs Monte-Carlo (λ = 1).
+pub fn abl_gae(h: &HarnessConfig) {
+    println!("{}", banner("Ablation: advantage estimator (GAE lambda)"));
+    let lambdas = [0.0f32, 0.95, 1.0];
+    let dataset = presets::purdue(h.seed);
+    println!("{}", metrics_header("estimator"));
+    println!("{}", rule());
+    let results = parallel_map(lambdas.to_vec(), |&l| {
+        let cfg = TrainConfig { gae_lambda: l, ..TrainConfig::default() };
+        run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+    });
+    for (l, m) in lambdas.iter().zip(results.iter()) {
+        let label = match *l {
+            x if x == 0.0 => "one-step TD (Eqn 24)".to_string(),
+            x if x == 1.0 => "Monte-Carlo (l=1)".to_string(),
+            x => format!("GAE l={x}"),
+        };
+        println!("{}", metrics_row(&label, m));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Design-choice ablation: multiple-access model (paper §III-B, last para)
+// ---------------------------------------------------------------------------
+
+/// Ablate the communication discipline: the paper's NOMA vs the TDMA/OFDMA
+/// alternates it names as drop-in replacements.
+pub fn abl_access(h: &HarnessConfig) {
+    println!("{}", banner("Ablation: multiple-access model (NOMA vs TDMA vs OFDMA)"));
+    use agsc_channel::AccessModel;
+    let models =
+        [("AG-NOMA (paper)", AccessModel::Noma), ("TDMA", AccessModel::Tdma), ("OFDMA", AccessModel::Ofdma)];
+    let dataset = presets::purdue(h.seed);
+    println!("{}", metrics_header("access model"));
+    println!("{}", rule());
+    let results = parallel_map(models.to_vec(), |&(_, model)| {
+        let mut env_cfg = base_env();
+        env_cfg.access_model = model;
+        run_method(Method::HiMadrl, &env_cfg, &dataset, h, None)
+    });
+    for ((label, _), m) in models.iter().zip(results.iter()) {
+        println!("{}", metrics_row(label, m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campuses_are_purdue_and_ncsu() {
+        let c = both_campuses(1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].name, "purdue");
+        assert_eq!(c[1].name, "ncsu");
+    }
+
+    #[test]
+    fn sweep_configs_match_ticks() {
+        let counts = [1usize, 2, 3];
+        let sweep = Sweep {
+            title: "t".into(),
+            x_label: "x".into(),
+            ticks: counts.iter().map(|c| c.to_string()).collect(),
+            configs: counts
+                .iter()
+                .map(|&c| {
+                    let mut cfg = base_env();
+                    cfg.num_uavs = c;
+                    cfg.num_ugvs = c;
+                    cfg
+                })
+                .collect(),
+        };
+        assert_eq!(sweep.ticks.len(), sweep.configs.len());
+        assert_eq!(sweep.configs[2].num_uavs, 3);
+    }
+}

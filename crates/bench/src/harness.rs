@@ -1,0 +1,246 @@
+//! Shared experiment harness: method dispatch, budgets, and evaluation.
+//!
+//! Every table/figure target reads its budget from the environment:
+//! `AGSC_ITERS` (training iterations per run, default 25),
+//! `AGSC_EVAL_EPISODES` (test episodes averaged per point, default 3 — the
+//! paper uses 50), and `AGSC_SEED`. The defaults are sized so the complete
+//! suite regenerates on a laptop CPU; raise them to sharpen the numbers.
+
+use agsc_baselines::{
+    hi_madrl, hi_madrl_copo, mappo, EDivert, EDivertConfig, GaConfig, RandomPolicy,
+    ShortestPathPolicy,
+};
+use agsc_datasets::CampusDataset;
+use agsc_env::{AirGroundEnv, EnvConfig, Metrics, UvAction};
+use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig};
+
+/// Global experiment budget.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Training iterations per learned method.
+    pub iters: usize,
+    /// Evaluation episodes averaged per point.
+    pub eval_episodes: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self { iters: 25, eval_episodes: 3, seed: 42 }
+    }
+}
+
+impl HarnessConfig {
+    /// Read the budget from `AGSC_ITERS` / `AGSC_EVAL_EPISODES` / `AGSC_SEED`.
+    pub fn from_env() -> Self {
+        let get = |name: &str, default: u64| -> u64 {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        Self {
+            iters: get("AGSC_ITERS", 25) as usize,
+            eval_episodes: get("AGSC_EVAL_EPISODES", 3) as usize,
+            seed: get("AGSC_SEED", 42),
+        }
+    }
+}
+
+/// The six comparison methods of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Full h/i-MADRL (ours).
+    HiMadrl,
+    /// h/i-MADRL with homogeneous CoPO instead of h-CoPO.
+    HiMadrlCopo,
+    /// MAPPO (centralised critic, no plug-ins).
+    Mappo,
+    /// e-Divert (CTDE + prioritized replay + GRU).
+    EDivert,
+    /// Genetic-algorithm shortest paths.
+    ShortestPath,
+    /// Uniform random actions.
+    Random,
+}
+
+impl Method {
+    /// All six methods, strongest-claim first (paper figure legend order).
+    pub const ALL: [Method; 6] = [
+        Method::HiMadrl,
+        Method::HiMadrlCopo,
+        Method::Mappo,
+        Method::EDivert,
+        Method::ShortestPath,
+        Method::Random,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::HiMadrl => "h/i-MADRL",
+            Method::HiMadrlCopo => "h/i-MADRL(CoPO)",
+            Method::Mappo => "MAPPO",
+            Method::EDivert => "e-Divert",
+            Method::ShortestPath => "Shortest Path",
+            Method::Random => "Random",
+        }
+    }
+
+    /// The trainer preset for trainer-based methods.
+    pub fn train_config(&self) -> Option<TrainConfig> {
+        match self {
+            Method::HiMadrl => Some(hi_madrl()),
+            Method::HiMadrlCopo => Some(hi_madrl_copo()),
+            Method::Mappo => Some(mappo()),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluate any policy for `episodes` greedy episodes with an optional
+/// per-episode reset hook (the Shortest-Path controller is stateful).
+pub fn evaluate_policy<P: Policy>(
+    policy: &P,
+    env: &mut AirGroundEnv,
+    episodes: usize,
+    base_seed: u64,
+    reset_hook: impl Fn(&P),
+) -> Metrics {
+    let mut runs = Vec::with_capacity(episodes);
+    for e in 0..episodes {
+        env.reset(base_seed.wrapping_add(e as u64));
+        reset_hook(policy);
+        while !env.is_done() {
+            let obs = env.observations();
+            let actions: Vec<UvAction> =
+                (0..env.num_uvs()).map(|k| policy.action(k, &obs[k])).collect();
+            env.step(&actions);
+        }
+        runs.push(env.metrics());
+    }
+    Metrics::mean(&runs)
+}
+
+/// Train (if applicable) and evaluate `method` on one environment point.
+///
+/// `train_override` lets hyperparameter experiments (Tables III-V) replace
+/// the preset `TrainConfig` for trainer-based methods.
+pub fn run_method(
+    method: Method,
+    env_cfg: &EnvConfig,
+    dataset: &CampusDataset,
+    h: &HarnessConfig,
+    train_override: Option<TrainConfig>,
+) -> Metrics {
+    let mut env = AirGroundEnv::new(env_cfg.clone(), dataset, h.seed);
+    let eval_seed = h.seed.wrapping_mul(7919).wrapping_add(13);
+    match method {
+        Method::HiMadrl | Method::HiMadrlCopo | Method::Mappo => {
+            let cfg = train_override.unwrap_or_else(|| method.train_config().unwrap());
+            let mut t = HiMadrlTrainer::new(&env, cfg, h.iters, h.seed);
+            t.train(&mut env, h.iters);
+            evaluate_policy(&t, &mut env, h.eval_episodes, eval_seed, |_| {})
+        }
+        Method::EDivert => {
+            let cfg = EDivertConfig { updates_per_iteration: 16, ..Default::default() };
+            let mut learner = EDivert::new(&env, cfg, h.seed);
+            for _ in 0..h.iters {
+                learner.train_iteration(&mut env);
+            }
+            evaluate_policy(&learner, &mut env, h.eval_episodes, eval_seed, |_| {})
+        }
+        Method::ShortestPath => {
+            let ga = GaConfig::default();
+            let policy = ShortestPathPolicy::plan(&env, &ga, h.seed);
+            evaluate_policy(&policy, &mut env, h.eval_episodes, eval_seed, |p| p.reset())
+        }
+        Method::Random => {
+            let policy = RandomPolicy::new(h.seed);
+            evaluate_policy(&policy, &mut env, h.eval_episodes, eval_seed, |_| {})
+        }
+    }
+}
+
+/// Map `f` over `items` on two worker threads (the CI box has two cores),
+/// preserving order.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..2usize.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                results_mutex.lock()[i] = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker skipped an item")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsc_datasets::presets;
+
+    fn tiny_harness() -> HarnessConfig {
+        HarnessConfig { iters: 2, eval_episodes: 1, seed: 7 }
+    }
+
+    fn tiny_env_cfg() -> EnvConfig {
+        let mut c = EnvConfig::default();
+        c.horizon = 10;
+        c.stochastic_fading = false;
+        c
+    }
+
+    #[test]
+    fn every_method_runs_end_to_end() {
+        let dataset = presets::purdue(1);
+        let cfg = tiny_env_cfg();
+        let h = tiny_harness();
+        for m in Method::ALL {
+            let metrics = run_method(m, &cfg, &dataset, &h, None);
+            assert!(
+                metrics.efficiency.is_finite(),
+                "{} produced a non-finite efficiency",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..20).collect(), |&x: &i32| x * x);
+        assert_eq!(out, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn harness_from_env_defaults() {
+        // No env vars set in the test runner: defaults apply.
+        let h = HarnessConfig::from_env();
+        assert!(h.iters > 0 && h.eval_episodes > 0);
+    }
+
+    #[test]
+    fn method_names_match_paper_legend() {
+        assert_eq!(Method::HiMadrl.name(), "h/i-MADRL");
+        assert_eq!(Method::HiMadrlCopo.name(), "h/i-MADRL(CoPO)");
+        assert_eq!(Method::ALL.len(), 6);
+    }
+}

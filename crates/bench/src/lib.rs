@@ -1,0 +1,14 @@
+//! # agsc-bench — experiment harness for every table and figure
+//!
+//! Binaries under `src/bin/` regenerate each table/figure of the paper
+//! (`cargo run --release -p agsc-bench --bin table6_ablation`); the bench
+//! targets under `benches/` run the same functions through `cargo bench`.
+//! Budgets come from `AGSC_ITERS` / `AGSC_EVAL_EPISODES` / `AGSC_SEED`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{evaluate_policy, parallel_map, run_method, HarnessConfig, Method};

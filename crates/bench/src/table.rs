@@ -1,0 +1,73 @@
+//! Plain-text table formatting for the experiment harness.
+
+use agsc_env::Metrics;
+
+/// Width of the label column.
+const LABEL_W: usize = 26;
+
+/// Header row for the five-metric tables (paper order: ψ σ ξ κ λ).
+pub fn metrics_header(label: &str) -> String {
+    format!(
+        "{label:<LABEL_W$} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "psi", "sigma", "xi", "kappa", "lambda"
+    )
+}
+
+/// One metrics row.
+pub fn metrics_row(label: &str, m: &Metrics) -> String {
+    format!(
+        "{label:<LABEL_W$} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+        m.data_collection_ratio, m.data_loss_ratio, m.energy_ratio, m.fairness, m.efficiency
+    )
+}
+
+/// A horizontal rule sized to the metrics table.
+pub fn rule() -> String {
+    "-".repeat(LABEL_W + 5 * 8 + 1)
+}
+
+/// Section banner.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===")
+}
+
+/// Format a series (one metric across sweep points) as a single row.
+pub fn series_row(label: &str, values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:>7.3}")).collect();
+    format!("{label:<LABEL_W$} {}", cells.join(" "))
+}
+
+/// Header for a series table given the x-axis tick labels.
+pub fn series_header(label: &str, ticks: &[String]) -> String {
+    let cells: Vec<String> = ticks.iter().map(|t| format!("{t:>7}")).collect();
+    format!("{label:<LABEL_W$} {}", cells.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align_with_header() {
+        let m = Metrics {
+            data_collection_ratio: 0.834,
+            data_loss_ratio: 0.007,
+            energy_ratio: 0.092,
+            fairness: 0.874,
+            efficiency: 7.872,
+        };
+        let h = metrics_header("method");
+        let r = metrics_row("h/i-MADRL", &m);
+        assert_eq!(h.len(), r.len());
+        assert!(r.contains("7.872"));
+        assert!(r.contains("0.834"));
+    }
+
+    #[test]
+    fn series_rows_align() {
+        let ticks = vec!["1".into(), "2".into(), "3".into()];
+        let h = series_header("No. of UAVs/UGVs", &ticks);
+        let r = series_row("h/i-MADRL", &[1.0, 2.0, 3.0]);
+        assert_eq!(h.len(), r.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! SINR and Shannon capacity.
+
+use crate::params::ChannelParams;
+
+/// Shannon capacity of one subchannel in bit/s: `C = B · log₂(1 + SINR)`.
+pub fn capacity_bps(params: &ChannelParams, sinr: f64) -> f64 {
+    if sinr <= 0.0 {
+        return 0.0;
+    }
+    params.bandwidth_hz * (1.0 + sinr).log2()
+}
+
+/// Generic SINR: `signal / (noise + Σ interference)`.
+pub fn sinr(signal_power: f64, noise_power: f64, interference_power: f64) -> f64 {
+    let denom = noise_power + interference_power;
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    (signal_power / denom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_zero_at_zero_sinr() {
+        let p = ChannelParams::default();
+        assert_eq!(capacity_bps(&p, 0.0), 0.0);
+        assert_eq!(capacity_bps(&p, -1.0), 0.0);
+    }
+
+    #[test]
+    fn capacity_log2_scaling() {
+        let p = ChannelParams::default();
+        // SINR = 1 → exactly B bit/s; SINR = 3 → 2B bit/s.
+        assert!((capacity_bps(&p, 1.0) - p.bandwidth_hz).abs() < 1.0);
+        assert!((capacity_bps(&p, 3.0) - 2.0 * p.bandwidth_hz).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_monotone() {
+        let p = ChannelParams::default();
+        assert!(capacity_bps(&p, 10.0) < capacity_bps(&p, 100.0));
+    }
+
+    #[test]
+    fn sinr_with_and_without_interference() {
+        let clean = sinr(1e-6, 1e-12, 0.0);
+        let dirty = sinr(1e-6, 1e-12, 1e-6);
+        assert!(clean > dirty);
+        assert!((dirty - 1e-6 / (1e-12 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sinr_degenerate_noise() {
+        assert!(sinr(1.0, 0.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,163 @@
+//! Channel gains: LoS/NLoS probability and path-loss models.
+//!
+//! Implements Eqns 2-3 (PoI→UAV, G2A), Eqn 5 (PoI→UGV, G2G with Rayleigh
+//! fading), and Eqns 7-8 (UAV→UGV relay, A2G — same form as G2A).
+
+use crate::params::ChannelParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// LoS probability for a ground↔air link (Eqn 2 / Eqn 7):
+/// `ω_LoS = 1 / (1 + ω · exp(−β · ang))`, with `ang` the elevation angle in
+/// degrees.
+pub fn los_probability(params: &ChannelParams, elevation_deg: f64) -> f64 {
+    1.0 / (1.0 + params.los_omega * (-params.los_beta * elevation_deg).exp())
+}
+
+/// G2A / A2G channel gain (Eqn 3 / Eqn 8): the LoS/NLoS-probability-weighted
+/// mixture of attenuated power-law path losses,
+/// `ς = ω_LoS·η_LoS·d^−α₁ + ω_NLoS·η_NLoS·d^−α₁`.
+///
+/// `slant_dist_m` must be positive; co-located transceivers are clamped to
+/// one metre (the standard far-field guard).
+pub fn air_ground_gain(params: &ChannelParams, slant_dist_m: f64, elevation_deg: f64) -> f64 {
+    let d = slant_dist_m.max(1.0);
+    let p_los = los_probability(params, elevation_deg);
+    let pl = params.ref_gain() * d.powf(-params.alpha_g2a);
+    p_los * params.eta_los() * pl + (1.0 - p_los) * params.eta_nlos() * pl
+}
+
+/// G2G channel gain (Eqn 5): `ς = |h_z|² · d^−α₂`, where `|h_z|²` is the
+/// squared Rayleigh amplitude gain of subchannel `z`.
+pub fn ground_ground_gain(params: &ChannelParams, dist_m: f64, rayleigh_gain_sq: f64) -> f64 {
+    let d = dist_m.max(1.0);
+    rayleigh_gain_sq * params.ref_gain() * d.powf(-params.alpha_g2g)
+}
+
+/// Per-subchannel Rayleigh fading state.
+///
+/// For a Rayleigh channel the squared amplitude `|h|²` is exponentially
+/// distributed with unit mean. The environment redraws fading each timeslot;
+/// tests can use [`RayleighFading::unit`] for determinism.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RayleighFading {
+    gains_sq: Vec<f64>,
+}
+
+impl RayleighFading {
+    /// Deterministic unit gains (`|h|² = 1` on every subchannel).
+    pub fn unit(subchannels: usize) -> Self {
+        Self { gains_sq: vec![1.0; subchannels] }
+    }
+
+    /// Draw fresh fading for every subchannel: `|h|² ~ Exp(1)`.
+    pub fn sample<R: Rng + ?Sized>(subchannels: usize, rng: &mut R) -> Self {
+        let gains_sq = (0..subchannels)
+            .map(|_| {
+                let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                -u.ln()
+            })
+            .collect();
+        Self { gains_sq }
+    }
+
+    /// Squared amplitude gain of subchannel `z`.
+    ///
+    /// # Panics
+    /// Panics if `z` is out of range.
+    pub fn gain_sq(&self, z: usize) -> f64 {
+        self.gains_sq[z]
+    }
+
+    /// Number of subchannels covered by this fading state.
+    pub fn subchannels(&self) -> usize {
+        self.gains_sq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> ChannelParams {
+        ChannelParams::default()
+    }
+
+    #[test]
+    fn los_probability_monotone_in_elevation() {
+        let p = params();
+        let low = los_probability(&p, 5.0);
+        let mid = los_probability(&p, 45.0);
+        let high = los_probability(&p, 90.0);
+        assert!(low < mid && mid < high);
+        assert!((0.0..=1.0).contains(&low));
+        assert!(high > 0.99, "overhead link should be almost surely LoS, got {high}");
+    }
+
+    #[test]
+    fn los_probability_zero_elevation() {
+        let p = params();
+        // ang = 0 → 1/(1+ω) = 1/10.6
+        let got = los_probability(&p, 0.0);
+        assert!((got - 1.0 / 10.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn air_ground_gain_decays_with_distance() {
+        let p = params();
+        let near = air_ground_gain(&p, 60.0, 90.0);
+        let far = air_ground_gain(&p, 600.0, 10.0);
+        assert!(near > far);
+        // With α₁ = 2 and ~pure LoS overhead: gain ≈ ref · d⁻².
+        assert!((near - p.ref_gain() * 60f64.powf(-2.0)).abs() / near < 0.01);
+    }
+
+    #[test]
+    fn air_ground_gain_clamps_tiny_distance() {
+        let p = params();
+        let g0 = air_ground_gain(&p, 0.0, 90.0);
+        let g1 = air_ground_gain(&p, 1.0, 90.0);
+        assert_eq!(g0, g1);
+        assert!(g0.is_finite());
+    }
+
+    #[test]
+    fn nlos_heavy_link_weaker_than_los_heavy() {
+        let p = params();
+        // Same distance, different elevation (so different LoS mix).
+        let los_heavy = air_ground_gain(&p, 100.0, 80.0);
+        let nlos_heavy = air_ground_gain(&p, 100.0, 2.0);
+        assert!(los_heavy > nlos_heavy);
+    }
+
+    #[test]
+    fn g2g_gain_steeper_decay_than_g2a() {
+        let p = params();
+        // α₂ = 4 vs α₁ = 2: doubling distance costs 16× vs 4×.
+        let g2g_ratio = ground_ground_gain(&p, 100.0, 1.0) / ground_ground_gain(&p, 200.0, 1.0);
+        assert!((g2g_ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rayleigh_sample_unit_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += RayleighFading::sample(1, &mut rng).gain_sq(0);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "Exp(1) mean should be ≈1, got {mean}");
+    }
+
+    #[test]
+    fn rayleigh_unit_is_deterministic() {
+        let f = RayleighFading::unit(3);
+        assert_eq!(f.subchannels(), 3);
+        for z in 0..3 {
+            assert_eq!(f.gain_sq(z), 1.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # agsc-channel — AG-NOMA uplink/relay channel models
+//!
+//! Implements §III-B of the paper: LoS/NLoS-mixture G2A/A2G gains, Rayleigh
+//! G2G gains, SINR with co-channel interference between the paired direct and
+//! relay links, Shannon capacities, and the per-timeslot data-collection
+//! event semantics of Definitions 1-2 — plus the TDMA/OFDMA alternates the
+//! paper mentions as drop-in replacements.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod gain;
+pub mod noma;
+pub mod params;
+
+pub use capacity::{capacity_bps, sinr};
+pub use gain::{air_ground_gain, ground_ground_gain, los_probability, RayleighFading};
+pub use noma::{evaluate_event, AccessModel, EventGeometry, EventOutcome, LinkOutcome};
+pub use params::{db_to_linear, linear_to_db, ChannelParams};

@@ -1,0 +1,310 @@
+//! AG-NOMA data-collection events (§III-B and Definitions 1-2 of the paper).
+//!
+//! A *data-collection event* on a subchannel `z` in one timeslot is a tuple
+//! `(u, g, i, i′)`: UAV `u` collects PoI `i`'s uplink and relays it to UGV
+//! `g`, while `g` simultaneously collects PoI `i′` directly on the same
+//! subchannel. The paired links interfere (air-ground co-channel interference
+//! suppression pairs exactly one direct and one relay link per subchannel).
+//!
+//! Degenerate events — a UAV whose paired PoI subchannel has no direct-link
+//! partner, or a UGV collecting alone — are also supported.
+
+use crate::capacity::{capacity_bps, sinr};
+use crate::gain::{air_ground_gain, ground_ground_gain, RayleighFading};
+use crate::params::ChannelParams;
+use agsc_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Which multiple-access discipline carries the uplinks. The paper is built
+/// on NOMA but notes (§III-B, final paragraph) that TDMA/OFDMA alternates
+/// drop in by re-defining the collection model; both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessModel {
+    /// Power-domain NOMA with co-channel interference between the paired
+    /// direct and relay links (the paper's model).
+    Noma,
+    /// OFDMA: the paired links split the subchannel bandwidth evenly and do
+    /// not interfere.
+    Ofdma,
+    /// TDMA: the paired links split the collection time evenly and do not
+    /// interfere.
+    Tdma,
+}
+
+/// Geometry of one data-collection event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventGeometry {
+    /// UAV planar position (`None` if the event has no UAV side).
+    pub uav: Option<Point>,
+    /// UAV hovering altitude `H_u` in metres.
+    pub uav_height: f64,
+    /// UGV position (the decoder; required).
+    pub ugv: Point,
+    /// PoI `i` collected by the UAV (`None` if no UAV side).
+    pub poi_uav: Option<Point>,
+    /// PoI `i′` collected directly by the UGV (`None` if no direct side).
+    pub poi_ugv: Option<Point>,
+}
+
+/// Per-link outcome of evaluating one event.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkOutcome {
+    /// Received SINR (linear).
+    pub sinr: f64,
+    /// Deliverable bits this timeslot (0 when the SINR check fails).
+    pub bits: f64,
+    /// True if the link was attempted but failed the SINR threshold
+    /// (counts towards the data-loss ratio σ, Eqn 13).
+    pub loss: bool,
+    /// True if the link was attempted at all.
+    pub attempted: bool,
+}
+
+/// Outcome of one data-collection event.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventOutcome {
+    /// UAV-side outcome: the *end-to-end* relayed PoI-i upload
+    /// (Definition 1: gated by `min(γ^{i,u}, γ^{u,g})`, capacity
+    /// `min(C^{i,u}, C^{u,g})`).
+    pub uav: LinkOutcome,
+    /// UGV-side outcome: the direct PoI-i′ upload (Definition 2).
+    pub ugv: LinkOutcome,
+}
+
+/// Evaluate one data-collection event over `collect_secs` of collection time.
+///
+/// Implements Eqns 2-9 plus Definitions 1-2. `fading` supplies `|h_z|²` for
+/// the G2G links on subchannel `z`.
+pub fn evaluate_event(
+    params: &ChannelParams,
+    model: AccessModel,
+    geom: &EventGeometry,
+    fading: &RayleighFading,
+    z: usize,
+    collect_secs: f64,
+) -> EventOutcome {
+    let noise = params.noise_power();
+    let threshold = params.sinr_threshold();
+    let h_sq = fading.gain_sq(z);
+    let both_sides = geom.uav.is_some() && geom.poi_uav.is_some() && geom.poi_ugv.is_some();
+
+    // Resource split under the interference-free alternates.
+    let (bw_share, time_share) = match (model, both_sides) {
+        (AccessModel::Noma, _) => (1.0, 1.0),
+        (AccessModel::Ofdma, true) => (0.5, 1.0),
+        (AccessModel::Tdma, true) => (1.0, 0.5),
+        (_, false) => (1.0, 1.0),
+    };
+    let interference_on = matches!(model, AccessModel::Noma);
+
+    let mut out = EventOutcome::default();
+
+    // ---- UAV side: PoI i → UAV u, relayed UAV u → UGV g -------------------
+    if let (Some(uav), Some(poi_i)) = (geom.uav, geom.poi_uav) {
+        out.uav.attempted = true;
+        // ς^{i,u}: G2A uplink gain (Eqns 2-3).
+        let d_iu = poi_i.slant_dist(&uav, geom.uav_height);
+        let ang_iu = poi_i.elevation_deg(&uav, geom.uav_height);
+        let g_iu = air_ground_gain(params, d_iu, ang_iu);
+        // Interference at the UAV from the co-channel PoI i′ (Eqn 4).
+        let interf_u = match (interference_on, geom.poi_ugv) {
+            (true, Some(poi_j)) => {
+                let d_ju = poi_j.slant_dist(&uav, geom.uav_height);
+                let ang_ju = poi_j.elevation_deg(&uav, geom.uav_height);
+                air_ground_gain(params, d_ju, ang_ju) * params.power_poi
+            }
+            _ => 0.0,
+        };
+        let gamma_iu = sinr(g_iu * params.power_poi, noise, interf_u);
+
+        // ς^{u,g}: A2G relay gain (Eqns 7-8), plus the wireless copy ς^{i,g}
+        // received directly from PoI i (Eqn 9).
+        let d_ug = geom.ugv.slant_dist(&uav, geom.uav_height);
+        let ang_ug = geom.ugv.elevation_deg(&uav, geom.uav_height);
+        let g_ug = air_ground_gain(params, d_ug, ang_ug);
+        let g_ig = ground_ground_gain(params, poi_i.dist(&geom.ugv), h_sq);
+        // Interference at the UGV from PoI i′ (Eqn 9 denominator).
+        let interf_g = match (interference_on, geom.poi_ugv) {
+            (true, Some(poi_j)) => {
+                ground_ground_gain(params, poi_j.dist(&geom.ugv), h_sq) * params.power_poi
+            }
+            _ => 0.0,
+        };
+        let gamma_ug = sinr(
+            g_ug * params.power_uav + g_ig * params.power_poi,
+            noise,
+            interf_g,
+        );
+
+        out.uav.sinr = gamma_iu.min(gamma_ug);
+        if out.uav.sinr < threshold {
+            out.uav.loss = true;
+        } else {
+            let c_iu = capacity_bps(params, gamma_iu) * bw_share;
+            let c_ug = capacity_bps(params, gamma_ug) * bw_share;
+            out.uav.bits = collect_secs * time_share * c_iu.min(c_ug);
+        }
+    }
+
+    // ---- UGV side: PoI i′ → UGV g directly (Eqns 5-6, Definition 2) -------
+    if let Some(poi_j) = geom.poi_ugv {
+        out.ugv.attempted = true;
+        let g_jg = ground_ground_gain(params, poi_j.dist(&geom.ugv), h_sq);
+        // Eqn 6: relay interference is removed by SIC ("since UGV g has
+        // decoded relayed data from UAV u"), so only noise remains.
+        let gamma_jg = sinr(g_jg * params.power_poi, noise, 0.0);
+        out.ugv.sinr = gamma_jg;
+        if gamma_jg < threshold {
+            out.ugv.loss = true;
+        } else {
+            out.ugv.bits =
+                collect_secs * time_share * capacity_bps(params, gamma_jg) * bw_share;
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ChannelParams {
+        ChannelParams::default()
+    }
+
+    /// UAV hovers 60 m above a PoI, UGV 30 m away on the ground, second PoI
+    /// 20 m from the UGV: a comfortable geometry where everything decodes.
+    fn good_geometry() -> EventGeometry {
+        EventGeometry {
+            uav: Some(Point::new(100.0, 100.0)),
+            uav_height: 60.0,
+            ugv: Point::new(130.0, 100.0),
+            poi_uav: Some(Point::new(100.0, 100.0)),
+            poi_ugv: Some(Point::new(130.0, 120.0)),
+        }
+    }
+
+    #[test]
+    fn good_geometry_collects_on_both_sides() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        let out = evaluate_event(&p, AccessModel::Noma, &good_geometry(), &f, 0, 10.0);
+        assert!(out.uav.attempted && out.ugv.attempted);
+        assert!(!out.uav.loss && !out.ugv.loss, "sinrs: {} {}", out.uav.sinr, out.ugv.sinr);
+        assert!(out.uav.bits > 0.0 && out.ugv.bits > 0.0);
+    }
+
+    #[test]
+    fn far_ugv_breaks_the_relay() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        let mut g = good_geometry();
+        // UGV 3 km away: with α₂ = 4 its direct link dies, and the relay SINR
+        // collapses too.
+        g.ugv = Point::new(3000.0, 100.0);
+        let out = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        assert!(out.ugv.loss, "direct G2G at 3 km must fail (sinr {})", out.ugv.sinr);
+        // The two-hop relay itself survives at this range (A2G decays with
+        // α₁ = 2 only), but its capacity must be below a close-in relay's.
+        let mut near = good_geometry();
+        near.poi_ugv = None; // isolate the relay hop: no co-channel partner
+        g.poi_ugv = None;
+        let out_far = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        let out_near = evaluate_event(&p, AccessModel::Noma, &near, &f, 0, 10.0);
+        assert!(out_far.uav.bits <= out_near.uav.bits, "relay throughput should degrade");
+    }
+
+    #[test]
+    fn uav_side_gated_by_min_of_two_hops() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        // Pull the UAV far from its PoI: the first hop becomes the bottleneck.
+        let mut g = good_geometry();
+        g.poi_uav = Some(Point::new(2000.0, 100.0));
+        let out = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        let near = evaluate_event(&p, AccessModel::Noma, &good_geometry(), &f, 0, 10.0);
+        assert!(out.uav.bits < near.uav.bits);
+    }
+
+    #[test]
+    fn interference_reduces_uav_throughput_vs_ofdma_scaling() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        // Put the interfering PoI i′ very close to the UAV's PoI so NOMA
+        // interference is strong.
+        let mut g = good_geometry();
+        g.poi_ugv = Some(Point::new(101.0, 100.0));
+        let noma = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        let ofdma = evaluate_event(&p, AccessModel::Ofdma, &g, &f, 0, 10.0);
+        // Under heavy interference the interference-free OFDMA link (even at
+        // half bandwidth) beats NOMA on the relayed side.
+        assert!(ofdma.uav.bits > noma.uav.bits);
+    }
+
+    #[test]
+    fn tdma_and_ofdma_have_no_loss_in_good_geometry() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        for model in [AccessModel::Tdma, AccessModel::Ofdma] {
+            let out = evaluate_event(&p, model, &good_geometry(), &f, 0, 10.0);
+            assert!(!out.uav.loss && !out.ugv.loss);
+        }
+    }
+
+    #[test]
+    fn ugv_only_event() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        let g = EventGeometry {
+            uav: None,
+            uav_height: 60.0,
+            ugv: Point::new(0.0, 0.0),
+            poi_uav: None,
+            poi_ugv: Some(Point::new(10.0, 0.0)),
+        };
+        let out = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        assert!(!out.uav.attempted);
+        assert!(out.ugv.attempted && out.ugv.bits > 0.0);
+    }
+
+    #[test]
+    fn zero_collect_time_zero_bits() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        let out = evaluate_event(&p, AccessModel::Noma, &good_geometry(), &f, 0, 0.0);
+        assert_eq!(out.uav.bits, 0.0);
+        assert_eq!(out.ugv.bits, 0.0);
+        assert!(!out.uav.loss, "zero time is not a decoding failure");
+    }
+
+    #[test]
+    fn deep_fade_causes_ugv_loss() {
+        let p = params();
+        // |h|² ≈ 0: Rayleigh deep fade kills the G2G link even close-by.
+        let f = RayleighFading::unit(1);
+        // A deep fade (|h|² ≈ 0), constructed through serde to keep the API
+        // surface minimal.
+        let faded: RayleighFading = serde_json::from_str(r#"{"gains_sq":[1e-12]}"#).unwrap();
+        let mut g = good_geometry();
+        g.poi_ugv = Some(Point::new(180.0, 100.0)); // 50 m: fine at |h|²=1
+        let ok = evaluate_event(&p, AccessModel::Noma, &g, &f, 0, 10.0);
+        assert!(!ok.ugv.loss);
+        let bad = evaluate_event(&p, AccessModel::Noma, &g, &faded, 0, 10.0);
+        assert!(bad.ugv.loss);
+    }
+
+    #[test]
+    fn higher_uav_reduces_relay_bits() {
+        let p = params();
+        let f = RayleighFading::unit(p.subchannels);
+        let low = good_geometry();
+        let mut high = good_geometry();
+        high.uav_height = 150.0;
+        let out_low = evaluate_event(&p, AccessModel::Noma, &low, &f, 0, 10.0);
+        let out_high = evaluate_event(&p, AccessModel::Noma, &high, &f, 0, 10.0);
+        // Fig 7-8 of the paper: higher hovering → larger path loss → less
+        // capacity on the UAV-involved links.
+        assert!(out_high.uav.bits < out_low.uav.bits);
+    }
+}

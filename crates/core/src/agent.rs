@@ -1,0 +1,407 @@
+//! Per-UV actor-critic networks and PPO update machinery.
+//!
+//! Each UV `k` holds (Algorithm 1, line 2): a Gaussian policy `π^k`, an
+//! individual value network `V^k`, and — for h-CoPO — the heterogeneous and
+//! homogeneous neighbourhood value networks `V^k_HE`, `V^k_HO`.
+
+use agsc_nn::{Activation, Adam, DiagGaussian, Init, Matrix, Mlp, Param};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which of the agent's critics to address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriticKind {
+    /// Individual value network `V^k` (input: obs, or state under CC).
+    Own,
+    /// Heterogeneous neighbourhood value network `V^k_HE`.
+    Heterogeneous,
+    /// Homogeneous neighbourhood value network `V^k_HO`.
+    Homogeneous,
+}
+
+/// One UV's trainable networks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoAgent {
+    /// Policy trunk: obs → 2-D action mean, tanh-squashed into `[-1, 1]`.
+    actor: Mlp,
+    /// State-independent log standard deviations (length 2).
+    log_std: Param,
+    /// Individual critic `V^k`.
+    critic: Mlp,
+    /// `V^k_HE` — always takes the local observation.
+    critic_he: Mlp,
+    /// `V^k_HO` — always takes the local observation.
+    critic_ho: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+}
+
+/// Stats of one PPO policy update.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PpoStats {
+    /// Mean importance ratio.
+    pub mean_ratio: f32,
+    /// Fraction of samples where the clip was binding.
+    pub clip_fraction: f32,
+    /// Policy entropy after the update.
+    pub entropy: f32,
+}
+
+impl PpoAgent {
+    /// Build an agent. `critic_in_dim` is the individual critic's input size
+    /// (obs dim for IPPO, global-state dim for the centralised-critic
+    /// variant); the neighbourhood critics always take the observation.
+    pub fn new<R: Rng + ?Sized>(
+        obs_dim: usize,
+        critic_in_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        init_log_std: f32,
+        actor_lr: f32,
+        critic_lr: f32,
+        rng: &mut R,
+    ) -> Self {
+        let sizes = |input: usize, output: usize| {
+            let mut s = vec![input];
+            s.extend_from_slice(hidden);
+            s.push(output);
+            s
+        };
+        let actor = Mlp::new(
+            &sizes(obs_dim, action_dim),
+            Activation::Tanh,
+            Activation::Tanh,
+            Init::XavierUniform,
+            Init::SmallUniform,
+            rng,
+        );
+        Self {
+            actor,
+            log_std: Param::new(Matrix::full(1, action_dim, init_log_std)),
+            critic: Mlp::tanh(&sizes(critic_in_dim, 1), rng),
+            critic_he: Mlp::tanh(&sizes(obs_dim, 1), rng),
+            critic_ho: Mlp::tanh(&sizes(obs_dim, 1), rng),
+            actor_opt: Adam::new(actor_lr),
+            critic_opt: Adam::new(critic_lr),
+        }
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.actor.out_dim()
+    }
+
+    /// Current log-σ values.
+    pub fn log_std(&self) -> &[f32] {
+        self.log_std.value.as_slice()
+    }
+
+    /// Sample an action from `π(·|o)`; returns `(action, log_prob)`.
+    pub fn act<R: Rng + ?Sized>(&self, obs: &[f32], rng: &mut R) -> (Vec<f32>, f32) {
+        let o = Matrix::row_vector(obs);
+        let mean = self.actor.forward_inference(&o);
+        let dist = DiagGaussian::new(&mean, self.log_std.value.as_slice());
+        let a = dist.sample(rng);
+        let lp = dist.log_prob(&a)[0];
+        (a.as_slice().to_vec(), lp)
+    }
+
+    /// Deterministic (mean) action for evaluation.
+    pub fn act_deterministic(&self, obs: &[f32]) -> Vec<f32> {
+        let o = Matrix::row_vector(obs);
+        self.actor.forward_inference(&o).as_slice().to_vec()
+    }
+
+    /// Value estimates for a batch of critic inputs.
+    pub fn values(&self, input: &Matrix, which: CriticKind) -> Vec<f32> {
+        let net = match which {
+            CriticKind::Own => &self.critic,
+            CriticKind::Heterogeneous => &self.critic_he,
+            CriticKind::Homogeneous => &self.critic_ho,
+        };
+        net.forward_inference(input).as_slice().to_vec()
+    }
+
+    /// One clipped-PPO ascent step on the surrogate objective (Eqn 25/28).
+    ///
+    /// `advantages` are whatever advantage the caller chose — `A^k` for the
+    /// base module or the cooperation-aware `A^k_CO` for h-CoPO.
+    pub fn ppo_update(
+        &mut self,
+        obs: &Matrix,
+        actions: &Matrix,
+        old_log_probs: &[f32],
+        advantages: &[f32],
+        clip_eps: f32,
+        entropy_coef: f32,
+        max_grad_norm: f32,
+    ) -> PpoStats {
+        let b = obs.rows();
+        assert!(b > 0, "empty PPO batch");
+        assert_eq!(actions.rows(), b);
+        assert_eq!(old_log_probs.len(), b);
+        assert_eq!(advantages.len(), b);
+
+        self.actor.zero_grad();
+        self.log_std.zero_grad();
+
+        let mean = self.actor.forward(obs);
+        let dist = DiagGaussian::new(&mean, self.log_std.value.as_slice());
+        let logp_new = dist.log_prob(actions);
+
+        // Gradient of E[min(ϱA, clip(ϱ)A)] w.r.t. logπ_new: per the min rule,
+        // the unclipped branch contributes ϱ·A where it is the active branch,
+        // otherwise zero.
+        let mut coeff = vec![0.0f32; b];
+        let mut clipped = 0usize;
+        let mut ratio_sum = 0.0f32;
+        for i in 0..b {
+            let ratio = (logp_new[i] - old_log_probs[i]).exp();
+            ratio_sum += ratio;
+            let a = advantages[i];
+            let unclipped = ratio * a;
+            let clipped_val = ratio.clamp(1.0 - clip_eps, 1.0 + clip_eps) * a;
+            if unclipped <= clipped_val {
+                coeff[i] = ratio * a / b as f32;
+            } else {
+                clipped += 1;
+            }
+        }
+        // Ascent on the objective ⇒ descent on its negation.
+        let neg: Vec<f32> = coeff.iter().map(|c| -c).collect();
+        let (d_mean, d_log_std) = dist.log_prob_grad(actions, &neg);
+        self.actor.backward(&d_mean);
+        for (g, d) in self.log_std.grad.as_mut_slice().iter_mut().zip(d_log_std.iter()) {
+            // Entropy bonus: dH/dlogσ = 1 per dimension (ascent ⇒ −coef).
+            *g += d - entropy_coef;
+        }
+
+        self.actor.clip_grad_norm(max_grad_norm);
+        let mut params = self.actor.params_mut();
+        params.push(&mut self.log_std);
+        self.actor_opt.step(&mut params);
+        // Keep σ in a sane band.
+        self.log_std.value.map_inplace(|v| v.clamp(-3.0, 1.0));
+
+        let entropy = DiagGaussian::new(&mean, self.log_std.value.as_slice()).entropy();
+        PpoStats {
+            mean_ratio: ratio_sum / b as f32,
+            clip_fraction: clipped as f32 / b as f32,
+            entropy,
+        }
+    }
+
+    /// One MSE regression step of the chosen critic towards `targets`
+    /// (Eqn 26); returns the loss.
+    pub fn critic_update(
+        &mut self,
+        input: &Matrix,
+        targets: &[f32],
+        which: CriticKind,
+        max_grad_norm: f32,
+    ) -> f32 {
+        assert_eq!(input.rows(), targets.len(), "target count mismatch");
+        if targets.is_empty() {
+            return 0.0;
+        }
+        let net = match which {
+            CriticKind::Own => &mut self.critic,
+            CriticKind::Heterogeneous => &mut self.critic_he,
+            CriticKind::Homogeneous => &mut self.critic_ho,
+        };
+        net.zero_grad();
+        let pred = net.forward(input);
+        let target = Matrix::from_vec(targets.len(), 1, targets.to_vec());
+        let (loss, grad) = agsc_nn::loss::mse(&pred, &target);
+        net.backward(&grad);
+        net.clip_grad_norm(max_grad_norm);
+        self.critic_opt.step(&mut net.params_mut());
+        loss
+    }
+
+    /// Flat gradient of `Σ_t coeff[t] · log π(a_t | o_t)` with respect to
+    /// all policy parameters (actor weights then log-σ). The meta-gradient's
+    /// second term (Eqn 32) is this with `coeff[t] = ∂A^k_CO/∂LCF · α / T`.
+    pub fn weighted_logprob_grad(
+        &mut self,
+        obs: &Matrix,
+        actions: &Matrix,
+        coeff: &[f32],
+    ) -> Vec<f32> {
+        self.actor.zero_grad();
+        self.log_std.zero_grad();
+        let mean = self.actor.forward(obs);
+        let dist = DiagGaussian::new(&mean, self.log_std.value.as_slice());
+        let (d_mean, d_log_std) = dist.log_prob_grad(actions, coeff);
+        self.actor.backward(&d_mean);
+        let mut flat = self.actor.flat_grads();
+        flat.extend_from_slice(&d_log_std);
+        self.actor.zero_grad();
+        flat
+    }
+
+    /// Flat gradient of the clipped surrogate `J` (with the given advantages)
+    /// with respect to all policy parameters — the meta-gradient's first term
+    /// (Eqn 31), evaluated at the *current* parameters.
+    pub fn ppo_objective_grad(
+        &mut self,
+        obs: &Matrix,
+        actions: &Matrix,
+        old_log_probs: &[f32],
+        advantages: &[f32],
+        clip_eps: f32,
+    ) -> Vec<f32> {
+        let b = obs.rows();
+        self.actor.zero_grad();
+        self.log_std.zero_grad();
+        let mean = self.actor.forward(obs);
+        let dist = DiagGaussian::new(&mean, self.log_std.value.as_slice());
+        let logp_new = dist.log_prob(actions);
+        let mut coeff = vec![0.0f32; b];
+        for i in 0..b {
+            let ratio = (logp_new[i] - old_log_probs[i]).exp();
+            let a = advantages[i];
+            let unclipped = ratio * a;
+            let clipped_val = ratio.clamp(1.0 - clip_eps, 1.0 + clip_eps) * a;
+            if unclipped <= clipped_val {
+                coeff[i] = ratio * a / b as f32;
+            }
+        }
+        let (d_mean, d_log_std) = dist.log_prob_grad(actions, &coeff);
+        self.actor.backward(&d_mean);
+        let mut flat = self.actor.flat_grads();
+        flat.extend_from_slice(&d_log_std);
+        self.actor.zero_grad();
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    fn agent() -> PpoAgent {
+        PpoAgent::new(4, 4, 2, &[16], -0.5, 3e-3, 1e-2, &mut rng())
+    }
+
+    #[test]
+    fn act_outputs_bounded_means_and_finite_logprob() {
+        let a = agent();
+        let mut r = rng();
+        let (action, lp) = a.act(&[0.1, 0.2, 0.3, 0.4], &mut r);
+        assert_eq!(action.len(), 2);
+        assert!(lp.is_finite());
+        let det = a.act_deterministic(&[0.1, 0.2, 0.3, 0.4]);
+        assert!(det.iter().all(|v| v.abs() <= 1.0), "tanh head bounds the mean");
+    }
+
+    #[test]
+    fn ppo_update_increases_probability_of_advantaged_actions() {
+        let mut a = agent();
+        let obs = Matrix::from_vec(4, 4, vec![0.5; 16]);
+        // Always the same state; action [0.5, 0.5] has positive advantage,
+        // [-0.5, -0.5] negative.
+        let actions = Matrix::from_vec(
+            4,
+            2,
+            vec![0.5, 0.5, -0.5, -0.5, 0.5, 0.5, -0.5, -0.5],
+        );
+        let adv = [1.0f32, -1.0, 1.0, -1.0];
+
+        let lp_of = |agent: &PpoAgent| {
+            let mean = agent.act_deterministic(&[0.5; 4]);
+            let m = Matrix::row_vector(&mean);
+            let d = DiagGaussian::new(&m, agent.log_std());
+            let good = Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+            d.log_prob(&good)[0]
+        };
+
+        let mean0 = Matrix::from_rows(&(0..4).map(|_| a.act_deterministic(&[0.5; 4])).collect::<Vec<_>>());
+        let dist0 = DiagGaussian::new(&mean0, a.log_std());
+        let old_lp = dist0.log_prob(&actions);
+
+        let before = lp_of(&a);
+        for _ in 0..50 {
+            a.ppo_update(&obs, &actions, &old_lp, &adv, 0.2, 0.0, 10.0);
+        }
+        let after = lp_of(&a);
+        assert!(
+            after > before,
+            "good action log-prob should rise: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn critic_update_reduces_loss() {
+        let mut a = agent();
+        let input = Matrix::from_vec(3, 4, vec![0.1; 12]);
+        let targets = [1.0f32, 1.0, 1.0];
+        let first = a.critic_update(&input, &targets, CriticKind::Own, 10.0);
+        let mut last = first;
+        for _ in 0..300 {
+            last = a.critic_update(&input, &targets, CriticKind::Own, 10.0);
+        }
+        assert!(last < first * 0.1, "critic loss should fall ({first} → {last})");
+        let v = a.values(&input, CriticKind::Own);
+        assert!((v[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn three_critics_are_independent() {
+        let mut a = agent();
+        let input = Matrix::from_vec(2, 4, vec![0.3; 8]);
+        for _ in 0..200 {
+            a.critic_update(&input, &[2.0, 2.0], CriticKind::Heterogeneous, 10.0);
+        }
+        let own = a.values(&input, CriticKind::Own);
+        let he = a.values(&input, CriticKind::Heterogeneous);
+        let ho = a.values(&input, CriticKind::Homogeneous);
+        assert!((he[0] - 2.0).abs() < 0.3, "HE critic should have learned");
+        assert!((own[0] - 2.0).abs() > 0.5, "own critic must be untouched");
+        assert!((ho[0] - 2.0).abs() > 0.5, "HO critic must be untouched");
+    }
+
+    #[test]
+    fn weighted_logprob_grad_has_full_length_and_responds_to_coeff() {
+        let mut a = agent();
+        let obs = Matrix::from_vec(2, 4, vec![0.2; 8]);
+        let actions = Matrix::from_vec(2, 2, vec![0.1, 0.1, -0.1, -0.1]);
+        let g0 = a.weighted_logprob_grad(&obs, &actions, &[0.0, 0.0]);
+        assert!(g0.iter().all(|&v| v == 0.0), "zero coeff ⇒ zero grad");
+        let g1 = a.weighted_logprob_grad(&obs, &actions, &[1.0, 0.0]);
+        assert!(g1.iter().any(|&v| v != 0.0));
+        // actor params + 2 log_std entries
+        assert_eq!(g1.len(), g0.len());
+    }
+
+    #[test]
+    fn ppo_objective_grad_zero_for_zero_advantage() {
+        let mut a = agent();
+        let obs = Matrix::from_vec(2, 4, vec![0.2; 8]);
+        let actions = Matrix::from_vec(2, 2, vec![0.1, 0.1, -0.1, -0.1]);
+        let mean = Matrix::from_rows(&vec![a.act_deterministic(&[0.2; 4]); 2]);
+        let old_lp = DiagGaussian::new(&mean, a.log_std()).log_prob(&actions);
+        let g = a.ppo_objective_grad(&obs, &actions, &old_lp, &[0.0, 0.0], 0.2);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn log_std_stays_in_band() {
+        let mut a = agent();
+        let obs = Matrix::from_vec(2, 4, vec![0.5; 8]);
+        let actions = Matrix::from_vec(2, 2, vec![3.0, 3.0, 3.0, 3.0]); // far-out actions
+        let old_lp = [-10.0f32, -10.0];
+        for _ in 0..100 {
+            a.ppo_update(&obs, &actions, &old_lp, &[5.0, 5.0], 0.2, 0.0, 10.0);
+        }
+        for &ls in a.log_std() {
+            assert!((-3.0..=1.0).contains(&ls), "log_std escaped: {ls}");
+        }
+    }
+}

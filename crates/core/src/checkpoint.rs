@@ -1,0 +1,146 @@
+//! Policy checkpointing: save a trained h/i-MADRL fleet to JSON and restore
+//! it for deployment or continued training.
+//!
+//! The checkpoint captures everything the *policies* need — actors, critics,
+//! optimiser moments, LCFs, the i-EOI classifier, and the value-normalisation
+//! statistics. RNG state is intentionally excluded: a restored trainer is
+//! reseeded, so training continues reproducibly from the restore seed.
+
+use crate::agent::PpoAgent;
+use crate::config::TrainConfig;
+use crate::copo::Lcf;
+use crate::eoi::EoiClassifier;
+use agsc_nn::{Mlp, RunningStat};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialisable snapshot of a [`crate::trainer::HiMadrlTrainer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Training configuration at save time.
+    pub config: TrainConfig,
+    /// Per-UV (or shared) agents.
+    pub agents: Vec<PpoAgent>,
+    /// i-EOI classifier, when the ablation had it enabled.
+    pub classifier: Option<EoiClassifier>,
+    /// Overall value network `V_all`.
+    pub v_all: Mlp,
+    /// Local coordination factors per UV.
+    pub lcfs: Vec<Lcf>,
+    /// Value-normalisation stats (own critic, overall critic).
+    pub stat_own: RunningStat,
+    /// Value-normalisation stats for `V_all`.
+    pub stat_all: RunningStat,
+    /// Iterations completed before the save.
+    pub iterations_done: usize,
+    /// Fleet size the checkpoint was trained for.
+    pub num_agents: usize,
+    /// UAV count (for the LCF-by-kind report).
+    pub num_uavs: usize,
+    /// Observation dimensionality.
+    pub obs_dim: usize,
+    /// Homogeneous-neighbour range in metres (environment-geometry bound).
+    pub neighbor_range_m: f64,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Serialise to a JSON file.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Deserialise from a JSON file.
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::HiMadrlTrainer;
+    use agsc_datasets::presets;
+    use agsc_env::{AirGroundEnv, EnvConfig};
+
+    fn env() -> AirGroundEnv {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.horizon = 10;
+        cfg.stochastic_fading = false;
+        AirGroundEnv::new(cfg, &dataset, 5)
+    }
+
+    fn small_cfg() -> TrainConfig {
+        TrainConfig { hidden: vec![16], policy_epochs: 1, lcf_epochs: 1, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn round_trip_preserves_policy_outputs() {
+        let mut e = env();
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 3, 9);
+        t.train(&mut e, 3);
+        let ckpt = t.checkpoint();
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert_eq!(ckpt.iterations_done, 3);
+
+        let restored = HiMadrlTrainer::restore(&ckpt, 77).unwrap();
+        let obs = vec![0.3f32; t.obs_dim()];
+        for k in 0..4 {
+            assert_eq!(
+                t.policy_action(k, &obs),
+                restored.policy_action(k, &obs),
+                "restored policy must act identically"
+            );
+        }
+        assert_eq!(restored.iterations_done(), 3);
+        assert_eq!(restored.lcfs(), t.lcfs());
+    }
+
+    #[test]
+    fn restored_trainer_continues_training() {
+        let mut e = env();
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 5, 9);
+        t.train(&mut e, 2);
+        let ckpt = t.checkpoint();
+        let mut restored = HiMadrlTrainer::restore(&ckpt, 123).unwrap();
+        let stats = restored.train_iteration(&mut e);
+        assert!(stats.mean_ext_reward.is_finite());
+        assert_eq!(restored.iterations_done(), 3);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut e = env();
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9);
+        t.train(&mut e, 1);
+        let ckpt = t.checkpoint();
+        let dir = std::env::temp_dir().join("agsc_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        ckpt.save_json(&path).unwrap();
+        let loaded = Checkpoint::load_json(&path).unwrap();
+        assert_eq!(loaded.iterations_done, ckpt.iterations_done);
+        assert_eq!(loaded.num_agents, ckpt.num_agents);
+        let restored = HiMadrlTrainer::restore(&loaded, 1).unwrap();
+        let obs = vec![0.1f32; t.obs_dim()];
+        assert_eq!(t.policy_action(0, &obs), restored.policy_action(0, &obs));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut e = env();
+        let t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9);
+        let mut ckpt = t.checkpoint();
+        ckpt.version = 999;
+        assert!(HiMadrlTrainer::restore(&ckpt, 1).is_err());
+        let _ = &mut e;
+    }
+}

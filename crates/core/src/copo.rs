@@ -1,0 +1,155 @@
+//! h-CoPO: heterogeneous coordinated policy optimisation (§V-B).
+//!
+//! Each UV carries two learnable *local coordination factors* (LCFs)
+//! `φ, χ ∈ [0°, 90°]` on a spherical measure: `φ` decides how self-interested
+//! vs cooperative the UV is; `χ` splits its cooperative attention between
+//! heterogeneous relay partners and homogeneous nearby peers. The
+//! cooperation-aware advantage (Eqn 27):
+//!
+//! ```text
+//! A_CO(φ, χ) = A·cos φ + (A_HE·cos χ + A_HO·sin χ)·sin φ
+//! ```
+//!
+//! LCFs are updated by a first-order meta-gradient of the overall objective
+//! (Eqns 30-32).
+
+use serde::{Deserialize, Serialize};
+use std::f32::consts::FRAC_PI_2;
+
+/// One UV's local coordination factors, stored in radians.
+///
+/// ```
+/// use agsc_madrl::Lcf;
+/// // φ = 0°: fully self-interested — neighbour advantages are ignored.
+/// let selfish = Lcf::from_degrees(0.0, 45.0);
+/// assert!((selfish.coop_advantage(2.0, 100.0, -100.0) - 2.0).abs() < 1e-5);
+/// // φ = 90°, χ = 0°: all attention on the heterogeneous relay partner.
+/// let coop = Lcf::from_degrees(90.0, 0.0);
+/// assert!((coop.coop_advantage(100.0, 3.0, -50.0) - 3.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lcf {
+    /// Self-interest vs cooperation angle `φ ∈ [0, π/2]`.
+    pub phi: f32,
+    /// Heterogeneous-vs-homogeneous attention angle `χ ∈ [0, π/2]`.
+    pub chi: f32,
+}
+
+impl Default for Lcf {
+    /// Algorithm 1 line 3: `φ = 0°` (fully self-interested) and `χ = 45°`
+    /// (no a-priori preference between neighbour kinds).
+    fn default() -> Self {
+        Self { phi: 0.0, chi: FRAC_PI_2 / 2.0 }
+    }
+}
+
+impl Lcf {
+    /// Degrees-based constructor (the paper reports LCFs in degrees).
+    pub fn from_degrees(phi_deg: f32, chi_deg: f32) -> Self {
+        Self { phi: phi_deg.to_radians(), chi: chi_deg.to_radians() }.clamped()
+    }
+
+    /// `(φ, χ)` in degrees — the Fig 11(d) report format.
+    pub fn degrees(&self) -> (f32, f32) {
+        (self.phi.to_degrees(), self.chi.to_degrees())
+    }
+
+    /// Clamp both angles into `[0, π/2]`.
+    pub fn clamped(self) -> Self {
+        Self { phi: self.phi.clamp(0.0, FRAC_PI_2), chi: self.chi.clamp(0.0, FRAC_PI_2) }
+    }
+
+    /// Cooperation-aware advantage (Eqn 27). Also computes cooperation-aware
+    /// rewards (Eqn 22) since both share the spherical form.
+    pub fn coop_advantage(&self, a: f32, a_he: f32, a_ho: f32) -> f32 {
+        a * self.phi.cos() + (a_he * self.chi.cos() + a_ho * self.chi.sin()) * self.phi.sin()
+    }
+
+    /// `∂A_CO/∂φ` at the given advantage triple.
+    pub fn d_phi(&self, a: f32, a_he: f32, a_ho: f32) -> f32 {
+        -a * self.phi.sin() + (a_he * self.chi.cos() + a_ho * self.chi.sin()) * self.phi.cos()
+    }
+
+    /// `∂A_CO/∂χ` at the given advantage triple.
+    pub fn d_chi(&self, _a: f32, a_he: f32, a_ho: f32) -> f32 {
+        (-a_he * self.chi.sin() + a_ho * self.chi.cos()) * self.phi.sin()
+    }
+
+    /// Gradient-ascent step on `(φ, χ)` with clamping.
+    pub fn ascend(&mut self, grad_phi: f32, grad_chi: f32, lr: f32) {
+        self.phi = (self.phi + lr * grad_phi).clamp(0.0, FRAC_PI_2);
+        self.chi = (self.chi + lr * grad_chi).clamp(0.0, FRAC_PI_2);
+    }
+}
+
+/// Homogeneous-neighbour range in metres for a task area diagonal
+/// (Table V expresses the range as a percentage of the task-area size).
+pub fn neighbor_range_m(area_diagonal_m: f64, frac: f64) -> f64 {
+    area_diagonal_m * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_algorithm_1() {
+        let l = Lcf::default();
+        let (phi, chi) = l.degrees();
+        assert!(phi.abs() < 1e-6);
+        assert!((chi - 45.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn phi_zero_is_fully_self_interested() {
+        let l = Lcf::from_degrees(0.0, 45.0);
+        // Neighbour advantages are ignored entirely.
+        assert!((l.coop_advantage(3.0, 100.0, -100.0) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn phi_ninety_is_fully_cooperative() {
+        let l = Lcf::from_degrees(90.0, 0.0);
+        // Own advantage ignored; χ = 0 ⇒ all attention on heterogeneous.
+        assert!((l.coop_advantage(100.0, 2.0, -100.0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chi_interpolates_between_neighbour_kinds() {
+        let he_only = Lcf::from_degrees(90.0, 0.0);
+        let ho_only = Lcf::from_degrees(90.0, 90.0);
+        assert!((he_only.coop_advantage(0.0, 5.0, 7.0) - 5.0).abs() < 1e-4);
+        assert!((ho_only.coop_advantage(0.0, 5.0, 7.0) - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let l = Lcf::from_degrees(30.0, 60.0);
+        let (a, he, ho) = (1.5f32, -0.7, 0.9);
+        let eps = 1e-3f32;
+
+        let up = Lcf { phi: l.phi + eps, chi: l.chi };
+        let dn = Lcf { phi: l.phi - eps, chi: l.chi };
+        let num_phi = (up.coop_advantage(a, he, ho) - dn.coop_advantage(a, he, ho)) / (2.0 * eps);
+        assert!((num_phi - l.d_phi(a, he, ho)).abs() < 1e-3);
+
+        let up = Lcf { phi: l.phi, chi: l.chi + eps };
+        let dn = Lcf { phi: l.phi, chi: l.chi - eps };
+        let num_chi = (up.coop_advantage(a, he, ho) - dn.coop_advantage(a, he, ho)) / (2.0 * eps);
+        assert!((num_chi - l.d_chi(a, he, ho)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ascend_clamps_to_quadrant() {
+        let mut l = Lcf::from_degrees(85.0, 5.0);
+        l.ascend(10.0, -10.0, 1.0); // huge step in both directions
+        let (phi, chi) = l.degrees();
+        assert!((phi - 90.0).abs() < 1e-4);
+        assert!(chi.abs() < 1e-4);
+    }
+
+    #[test]
+    fn neighbor_range_is_fraction_of_diagonal() {
+        assert_eq!(neighbor_range_m(2000.0, 0.25), 500.0);
+    }
+}

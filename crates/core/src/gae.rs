@@ -1,0 +1,125 @@
+//! Advantage estimation.
+//!
+//! The paper's Eqn 24 is the one-step TD advantage
+//! `A_t = r_t + γ V(o_{t+1}) − V(o_t)`; generalised advantage estimation
+//! (GAE-λ) interpolates between that (λ = 0) and Monte-Carlo (λ = 1). The
+//! trainer defaults to λ = 0.95 and the bench suite ablates the choice.
+
+/// Compute GAE advantages and bootstrap returns for one finite episode.
+///
+/// `rewards[t]` and `values[t]` are aligned per step; `last_value` bootstraps
+/// the value after the final step (0 for a terminal episode).
+///
+/// Returns `(advantages, returns)` with `returns[t] = advantages[t] + values[t]`.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    last_value: f32,
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(rewards.len(), values.len(), "rewards/values length mismatch");
+    let t_max = rewards.len();
+    let mut adv = vec![0.0f32; t_max];
+    let mut carry = 0.0f32;
+    for t in (0..t_max).rev() {
+        let next_v = if t + 1 < t_max { values[t + 1] } else { last_value };
+        let delta = rewards[t] + gamma * next_v - values[t];
+        carry = delta + gamma * lambda * carry;
+        adv[t] = carry;
+    }
+    let rets = adv.iter().zip(values.iter()).map(|(a, v)| a + v).collect();
+    (adv, rets)
+}
+
+/// Normalise advantages to zero mean / unit std (standard PPO trick).
+/// Leaves the slice untouched when the std is degenerate.
+pub fn normalize_advantages(adv: &mut [f32]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f32;
+    let mean = adv.iter().sum::<f32>() / n;
+    let var = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std > 1e-6 {
+        for a in adv.iter_mut() {
+            *a = (*a - mean) / std;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_zero_is_one_step_td() {
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 0.6, 0.7];
+        let (adv, _) = gae(&rewards, &values, 0.8, 0.9, 0.0);
+        // A_t = r_t + γ V_{t+1} − V_t exactly (paper Eqn 24).
+        assert!((adv[0] - (1.0 + 0.9 * 0.6 - 0.5)).abs() < 1e-6);
+        assert!((adv[1] - (2.0 + 0.9 * 0.7 - 0.6)).abs() < 1e-6);
+        assert!((adv[2] - (3.0 + 0.9 * 0.8 - 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_one_is_monte_carlo() {
+        let rewards = [1.0, 1.0, 1.0];
+        let values = [0.0, 0.0, 0.0];
+        let gamma = 0.5;
+        let (adv, rets) = gae(&rewards, &values, 0.0, gamma, 1.0);
+        // Discounted returns: 1 + 0.5 + 0.25 = 1.75, etc.
+        assert!((rets[0] - 1.75).abs() < 1e-6);
+        assert!((rets[1] - 1.5).abs() < 1e-6);
+        assert!((rets[2] - 1.0).abs() < 1e-6);
+        // With zero values, advantages equal returns.
+        assert_eq!(adv, rets);
+    }
+
+    #[test]
+    fn returns_are_advantage_plus_value() {
+        let rewards = [0.3, -0.2, 0.5, 0.1];
+        let values = [1.0, 0.8, 0.2, -0.1];
+        let (adv, rets) = gae(&rewards, &values, 0.4, 0.99, 0.95);
+        for t in 0..4 {
+            assert!((rets[t] - (adv[t] + values[t])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bootstrap_value_propagates() {
+        let rewards = [0.0];
+        let values = [0.0];
+        let (adv_low, _) = gae(&rewards, &values, 0.0, 0.99, 0.95);
+        let (adv_high, _) = gae(&rewards, &values, 10.0, 0.99, 0.95);
+        assert!(adv_high[0] > adv_low[0]);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0];
+        normalize_advantages(&mut adv);
+        let mean: f32 = adv.iter().sum::<f32>() / 4.0;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_input() {
+        let mut constant = vec![2.0; 5];
+        normalize_advantages(&mut constant);
+        assert!(constant.iter().all(|a| a.is_finite()));
+        let mut single = vec![7.0];
+        normalize_advantages(&mut single);
+        assert_eq!(single, vec![7.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (adv, rets) = gae(&[], &[], 0.0, 0.99, 0.95);
+        assert!(adv.is_empty() && rets.is_empty());
+    }
+}

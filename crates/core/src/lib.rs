@@ -1,0 +1,36 @@
+//! # agsc-madrl — h/i-MADRL
+//!
+//! The paper's primary contribution (§V): a plug-in framework over any
+//! multi-agent actor-critic base. [`trainer::HiMadrlTrainer`] implements
+//! Algorithm 1 with IPPO as the exemplar base module (MAPPO is the
+//! `centralized_critic` switch), plus the two plug-ins:
+//!
+//! * [`eoi::EoiClassifier`] — i-EOI intrinsic rewards from a self-supervised
+//!   identity classifier (Eqns 19-21),
+//! * [`copo::Lcf`] — h-CoPO cooperation-aware advantages over heterogeneous
+//!   and homogeneous neighbour critics with meta-learned local coordination
+//!   factors (Eqns 22-32).
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod checkpoint;
+pub mod config;
+pub mod copo;
+pub mod eoi;
+pub mod eval;
+pub mod gae;
+pub mod maddpg;
+pub mod rollout;
+pub mod trainer;
+
+pub use agent::{CriticKind, PpoAgent, PpoStats};
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+pub use config::{Ablation, IntrinsicSchedule, TrainConfig};
+pub use copo::Lcf;
+pub use eoi::EoiClassifier;
+pub use eval::{evaluate, Policy};
+pub use gae::{gae, normalize_advantages};
+pub use maddpg::{Maddpg, MaddpgConfig};
+pub use rollout::{NeighborKind, Rollout};
+pub use trainer::{HiMadrlTrainer, IterationStats};

@@ -1,0 +1,207 @@
+//! Rollout storage for one training iteration (Algorithm 1, lines 5-11).
+//!
+//! One episode of `T` steps for `K` agents: observations, global states,
+//! actions, log-probs, extrinsic rewards, and the per-step neighbour sets
+//! needed by h-CoPO.
+
+use agsc_nn::Matrix;
+
+/// Everything sampled during one episode, laid out per agent.
+#[derive(Debug, Clone, Default)]
+pub struct Rollout {
+    /// `obs[k][t]` — local observation of agent `k` at slot `t`.
+    pub obs: Vec<Vec<Vec<f32>>>,
+    /// `states[t]` — global state at slot `t` (for centralised critics).
+    pub states: Vec<Vec<f32>>,
+    /// `actions[k][t]` — the 2-D continuous action taken.
+    pub actions: Vec<Vec<[f32; 2]>>,
+    /// `log_probs[k][t]` — behaviour-policy log-probability.
+    pub log_probs: Vec<Vec<f32>>,
+    /// `rewards_ext[k][t]` — extrinsic reward (Eqn 17).
+    pub rewards_ext: Vec<Vec<f32>>,
+    /// `het_neighbors[t][k]` — heterogeneous relay neighbours of `k` at `t`.
+    pub het_neighbors: Vec<Vec<Vec<usize>>>,
+    /// `hom_neighbors[t][k]` — homogeneous nearby neighbours of `k` at `t`.
+    pub hom_neighbors: Vec<Vec<Vec<usize>>>,
+}
+
+impl Rollout {
+    /// Empty rollout for `k` agents.
+    pub fn new(num_agents: usize) -> Self {
+        Self {
+            obs: vec![Vec::new(); num_agents],
+            states: Vec::new(),
+            actions: vec![Vec::new(); num_agents],
+            log_probs: vec![Vec::new(); num_agents],
+            rewards_ext: vec![Vec::new(); num_agents],
+            het_neighbors: Vec::new(),
+            hom_neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Record one step for all agents.
+    ///
+    /// # Panics
+    /// Panics if any per-agent slice has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_step(
+        &mut self,
+        obs: &[Vec<f32>],
+        state: Vec<f32>,
+        actions: &[[f32; 2]],
+        log_probs: &[f32],
+        rewards_ext: &[f32],
+        het_neighbors: Vec<Vec<usize>>,
+        hom_neighbors: Vec<Vec<usize>>,
+    ) {
+        let k = self.num_agents();
+        assert_eq!(obs.len(), k, "obs count mismatch");
+        assert_eq!(actions.len(), k, "action count mismatch");
+        assert_eq!(log_probs.len(), k, "log_prob count mismatch");
+        assert_eq!(rewards_ext.len(), k, "reward count mismatch");
+        assert_eq!(het_neighbors.len(), k, "het neighbour count mismatch");
+        assert_eq!(hom_neighbors.len(), k, "hom neighbour count mismatch");
+        for a in 0..k {
+            self.obs[a].push(obs[a].clone());
+            self.actions[a].push(actions[a]);
+            self.log_probs[a].push(log_probs[a]);
+            self.rewards_ext[a].push(rewards_ext[a]);
+        }
+        self.states.push(state);
+        self.het_neighbors.push(het_neighbors);
+        self.hom_neighbors.push(hom_neighbors);
+    }
+
+    /// Agent `k`'s observations as a `T × obs_dim` matrix.
+    pub fn obs_matrix(&self, k: usize) -> Matrix {
+        let rows = self.obs[k].len();
+        let cols = self.obs[k].first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows * cols);
+        for o in &self.obs[k] {
+            data.extend_from_slice(o);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Global states as a `T × state_dim` matrix.
+    pub fn state_matrix(&self) -> Matrix {
+        let rows = self.states.len();
+        let cols = self.states.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows * cols);
+        for s in &self.states {
+            data.extend_from_slice(s);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Agent `k`'s actions as a `T × 2` matrix.
+    pub fn action_matrix(&self, k: usize) -> Matrix {
+        let rows = self.actions[k].len();
+        let mut data = Vec::with_capacity(rows * 2);
+        for a in &self.actions[k] {
+            data.extend_from_slice(a);
+        }
+        Matrix::from_vec(rows, 2, data)
+    }
+
+    /// Average reward of agent `k`'s neighbours per step (Eqn 23); `0.0`
+    /// where the neighbour set is empty.
+    ///
+    /// `rewards[k][t]` must be the compound per-agent rewards; `which`
+    /// selects the neighbour family.
+    pub fn neighbor_reward(
+        &self,
+        rewards: &[Vec<f32>],
+        k: usize,
+        which: NeighborKind,
+    ) -> Vec<f32> {
+        let sets = match which {
+            NeighborKind::Heterogeneous => &self.het_neighbors,
+            NeighborKind::Homogeneous => &self.hom_neighbors,
+        };
+        (0..self.len())
+            .map(|t| {
+                let ns = &sets[t][k];
+                if ns.is_empty() {
+                    0.0
+                } else {
+                    ns.iter().map(|&n| rewards[n][t]).sum::<f32>() / ns.len() as f32
+                }
+            })
+            .collect()
+    }
+}
+
+/// Which neighbour family to aggregate over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborKind {
+    /// Relay partners in the same subchannel (`N_HE`).
+    Heterogeneous,
+    /// Physically nearby same-kind UVs (`N_HO`).
+    Homogeneous,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rollout() -> Rollout {
+        let mut r = Rollout::new(2);
+        for t in 0..3 {
+            let obs = vec![vec![t as f32, 0.0], vec![t as f32, 1.0]];
+            let state = vec![t as f32; 4];
+            let actions = [[0.1, 0.2], [0.3, 0.4]];
+            let log_probs = [-1.0, -2.0];
+            let rewards = [1.0, 2.0];
+            // Agent 0's HE neighbour is agent 1 at every step; HO empty.
+            let het = vec![vec![1], vec![0]];
+            let hom = vec![vec![], vec![]];
+            r.push_step(&obs, state, &actions, &log_probs, &rewards, het, hom);
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_shapes() {
+        let r = sample_rollout();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.num_agents(), 2);
+        assert_eq!(r.obs_matrix(0).shape(), (3, 2));
+        assert_eq!(r.state_matrix().shape(), (3, 4));
+        assert_eq!(r.action_matrix(1).shape(), (3, 2));
+        assert_eq!(r.action_matrix(1).row(0), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn neighbor_reward_averages() {
+        let r = sample_rollout();
+        let rewards = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let he0 = r.neighbor_reward(&rewards, 0, NeighborKind::Heterogeneous);
+        assert_eq!(he0, vec![2.0, 2.0, 2.0], "agent 0's HE neighbour is agent 1");
+        let ho0 = r.neighbor_reward(&rewards, 0, NeighborKind::Homogeneous);
+        assert_eq!(ho0, vec![0.0, 0.0, 0.0], "empty set contributes zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "action count mismatch")]
+    fn push_step_validates_lengths() {
+        let mut r = Rollout::new(2);
+        let obs = vec![vec![0.0], vec![0.0]];
+        r.push_step(&obs, vec![0.0], &[[0.0, 0.0]], &[0.0, 0.0], &[0.0, 0.0], vec![vec![], vec![]], vec![vec![], vec![]]);
+    }
+}

@@ -1,0 +1,702 @@
+//! The h/i-MADRL training loop (Algorithm 1 of the paper).
+//!
+//! Per iteration: sample one episode with the current policies; update the
+//! i-EOI classifier (line 12); run `M1` PPO epochs on the cooperation-aware
+//! advantages (lines 14-20, Eqns 27-28); update the overall value network;
+//! then run `M2` meta-gradient epochs on the LCFs (lines 21-23, Eqns 30-32).
+
+use crate::agent::{CriticKind, PpoAgent, PpoStats};
+use crate::config::TrainConfig;
+use crate::copo::{neighbor_range_m, Lcf};
+use crate::eoi::EoiClassifier;
+use crate::gae::{gae, normalize_advantages};
+use crate::rollout::{NeighborKind, Rollout};
+use agsc_env::{AirGroundEnv, Metrics, UvAction};
+use agsc_nn::{Adam, Matrix, Mlp, RunningStat};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Diagnostics of one training iteration.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Mean per-step extrinsic reward across the fleet.
+    pub mean_ext_reward: f32,
+    /// Mean per-step intrinsic reward actually paid.
+    pub mean_intrinsic: f32,
+    /// i-EOI classifier loss (0 when i-EOI is off).
+    pub classifier_loss: f32,
+    /// i-EOI classification accuracy on this iteration's samples.
+    pub classifier_accuracy: f32,
+    /// Task metrics of the training episode.
+    pub train_metrics: Metrics,
+    /// Mean PPO stats over agents in the final policy epoch.
+    pub ppo: PpoStats,
+    /// Current LCFs per UV, degrees.
+    pub lcf_degrees: Vec<(f32, f32)>,
+}
+
+/// The h/i-MADRL trainer.
+#[derive(Debug, Clone)]
+pub struct HiMadrlTrainer {
+    cfg: TrainConfig,
+    num_agents: usize,
+    num_uavs: usize,
+    obs_dim: usize,
+    agents: Vec<PpoAgent>,
+    classifier: Option<EoiClassifier>,
+    v_all: Mlp,
+    v_all_opt: Adam,
+    lcfs: Vec<Lcf>,
+    stat_own: RunningStat,
+    stat_all: RunningStat,
+    rng: ChaCha8Rng,
+    iterations_done: usize,
+    planned_iterations: usize,
+    neighbor_range: f64,
+}
+
+impl HiMadrlTrainer {
+    /// Build a trainer for the given environment.
+    ///
+    /// `planned_iterations` scales the intrinsic-reward schedule (Table IV);
+    /// it is a planning hint, not a hard stop.
+    pub fn new(env: &AirGroundEnv, cfg: TrainConfig, planned_iterations: usize, seed: u64) -> Self {
+        cfg.validate().expect("invalid training config");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let obs_dim = env.obs_dim();
+        let state_dim = obs_dim; // state and obs share the layout (§IV-B1)
+        let num_agents = env.num_uvs();
+        let num_uavs = env
+            .uv_states()
+            .iter()
+            .filter(|u| u.kind == agsc_env::UvKind::Uav)
+            .count();
+        let critic_in = if cfg.centralized_critic { state_dim } else { obs_dim };
+        let agent_count = if cfg.shared_params { 1 } else { num_agents };
+        let agents = (0..agent_count)
+            .map(|_| {
+                PpoAgent::new(
+                    obs_dim,
+                    critic_in,
+                    2,
+                    &cfg.hidden,
+                    cfg.init_log_std,
+                    cfg.actor_lr,
+                    cfg.critic_lr,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let classifier = cfg.ablation.use_eoi.then(|| {
+            EoiClassifier::new(
+                obs_dim,
+                &cfg.hidden,
+                num_agents,
+                cfg.classifier_lr,
+                cfg.eoi_epsilon,
+                &mut rng,
+            )
+        });
+        let mut v_all_sizes = vec![state_dim];
+        v_all_sizes.extend_from_slice(&cfg.hidden);
+        v_all_sizes.push(1);
+        let v_all = Mlp::tanh(&v_all_sizes, &mut rng);
+        let neighbor_range = neighbor_range_m(env.bounds().diagonal(), cfg.neighbor_range_frac);
+        Self {
+            num_agents,
+            num_uavs,
+            obs_dim,
+            agents,
+            classifier,
+            v_all,
+            v_all_opt: Adam::new(cfg.critic_lr),
+            lcfs: vec![Lcf::default(); num_agents],
+            stat_own: RunningStat::new(),
+            stat_all: RunningStat::new(),
+            rng,
+            iterations_done: 0,
+            planned_iterations: planned_iterations.max(1),
+            neighbor_range,
+            cfg,
+        }
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// Current LCFs (per UV).
+    pub fn lcfs(&self) -> &[Lcf] {
+        &self.lcfs
+    }
+
+    /// Mean `(φ, χ)` in degrees over UAVs and UGVs separately — the
+    /// Fig 11(d) report.
+    pub fn mean_lcf_by_kind(&self) -> ((f32, f32), (f32, f32)) {
+        let mean = |slice: &[Lcf]| -> (f32, f32) {
+            if slice.is_empty() {
+                return (0.0, 0.0);
+            }
+            let n = slice.len() as f32;
+            (
+                slice.iter().map(|l| l.degrees().0).sum::<f32>() / n,
+                slice.iter().map(|l| l.degrees().1).sum::<f32>() / n,
+            )
+        };
+        (mean(&self.lcfs[..self.num_uavs]), mean(&self.lcfs[self.num_uavs..]))
+    }
+
+    fn agent_idx(&self, k: usize) -> usize {
+        if self.cfg.shared_params {
+            0
+        } else {
+            k
+        }
+    }
+
+    /// Greedy (mean) action for UV `k` — decentralised execution.
+    pub fn policy_action(&self, k: usize, obs: &[f32]) -> UvAction {
+        let a = self.agents[self.agent_idx(k)].act_deterministic(obs);
+        UvAction { heading: a[0] as f64, speed: a[1] as f64 }
+    }
+
+    /// Stochastic action for UV `k` plus its log-probability (training).
+    pub fn sample_action(&mut self, k: usize, obs: &[f32]) -> (UvAction, [f32; 2], f32) {
+        let (a, lp) = self.agents[self.agent_idx(k)].act(obs, &mut self.rng);
+        (UvAction { heading: a[0] as f64, speed: a[1] as f64 }, [a[0], a[1]], lp)
+    }
+
+    /// Sample one episode with the current (stochastic) policies.
+    pub fn collect_rollout(&mut self, env: &mut AirGroundEnv) -> Rollout {
+        let seed = self.rng.gen::<u64>();
+        env.reset(seed);
+        let mut rollout = Rollout::new(self.num_agents);
+        while !env.is_done() {
+            let obs = env.observations();
+            let state = env.global_state();
+            let mut actions_env = Vec::with_capacity(self.num_agents);
+            let mut actions = Vec::with_capacity(self.num_agents);
+            let mut log_probs = Vec::with_capacity(self.num_agents);
+            for k in 0..self.num_agents {
+                let (ua, raw, lp) = self.sample_action(k, &obs[k]);
+                actions_env.push(ua);
+                actions.push(raw);
+                log_probs.push(lp);
+            }
+            let step = env.step(&actions_env);
+            let rewards: Vec<f32> = step.rewards.iter().map(|&r| r as f32).collect();
+            // Heterogeneous neighbours: this slot's relay pairs.
+            let mut het = vec![Vec::new(); self.num_agents];
+            for &(u, g) in env.relay_pairs() {
+                het[u].push(g);
+                het[g].push(u);
+            }
+            let hom = env.homogeneous_neighbors(self.neighbor_range);
+            rollout.push_step(&obs, state, &actions, &log_probs, &rewards, het, hom);
+        }
+        rollout
+    }
+
+    /// Compound rewards (Eqn 19): extrinsic plus weighted identity
+    /// probability; also returns the mean intrinsic term actually paid.
+    fn compound_rewards(&self, rollout: &Rollout, obs_mats: &[Matrix]) -> (Vec<Vec<f32>>, f32) {
+        let w = self.intrinsic_weight();
+        let mut mean_intrinsic = 0.0f32;
+        let mut count = 0usize;
+        let rewards: Vec<Vec<f32>> = (0..self.num_agents)
+            .map(|k| {
+                let ext = &rollout.rewards_ext[k];
+                match (&self.classifier, w > 0.0) {
+                    (Some(c), true) => {
+                        let p = c.intrinsic(&obs_mats[k], k);
+                        ext.iter()
+                            .zip(p.iter())
+                            .map(|(&e, &pk)| {
+                                mean_intrinsic += w * pk;
+                                count += 1;
+                                e + w * pk
+                            })
+                            .collect()
+                    }
+                    _ => ext.clone(),
+                }
+            })
+            .collect();
+        if count > 0 {
+            mean_intrinsic /= count as f32;
+        }
+        (rewards, mean_intrinsic)
+    }
+
+    /// Current ω_in under the schedule.
+    pub fn intrinsic_weight(&self) -> f32 {
+        if !self.cfg.ablation.use_eoi {
+            return 0.0;
+        }
+        let frac = self.iterations_done as f32 / self.planned_iterations as f32;
+        self.cfg.intrinsic.weight_at(frac)
+    }
+
+    /// Run one full training iteration (Algorithm 1 body).
+    pub fn train_iteration(&mut self, env: &mut AirGroundEnv) -> IterationStats {
+        let rollout = self.collect_rollout(env);
+        let t_len = rollout.len();
+        let train_metrics = env.metrics();
+
+        let obs_mats: Vec<Matrix> =
+            (0..self.num_agents).map(|k| rollout.obs_matrix(k)).collect();
+        let act_mats: Vec<Matrix> =
+            (0..self.num_agents).map(|k| rollout.action_matrix(k)).collect();
+        let state_mat = rollout.state_matrix();
+
+        // --- Line 12: classifier update -------------------------------------
+        let (mut classifier_loss, mut classifier_accuracy) = (0.0f32, 0.0f32);
+        if let Some(ref mut c) = self.classifier {
+            // Uniform per-agent sampling: concatenate everything (same count
+            // per agent by construction).
+            let all_obs = Matrix::vstack(&obs_mats.iter().collect::<Vec<_>>());
+            let labels: Vec<usize> =
+                (0..self.num_agents).flat_map(|k| std::iter::repeat(k).take(t_len)).collect();
+            classifier_loss = c.train_batch(&all_obs, &labels);
+            classifier_accuracy = c.accuracy(&all_obs, &labels);
+        }
+
+        // --- Line 16: compound rewards (Eqn 19) ------------------------------
+        let (rewards, mean_intrinsic) = self.compound_rewards(&rollout, &obs_mats);
+        let mean_ext_reward = rollout
+            .rewards_ext
+            .iter()
+            .flat_map(|r| r.iter())
+            .sum::<f32>()
+            / (self.num_agents * t_len.max(1)) as f32;
+
+        // --- Line 13: snapshot behaviour policies for the meta step ---------
+        let old_agents: Vec<PpoAgent> =
+            if self.cfg.ablation.use_copo && self.cfg.lcf_epochs > 0 {
+                self.agents.clone()
+            } else {
+                Vec::new()
+            };
+
+        // Cache the last computed per-agent advantage triples for the meta
+        // step (they depend on critics, which keep updating).
+        let mut last_adv: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+        let mut last_adv_he: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+        let mut last_adv_ho: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+
+        // --- Lines 14-20: M1 policy epochs -----------------------------------
+        let mut final_ppo = PpoStats::default();
+        for _epoch in 0..self.cfg.policy_epochs {
+            for k in 0..self.num_agents {
+                let ai = self.agent_idx(k);
+                let critic_input = if self.cfg.centralized_critic { &state_mat } else { &obs_mats[k] };
+
+                // Individual advantage (Eqn 24 generalised by GAE).
+                let raw_v = self.agents[ai].values(critic_input, CriticKind::Own);
+                let v: Vec<f32> = if self.cfg.value_norm {
+                    raw_v.iter().map(|&x| self.stat_own.denormalize(x)).collect()
+                } else {
+                    raw_v
+                };
+                let (adv, ret) = gae(&rewards[k], &v, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+
+                // Neighbourhood advantages.
+                let (adv_he, ret_he, adv_ho, ret_ho) = if self.cfg.ablation.use_copo {
+                    let (r_he, r_ho) = if self.cfg.ablation.heterogeneous {
+                        (
+                            rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous),
+                            rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous),
+                        )
+                    } else {
+                        // CoPO baseline: one undifferentiated neighbour set.
+                        let he = rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous);
+                        let ho = rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous);
+                        let merged: Vec<f32> = he
+                            .iter()
+                            .zip(ho.iter())
+                            .enumerate()
+                            .map(|(t, (&a, &b))| {
+                                let n_he = rollout.het_neighbors[t][k].len();
+                                let n_ho = rollout.hom_neighbors[t][k].len();
+                                let n = n_he + n_ho;
+                                if n == 0 {
+                                    0.0
+                                } else {
+                                    (a * n_he as f32 + b * n_ho as f32) / n as f32
+                                }
+                            })
+                            .collect();
+                        (merged.clone(), merged)
+                    };
+                    let v_he = self.agents[ai].values(&obs_mats[k], CriticKind::Heterogeneous);
+                    let v_ho = self.agents[ai].values(&obs_mats[k], CriticKind::Homogeneous);
+                    let (a_he, r_he_ret) = gae(&r_he, &v_he, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                    let (a_ho, r_ho_ret) = gae(&r_ho, &v_ho, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                    (a_he, r_he_ret, a_ho, r_ho_ret)
+                } else {
+                    (vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len])
+                };
+
+                // Cooperation-aware advantage (Eqn 27).
+                let mut a_co: Vec<f32> = if self.cfg.ablation.use_copo {
+                    (0..t_len)
+                        .map(|t| self.lcfs[k].coop_advantage(adv[t], adv_he[t], adv_ho[t]))
+                        .collect()
+                } else {
+                    adv.clone()
+                };
+                normalize_advantages(&mut a_co);
+
+                last_adv[k] = adv;
+                last_adv_he[k] = adv_he;
+                last_adv_ho[k] = adv_ho;
+
+                // Policy step (Eqn 28).
+                final_ppo = self.agents[ai].ppo_update(
+                    &obs_mats[k],
+                    &act_mats[k],
+                    &rollout.log_probs[k],
+                    &a_co,
+                    self.cfg.clip_eps,
+                    self.cfg.entropy_coef,
+                    self.cfg.max_grad_norm,
+                );
+
+                // Critic regression (Eqn 26).
+                let own_targets: Vec<f32> = if self.cfg.value_norm {
+                    self.stat_own.push_slice(&ret);
+                    ret.iter().map(|&r| self.stat_own.normalize(r)).collect()
+                } else {
+                    ret
+                };
+                self.agents[ai].critic_update(
+                    critic_input,
+                    &own_targets,
+                    CriticKind::Own,
+                    self.cfg.max_grad_norm,
+                );
+                if self.cfg.ablation.use_copo {
+                    self.agents[ai].critic_update(
+                        &obs_mats[k],
+                        &ret_he,
+                        CriticKind::Heterogeneous,
+                        self.cfg.max_grad_norm,
+                    );
+                    self.agents[ai].critic_update(
+                        &obs_mats[k],
+                        &ret_ho,
+                        CriticKind::Homogeneous,
+                        self.cfg.max_grad_norm,
+                    );
+                }
+            }
+        }
+
+        // --- Line 20: overall value network on r_all -------------------------
+        let r_all: Vec<f32> = (0..t_len)
+            .map(|t| (0..self.num_agents).map(|k| rewards[k][t]).sum())
+            .collect();
+        let v_all_raw = self.v_all.forward_inference(&state_mat).as_slice().to_vec();
+        let v_all_vals: Vec<f32> = if self.cfg.value_norm {
+            v_all_raw.iter().map(|&x| self.stat_all.denormalize(x)).collect()
+        } else {
+            v_all_raw
+        };
+        let (mut adv_all, ret_all) =
+            gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+        {
+            let targets: Vec<f32> = if self.cfg.value_norm {
+                self.stat_all.push_slice(&ret_all);
+                ret_all.iter().map(|&r| self.stat_all.normalize(r)).collect()
+            } else {
+                ret_all
+            };
+            self.v_all.zero_grad();
+            let pred = self.v_all.forward(&state_mat);
+            let target = Matrix::from_vec(targets.len(), 1, targets);
+            let (_, grad) = agsc_nn::loss::mse(&pred, &target);
+            self.v_all.backward(&grad);
+            self.v_all.clip_grad_norm(self.cfg.max_grad_norm);
+            self.v_all_opt.step(&mut self.v_all.params_mut());
+        }
+
+        // --- Lines 21-23: M2 LCF meta epochs (Eqns 30-32) --------------------
+        if self.cfg.ablation.use_copo && !old_agents.is_empty() {
+            normalize_advantages(&mut adv_all);
+            for _ in 0..self.cfg.lcf_epochs {
+                for k in 0..self.num_agents {
+                    let ai = self.agent_idx(k);
+                    // Term 1 (Eqn 31): ∇_{θ_new} J_all via the clipped
+                    // surrogate with the overall advantage.
+                    let term1 = self.agents[ai].ppo_objective_grad(
+                        &obs_mats[k],
+                        &act_mats[k],
+                        &rollout.log_probs[k],
+                        &adv_all,
+                        self.cfg.clip_eps,
+                    );
+                    // Term 2 (Eqn 32): α·E[∇_{θ_old} log π · ∂A_CO/∂LCF].
+                    let scale = self.cfg.meta_alpha / t_len.max(1) as f32;
+                    let c_phi: Vec<f32> = (0..t_len)
+                        .map(|t| {
+                            scale
+                                * self.lcfs[k].d_phi(
+                                    last_adv[k][t],
+                                    last_adv_he[k][t],
+                                    last_adv_ho[k][t],
+                                )
+                        })
+                        .collect();
+                    let c_chi: Vec<f32> = (0..t_len)
+                        .map(|t| {
+                            scale
+                                * self.lcfs[k].d_chi(
+                                    last_adv[k][t],
+                                    last_adv_he[k][t],
+                                    last_adv_ho[k][t],
+                                )
+                        })
+                        .collect();
+                    let mut old = old_agents[ai].clone();
+                    let t2_phi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_phi);
+                    let t2_chi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_chi);
+                    let dot = |a: &[f32], b: &[f32]| -> f32 {
+                        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+                    };
+                    let g_phi = dot(&term1, &t2_phi);
+                    let g_chi = dot(&term1, &t2_chi);
+                    // χ only matters under the heterogeneous split.
+                    let g_chi = if self.cfg.ablation.heterogeneous { g_chi } else { 0.0 };
+                    self.lcfs[k].ascend(g_phi, g_chi, self.cfg.lcf_lr);
+                }
+            }
+        }
+
+        self.iterations_done += 1;
+        IterationStats {
+            mean_ext_reward,
+            mean_intrinsic,
+            classifier_loss,
+            classifier_accuracy,
+            train_metrics,
+            ppo: final_ppo,
+            lcf_degrees: self.lcfs.iter().map(|l| l.degrees()).collect(),
+        }
+    }
+
+    /// Train for `iterations` full iterations; returns the per-iteration stats.
+    pub fn train(&mut self, env: &mut AirGroundEnv, iterations: usize) -> Vec<IterationStats> {
+        (0..iterations).map(|_| self.train_iteration(env)).collect()
+    }
+
+    /// Observation dimensionality the trainer was built for.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Snapshot every learnable component into a [`crate::checkpoint::Checkpoint`].
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            config: self.cfg.clone(),
+            agents: self.agents.clone(),
+            classifier: self.classifier.clone(),
+            v_all: self.v_all.clone(),
+            lcfs: self.lcfs.clone(),
+            stat_own: self.stat_own.clone(),
+            stat_all: self.stat_all.clone(),
+            iterations_done: self.iterations_done,
+            num_agents: self.num_agents,
+            num_uavs: self.num_uavs,
+            obs_dim: self.obs_dim,
+            neighbor_range_m: self.neighbor_range,
+        }
+    }
+
+    /// Rebuild a trainer from a checkpoint with a fresh RNG seed.
+    ///
+    /// Returns an error string on version mismatch or internal
+    /// inconsistency.
+    pub fn restore(ckpt: &crate::checkpoint::Checkpoint, seed: u64) -> Result<Self, String> {
+        if ckpt.version != crate::checkpoint::CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (expected {})",
+                ckpt.version,
+                crate::checkpoint::CHECKPOINT_VERSION
+            ));
+        }
+        let expected_agents = if ckpt.config.shared_params { 1 } else { ckpt.num_agents };
+        if ckpt.agents.len() != expected_agents {
+            return Err("agent count inconsistent with config".into());
+        }
+        if ckpt.lcfs.len() != ckpt.num_agents {
+            return Err("LCF count inconsistent with fleet size".into());
+        }
+        Ok(Self {
+            cfg: ckpt.config.clone(),
+            num_agents: ckpt.num_agents,
+            num_uavs: ckpt.num_uavs,
+            obs_dim: ckpt.obs_dim,
+            agents: ckpt.agents.clone(),
+            classifier: ckpt.classifier.clone(),
+            v_all: ckpt.v_all.clone(),
+            v_all_opt: Adam::new(ckpt.config.critic_lr),
+            lcfs: ckpt.lcfs.clone(),
+            stat_own: ckpt.stat_own.clone(),
+            stat_all: ckpt.stat_all.clone(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            iterations_done: ckpt.iterations_done,
+            planned_iterations: ckpt.iterations_done.max(1),
+            neighbor_range: ckpt.neighbor_range_m,
+        })
+    }
+
+    /// Number of controlled UVs.
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use agsc_datasets::presets;
+    use agsc_env::EnvConfig;
+
+    fn small_env() -> AirGroundEnv {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.horizon = 20; // keep tests fast
+        cfg.stochastic_fading = false;
+        AirGroundEnv::new(cfg, &dataset, 5)
+    }
+
+    fn small_train_cfg() -> TrainConfig {
+        let mut c = TrainConfig::default();
+        c.hidden = vec![32];
+        c.policy_epochs = 2;
+        c.lcf_epochs = 1;
+        c
+    }
+
+    #[test]
+    fn rollout_has_full_horizon() {
+        let mut env = small_env();
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3);
+        let r = t.collect_rollout(&mut env);
+        assert_eq!(r.len(), 20);
+        assert_eq!(r.num_agents(), 4);
+        assert_eq!(r.obs_matrix(0).cols(), env.obs_dim());
+    }
+
+    #[test]
+    fn train_iteration_runs_and_reports() {
+        let mut env = small_env();
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3);
+        let stats = t.train_iteration(&mut env);
+        assert!(stats.mean_ext_reward.is_finite());
+        assert!(stats.classifier_loss.is_finite());
+        assert!(stats.mean_intrinsic >= 0.0);
+        assert_eq!(stats.lcf_degrees.len(), 4);
+        assert_eq!(t.iterations_done(), 1);
+        // LCFs stay in the quadrant.
+        for &(phi, chi) in &stats.lcf_degrees {
+            assert!((0.0..=90.0).contains(&phi));
+            assert!((0.0..=90.0).contains(&chi));
+        }
+    }
+
+    #[test]
+    fn ablations_all_run() {
+        for ablation in [
+            Ablation::full(),
+            Ablation::copo_baseline(),
+            Ablation::without_eoi(),
+            Ablation::without_copo(),
+            Ablation::base_only(),
+        ] {
+            let mut env = small_env();
+            let mut cfg = small_train_cfg();
+            cfg.ablation = ablation;
+            let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+            let stats = t.train_iteration(&mut env);
+            assert!(stats.mean_ext_reward.is_finite(), "{ablation:?} produced NaN");
+        }
+    }
+
+    #[test]
+    fn no_eoi_means_no_intrinsic_reward() {
+        let mut env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.ablation = Ablation::without_eoi();
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        assert_eq!(t.intrinsic_weight(), 0.0);
+        let stats = t.train_iteration(&mut env);
+        assert_eq!(stats.mean_intrinsic, 0.0);
+        assert_eq!(stats.classifier_loss, 0.0);
+    }
+
+    #[test]
+    fn shared_params_uses_one_agent() {
+        let mut env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.shared_params = true;
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        let s = t.train_iteration(&mut env);
+        assert!(s.mean_ext_reward.is_finite());
+        // All UVs act through the same network: identical obs ⇒ identical
+        // deterministic action.
+        let obs = vec![0.1f32; t.obs_dim()];
+        let a0 = t.policy_action(0, &obs);
+        let a3 = t.policy_action(3, &obs);
+        assert_eq!(a0, a3);
+    }
+
+    #[test]
+    fn centralized_critic_variant_runs() {
+        let mut env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.centralized_critic = true;
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        let s = t.train_iteration(&mut env);
+        assert!(s.mean_ext_reward.is_finite());
+    }
+
+    #[test]
+    fn training_improves_reward_on_average() {
+        // Smoke-level learning check: after a few dozen iterations the mean
+        // extrinsic reward should beat the first iteration's.
+        let mut env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.policy_epochs = 4;
+        let mut t = HiMadrlTrainer::new(&env, cfg, 40, 11);
+        let stats = t.train(&mut env, 40);
+        let early: f32 = stats[..5].iter().map(|s| s.mean_ext_reward).sum::<f32>() / 5.0;
+        let late: f32 =
+            stats[stats.len() - 5..].iter().map(|s| s.mean_ext_reward).sum::<f32>() / 5.0;
+        // Smoke-level guard: late rewards within noise of (or above) the
+        // early ones — catches sign errors and divergence, not fine tuning.
+        assert!(
+            late >= early * 0.5 - 1e-4,
+            "reward collapsed over training: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn lcf_report_by_kind() {
+        let env = small_env();
+        let t = HiMadrlTrainer::new(&env, small_train_cfg(), 5, 3);
+        let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = t.mean_lcf_by_kind();
+        assert_eq!(uav_phi, 0.0);
+        assert!((uav_chi - 45.0).abs() < 1e-4);
+        assert_eq!(ugv_phi, 0.0);
+        assert!((ugv_chi - 45.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Campus road-network generation.
+//!
+//! The paper uses Google-Maps roadmaps of the Purdue and NCSU campuses.
+//! We generate statistically similar campus road graphs: a jittered grid of
+//! intersections with a random fraction of streets removed (producing the
+//! irregular blocks and inaccessible corners the paper highlights for UGVs),
+//! always repaired back to a single connected component.
+
+use agsc_geo::{Aabb, Point, RoadNetwork};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the campus road-grid generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampusSpec {
+    /// Human-readable name ("purdue", "ncsu", ...).
+    pub name: String,
+    /// Task-area width in metres.
+    pub width_m: f64,
+    /// Task-area height in metres.
+    pub height_m: f64,
+    /// Number of intersection columns.
+    pub grid_cols: usize,
+    /// Number of intersection rows.
+    pub grid_rows: usize,
+    /// Max jitter applied to each intersection, as a fraction of cell size.
+    pub jitter_frac: f64,
+    /// Fraction of candidate street segments removed (0 = full grid).
+    pub street_removal: f64,
+    /// Number of mobility hotspots (lecture halls, dining, dorms).
+    pub hotspots: usize,
+    /// Probability that a student's next waypoint is a hotspot.
+    pub hotspot_bias: f64,
+}
+
+impl CampusSpec {
+    /// Task-area bounding box.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_extent(self.width_m, self.height_m)
+    }
+
+    /// Validate generator parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid_cols < 2 || self.grid_rows < 2 {
+            return Err("campus grid needs at least 2×2 intersections".into());
+        }
+        if !(0.0..0.9).contains(&self.street_removal) {
+            return Err("street_removal must be in [0, 0.9)".into());
+        }
+        if !(0.0..=0.49).contains(&self.jitter_frac) {
+            return Err("jitter_frac must be in [0, 0.49]".into());
+        }
+        if !(0.0..=1.0).contains(&self.hotspot_bias) {
+            return Err("hotspot_bias must be a probability".into());
+        }
+        if self.hotspots == 0 {
+            return Err("at least one hotspot required".into());
+        }
+        Ok(())
+    }
+
+    /// Generate the road network from this spec.
+    ///
+    /// The graph is guaranteed connected: removed streets that would
+    /// disconnect the campus are restored via a union-find repair pass.
+    pub fn generate_roads<R: Rng + ?Sized>(&self, rng: &mut R) -> RoadNetwork {
+        self.validate().expect("invalid campus spec");
+        let mut net = RoadNetwork::new();
+        let cell_w = self.width_m / (self.grid_cols - 1) as f64;
+        let cell_h = self.height_m / (self.grid_rows - 1) as f64;
+
+        // Jittered intersections (border nodes stay inside the area).
+        for r in 0..self.grid_rows {
+            for c in 0..self.grid_cols {
+                let jx = rng.gen_range(-1.0..1.0) * self.jitter_frac * cell_w;
+                let jy = rng.gen_range(-1.0..1.0) * self.jitter_frac * cell_h;
+                let x = (c as f64 * cell_w + jx).clamp(0.0, self.width_m);
+                let y = (r as f64 * cell_h + jy).clamp(0.0, self.height_m);
+                net.add_node(Point::new(x, y));
+            }
+        }
+
+        // Candidate streets: 4-connected grid; drop a random fraction.
+        let id = |r: usize, c: usize| r * self.grid_cols + c;
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        let mut dropped: Vec<(usize, usize)> = Vec::new();
+        for r in 0..self.grid_rows {
+            for c in 0..self.grid_cols {
+                if c + 1 < self.grid_cols {
+                    let e = (id(r, c), id(r, c + 1));
+                    if rng.gen::<f64>() < self.street_removal {
+                        dropped.push(e);
+                    } else {
+                        kept.push(e);
+                    }
+                }
+                if r + 1 < self.grid_rows {
+                    let e = (id(r, c), id(r + 1, c));
+                    if rng.gen::<f64>() < self.street_removal {
+                        dropped.push(e);
+                    } else {
+                        kept.push(e);
+                    }
+                }
+            }
+        }
+
+        // Union-find connectivity repair: add kept edges, then restore just
+        // enough dropped edges to connect everything.
+        let n = net.node_count();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &kept {
+            net.add_edge(a, b);
+            uf.union(a, b);
+        }
+        for &(a, b) in &dropped {
+            if uf.find(a) != uf.find(b) {
+                net.add_edge(a, b);
+                uf.union(a, b);
+            }
+        }
+        debug_assert!(net.is_connected(), "repair pass must leave the campus connected");
+        net
+    }
+
+    /// Pick hotspot node ids (distinct, spread over the campus).
+    pub fn pick_hotspots<R: Rng + ?Sized>(&self, roads: &RoadNetwork, rng: &mut R) -> Vec<usize> {
+        let n = roads.node_count();
+        let want = self.hotspots.min(n);
+        let mut picked = Vec::with_capacity(want);
+        let mut guard = 0;
+        while picked.len() < want && guard < 100 * want {
+            guard += 1;
+            let cand = rng.gen_range(0..n);
+            if !picked.contains(&cand) {
+                picked.push(cand);
+            }
+        }
+        picked
+    }
+}
+
+/// Minimal union-find for the connectivity repair pass.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec() -> CampusSpec {
+        CampusSpec {
+            name: "test".into(),
+            width_m: 1000.0,
+            height_m: 800.0,
+            grid_cols: 8,
+            grid_rows: 6,
+            jitter_frac: 0.2,
+            street_removal: 0.25,
+            hotspots: 5,
+            hotspot_bias: 0.7,
+        }
+    }
+
+    #[test]
+    fn generated_roads_are_connected() {
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let net = spec().generate_roads(&mut rng);
+            assert!(net.is_connected(), "seed {seed} produced a disconnected campus");
+            assert_eq!(net.node_count(), 48);
+        }
+    }
+
+    #[test]
+    fn all_nodes_inside_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = spec();
+        let net = s.generate_roads(&mut rng);
+        let b = s.bounds();
+        for p in net.nodes() {
+            assert!(b.contains(p), "node {p:?} escaped the campus");
+        }
+    }
+
+    #[test]
+    fn removal_reduces_edge_count() {
+        let mut dense_spec = spec();
+        dense_spec.street_removal = 0.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dense = dense_spec.generate_roads(&mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sparse = spec().generate_roads(&mut rng);
+        assert!(sparse.edge_count() < dense.edge_count());
+        // Full grid: cols*(rows-1) + rows*(cols-1)
+        assert_eq!(dense.edge_count(), 8 * 5 + 6 * 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = spec().generate_roads(&mut ChaCha8Rng::seed_from_u64(7));
+        let b = spec().generate_roads(&mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (x, y) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn hotspots_are_distinct_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = spec();
+        let net = s.generate_roads(&mut rng);
+        let h = s.pick_hotspots(&net, &mut rng);
+        assert_eq!(h.len(), 5);
+        let mut sorted = h.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "hotspots must be distinct");
+        assert!(h.iter().all(|&i| i < net.node_count()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = spec();
+        s.grid_cols = 1;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.street_removal = 0.95;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.hotspot_bias = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.hotspots = 0;
+        assert!(s.validate().is_err());
+    }
+}

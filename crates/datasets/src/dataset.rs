@@ -1,0 +1,127 @@
+//! The assembled campus dataset consumed by the environment.
+
+use crate::campus::CampusSpec;
+use crate::poi::{extract_pois, Poi};
+use crate::trace::{simulate_traces, Trace, TraceConfig};
+use agsc_geo::{Aabb, Point, RoadNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Everything the air-ground SC environment needs about one campus:
+/// bounds, road network, PoIs (with popularity), the raw traces they were
+/// extracted from, and the common UV start position.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampusDataset {
+    /// Campus name ("purdue" / "ncsu" / custom).
+    pub name: String,
+    /// Task-area bounding box.
+    pub bounds: Aabb,
+    /// Road network (UGV-constraining).
+    pub roads: RoadNetwork,
+    /// Extracted PoIs, most-visited first.
+    pub pois: Vec<Poi>,
+    /// The synthetic student traces the PoIs were extracted from.
+    pub traces: Vec<Trace>,
+    /// Common start position for all UVs (paper §VI-B: "they all start at
+    /// the same point") — the road node nearest the campus centre.
+    pub start: Point,
+    /// Seed the dataset was generated from.
+    pub seed: u64,
+}
+
+/// PoI-extraction cell size in metres. 40 m ≈ one building footprint.
+pub const POI_CELL_SIZE: f64 = 40.0;
+
+impl CampusDataset {
+    /// Generate a full dataset: roads → hotspots → traces → PoIs.
+    pub fn generate(
+        spec: CampusSpec,
+        trace_config: TraceConfig,
+        trace_count: usize,
+        poi_count: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let roads = spec.generate_roads(&mut rng);
+        let hotspots = spec.pick_hotspots(&roads, &mut rng);
+        let traces =
+            simulate_traces(&spec, &roads, &hotspots, &trace_config, trace_count, &mut rng);
+        let bounds = spec.bounds();
+        let pois = extract_pois(&bounds, &traces, POI_CELL_SIZE, poi_count);
+        let start = roads.node(roads.nearest_node(&bounds.center()));
+        Self { name: spec.name, bounds, roads, pois, traces, start, seed }
+    }
+
+    /// PoI positions only (in extraction rank order).
+    pub fn poi_positions(&self) -> Vec<Point> {
+        self.pois.iter().map(|p| p.position).collect()
+    }
+
+    /// Jain's fairness index of the PoI visit counts — a measure of how
+    /// uneven the PoI popularity distribution is (1 = perfectly even).
+    pub fn poi_popularity_fairness(&self) -> f64 {
+        if self.pois.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.pois.iter().map(|p| p.visits as f64).sum();
+        let sum_sq: f64 = self.pois.iter().map(|p| (p.visits as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (self.pois.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn pois_sorted_by_popularity() {
+        let d = presets::purdue(3);
+        for w in d.pois.windows(2) {
+            assert!(w[0].visits >= w[1].visits);
+        }
+    }
+
+    #[test]
+    fn pois_inside_bounds() {
+        let d = presets::ncsu(3);
+        for p in &d.pois {
+            assert!(d.bounds.contains(&p.position));
+        }
+    }
+
+    #[test]
+    fn start_is_a_road_node_near_center() {
+        let d = presets::purdue(3);
+        let nearest = d.roads.nearest_node(&d.bounds.center());
+        assert_eq!(d.start, d.roads.node(nearest));
+        assert!(d.start.dist(&d.bounds.center()) < d.bounds.diagonal() / 4.0);
+    }
+
+    #[test]
+    fn popularity_is_uneven() {
+        // The whole point of hotspot-biased traces: PoI popularity must NOT
+        // be uniform (paper: "PoIs are unevenly distributed").
+        let d = presets::purdue(3);
+        let fairness = d.poi_popularity_fairness();
+        assert!(
+            fairness < 0.9,
+            "PoI popularity should be uneven, Jain index was {fairness:.3}"
+        );
+        assert!(fairness > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = presets::purdue(5);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: CampusDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pois, d.pois);
+        assert_eq!(back.start, d.start);
+        assert_eq!(back.roads.node_count(), d.roads.node_count());
+    }
+}

@@ -1,0 +1,26 @@
+//! # agsc-datasets — synthetic campus datasets
+//!
+//! The paper evaluates on student-mobility traces from the Purdue and NCSU
+//! campuses (CRAWDAD) with Google-Maps roadmaps. Those artifacts are not
+//! redistributable, so this crate generates statistically equivalent
+//! substitutes (see DESIGN.md §2): a connected campus road graph, hotspot-
+//! biased random-waypoint student traces on that graph, and the `I = 100`
+//! most-visited locations extracted as PoIs — exactly the paper's recipe.
+//!
+//! Everything is deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod campus;
+pub mod dataset;
+pub mod loader;
+pub mod poi;
+pub mod presets;
+pub mod trace;
+
+pub use campus::CampusSpec;
+pub use dataset::CampusDataset;
+pub use loader::{traces_from_csv, traces_to_csv};
+pub use poi::Poi;
+pub use presets::{ncsu, purdue};
+pub use trace::{Trace, TraceConfig};

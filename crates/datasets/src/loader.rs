@@ -1,0 +1,153 @@
+//! Import/export of mobility traces in a plain CSV format.
+//!
+//! This is the bridge to the *real* datasets the paper uses: CRAWDAD-style
+//! student traces exported as `trace_id,tick,x,y` rows can be loaded here
+//! and fed through the same PoI-extraction pipeline as the synthetic
+//! campuses, so the reproduction upgrades in place when the original data is
+//! available.
+
+use crate::trace::Trace;
+use agsc_geo::Point;
+use std::fmt::Write as _;
+
+/// Parse traces from CSV text with a `trace_id,tick,x,y` header.
+///
+/// Rows may appear in any order; ticks are sorted per trace and gaps are
+/// forbidden (a missing tick is a data error worth surfacing, not patching).
+/// Returns an error message with the offending line number on malformed
+/// input.
+pub fn traces_from_csv(csv: &str) -> Result<Vec<Trace>, String> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty CSV")?;
+    let normalized = header.replace(' ', "");
+    if normalized != "trace_id,tick,x,y" {
+        return Err(format!("unexpected header '{header}' (want trace_id,tick,x,y)"));
+    }
+    // (trace_id, tick) → point
+    let mut rows: Vec<(usize, usize, Point)> = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, parts.len()));
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, String> {
+            s.trim().parse::<f64>().map_err(|_| format!("line {}: bad {what} '{s}'", lineno + 1))
+        };
+        let id = parse(parts[0], "trace_id")? as usize;
+        let tick = parse(parts[1], "tick")? as usize;
+        let x = parse(parts[2], "x")?;
+        let y = parse(parts[3], "y")?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(format!("line {}: non-finite coordinate", lineno + 1));
+        }
+        rows.push((id, tick, Point::new(x, y)));
+    }
+    if rows.is_empty() {
+        return Err("CSV contains a header but no rows".into());
+    }
+    let max_id = rows.iter().map(|&(id, _, _)| id).max().unwrap();
+    let mut per_trace: Vec<Vec<(usize, Point)>> = vec![Vec::new(); max_id + 1];
+    for (id, tick, p) in rows {
+        per_trace[id].push((tick, p));
+    }
+    let mut traces = Vec::with_capacity(per_trace.len());
+    for (id, mut ticks) in per_trace.into_iter().enumerate() {
+        if ticks.is_empty() {
+            return Err(format!("trace {id} referenced but has no rows"));
+        }
+        ticks.sort_by_key(|&(t, _)| t);
+        for (expected, &(tick, _)) in ticks.iter().enumerate() {
+            if tick != expected {
+                return Err(format!("trace {id}: tick {expected} missing (found {tick})"));
+            }
+        }
+        traces.push(Trace { positions: ticks.into_iter().map(|(_, p)| p).collect() });
+    }
+    Ok(traces)
+}
+
+/// Serialise traces to the `trace_id,tick,x,y` CSV format.
+pub fn traces_to_csv(traces: &[Trace]) -> String {
+    let mut out = String::from("trace_id,tick,x,y\n");
+    for (id, t) in traces.iter().enumerate() {
+        for (tick, p) in t.positions.iter().enumerate() {
+            let _ = writeln!(out, "{id},{tick},{:.3},{:.3}", p.x, p.y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Trace> {
+        vec![
+            Trace {
+                positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],
+            },
+            Trace { positions: vec![Point::new(5.5, 6.25)] },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = traces_to_csv(&sample());
+        let back = traces_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].positions.len(), 2);
+        assert!((back[0].positions[1].x - 3.0).abs() < 1e-9);
+        assert!((back[1].positions[0].y - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_in_any_order() {
+        let csv = "trace_id,tick,x,y\n0,1,3.0,4.0\n0,0,1.0,2.0\n";
+        let t = traces_from_csv(csv).unwrap();
+        assert_eq!(t[0].positions[0], Point::new(1.0, 2.0));
+        assert_eq!(t[0].positions[1], Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(traces_from_csv("id,t,x,y\n0,0,1,1\n").is_err());
+        assert!(traces_from_csv("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let e = traces_from_csv("trace_id,tick,x,y\n0,0,1.0\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = traces_from_csv("trace_id,tick,x,y\n0,0,abc,1.0\n").unwrap_err();
+        assert!(e.contains("bad x"), "{e}");
+        let e = traces_from_csv("trace_id,tick,x,y\n0,0,inf,1.0\n").unwrap_err();
+        assert!(e.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn rejects_tick_gaps_and_missing_traces() {
+        let e = traces_from_csv("trace_id,tick,x,y\n0,0,1,1\n0,2,2,2\n").unwrap_err();
+        assert!(e.contains("tick 1 missing"), "{e}");
+        let e = traces_from_csv("trace_id,tick,x,y\n1,0,1,1\n").unwrap_err();
+        assert!(e.contains("trace 0"), "{e}");
+    }
+
+    #[test]
+    fn header_only_is_an_error() {
+        assert!(traces_from_csv("trace_id,tick,x,y\n").is_err());
+    }
+
+    #[test]
+    fn loaded_traces_feed_poi_extraction() {
+        use crate::poi::extract_pois;
+        use agsc_geo::Aabb;
+        let csv = "trace_id,tick,x,y\n0,0,10,10\n0,1,10,10\n0,2,90,90\n";
+        let traces = traces_from_csv(csv).unwrap();
+        let pois = extract_pois(&Aabb::from_extent(100.0, 100.0), &traces, 20.0, 5);
+        assert_eq!(pois.len(), 2);
+        assert_eq!(pois[0].visits, 2, "the twice-visited cell ranks first");
+    }
+}

@@ -1,0 +1,131 @@
+//! PoI extraction from mobility traces.
+//!
+//! The paper: "PoIs are considered as places which are frequently visited and
+//! we take I = 100 most frequently visited PoIs into account". We bucket
+//! trace positions into grid cells, rank cells by visit count, and emit the
+//! visit-weighted centroid of each of the top-`I` cells as a PoI.
+
+use agsc_geo::{Aabb, Point};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A Point-of-Interest with its relative popularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Location.
+    pub position: Point,
+    /// Visit count of the underlying cell (popularity proxy).
+    pub visits: u64,
+}
+
+/// Extract the `count` most-visited PoIs from `traces`.
+///
+/// `cell_size` controls spatial granularity (metres). Ties are broken by
+/// cell index so extraction is deterministic. If fewer than `count` cells
+/// were ever visited, all visited cells are returned.
+pub fn extract_pois(
+    bounds: &Aabb,
+    traces: &[Trace],
+    cell_size: f64,
+    count: usize,
+) -> Vec<Poi> {
+    assert!(cell_size > 0.0, "cell size must be positive");
+    let nx = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+    let ny = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+    let mut visits = vec![0u64; nx * ny];
+    let mut sum_x = vec![0f64; nx * ny];
+    let mut sum_y = vec![0f64; nx * ny];
+
+    for t in traces {
+        for p in &t.positions {
+            let cx = (((p.x - bounds.min.x) / cell_size) as usize).min(nx - 1);
+            let cy = (((p.y - bounds.min.y) / cell_size) as usize).min(ny - 1);
+            let c = cy * nx + cx;
+            visits[c] += 1;
+            sum_x[c] += p.x;
+            sum_y[c] += p.y;
+        }
+    }
+
+    let mut ranked: Vec<usize> = (0..visits.len()).filter(|&c| visits[c] > 0).collect();
+    ranked.sort_by(|&a, &b| visits[b].cmp(&visits[a]).then(a.cmp(&b)));
+    ranked.truncate(count);
+
+    ranked
+        .into_iter()
+        .map(|c| Poi {
+            position: Point::new(sum_x[c] / visits[c] as f64, sum_y[c] / visits[c] as f64),
+            visits: visits[c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_at(points: &[(f64, f64)]) -> Trace {
+        Trace { positions: points.iter().map(|&(x, y)| Point::new(x, y)).collect() }
+    }
+
+    #[test]
+    fn most_visited_cell_ranks_first() {
+        let bounds = Aabb::from_extent(100.0, 100.0);
+        let traces = vec![
+            trace_at(&[(5.0, 5.0); 10]),
+            trace_at(&[(55.0, 55.0); 3]),
+            trace_at(&[(95.0, 95.0); 1]),
+        ];
+        let pois = extract_pois(&bounds, &traces, 10.0, 3);
+        assert_eq!(pois.len(), 3);
+        assert_eq!(pois[0].visits, 10);
+        assert!(pois[0].position.dist(&Point::new(5.0, 5.0)) < 1e-9);
+        assert!(pois[0].visits >= pois[1].visits && pois[1].visits >= pois[2].visits);
+    }
+
+    #[test]
+    fn truncates_to_requested_count() {
+        let bounds = Aabb::from_extent(100.0, 100.0);
+        let traces = vec![trace_at(&[
+            (5.0, 5.0),
+            (15.0, 5.0),
+            (25.0, 5.0),
+            (35.0, 5.0),
+            (45.0, 5.0),
+        ])];
+        let pois = extract_pois(&bounds, &traces, 10.0, 2);
+        assert_eq!(pois.len(), 2);
+    }
+
+    #[test]
+    fn fewer_visited_cells_than_requested() {
+        let bounds = Aabb::from_extent(100.0, 100.0);
+        let traces = vec![trace_at(&[(5.0, 5.0), (5.1, 5.1)])];
+        let pois = extract_pois(&bounds, &traces, 10.0, 100);
+        assert_eq!(pois.len(), 1);
+        assert_eq!(pois[0].visits, 2);
+    }
+
+    #[test]
+    fn centroid_is_visit_weighted() {
+        let bounds = Aabb::from_extent(100.0, 100.0);
+        // Two points in the same 10 m cell.
+        let traces = vec![trace_at(&[(2.0, 2.0), (8.0, 8.0)])];
+        let pois = extract_pois(&bounds, &traces, 10.0, 1);
+        assert!(pois[0].position.dist(&Point::new(5.0, 5.0)) < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_give_no_pois() {
+        let bounds = Aabb::from_extent(10.0, 10.0);
+        assert!(extract_pois(&bounds, &[], 1.0, 5).is_empty());
+    }
+
+    #[test]
+    fn boundary_positions_clamped_into_last_cell() {
+        let bounds = Aabb::from_extent(100.0, 100.0);
+        let traces = vec![trace_at(&[(100.0, 100.0)])];
+        let pois = extract_pois(&bounds, &traces, 10.0, 1);
+        assert_eq!(pois.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Purdue- and NCSU-like campus dataset presets.
+//!
+//! Statistics mirroring the paper's two testbeds:
+//! * **Purdue** — 59 student traces; a denser, smaller campus.
+//! * **NCSU** — 33 student traces; "a big campus" (§VI-D1), so a larger,
+//!   sparser road grid.
+//!
+//! Tallest-building heights quoted in §VI (48.8 m / 55.8 m) motivate the
+//! default 60 m UAV altitude; they do not affect the planar datasets.
+
+use crate::campus::CampusSpec;
+use crate::dataset::CampusDataset;
+use crate::trace::TraceConfig;
+
+/// Number of student traces in the Purdue dataset (paper §VI).
+pub const PURDUE_TRACES: usize = 59;
+/// Number of student traces in the NCSU dataset (paper §VI).
+pub const NCSU_TRACES: usize = 33;
+/// Number of PoIs extracted per campus (paper §VI: `I = 100`).
+pub const POI_COUNT: usize = 100;
+
+/// Spec of the Purdue-like campus.
+pub fn purdue_spec() -> CampusSpec {
+    CampusSpec {
+        name: "purdue".into(),
+        width_m: 1600.0,
+        height_m: 1200.0,
+        grid_cols: 10,
+        grid_rows: 8,
+        jitter_frac: 0.18,
+        street_removal: 0.18,
+        hotspots: 8,
+        hotspot_bias: 0.7,
+    }
+}
+
+/// Spec of the NCSU-like campus (larger and sparser).
+pub fn ncsu_spec() -> CampusSpec {
+    CampusSpec {
+        name: "ncsu".into(),
+        width_m: 2400.0,
+        height_m: 1800.0,
+        grid_cols: 11,
+        grid_rows: 9,
+        jitter_frac: 0.2,
+        street_removal: 0.28,
+        hotspots: 10,
+        hotspot_bias: 0.65,
+    }
+}
+
+/// Generate the Purdue-like dataset from a seed.
+pub fn purdue(seed: u64) -> CampusDataset {
+    CampusDataset::generate(
+        purdue_spec(),
+        TraceConfig::default(),
+        PURDUE_TRACES,
+        POI_COUNT,
+        seed,
+    )
+}
+
+/// Generate the NCSU-like dataset from a seed.
+pub fn ncsu(seed: u64) -> CampusDataset {
+    CampusDataset::generate(ncsu_spec(), TraceConfig::default(), NCSU_TRACES, POI_COUNT, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purdue_has_paper_statistics() {
+        let d = purdue(42);
+        assert_eq!(d.traces.len(), PURDUE_TRACES);
+        assert_eq!(d.pois.len(), POI_COUNT);
+        assert!(d.roads.is_connected());
+        assert_eq!(d.name, "purdue");
+    }
+
+    #[test]
+    fn ncsu_has_paper_statistics_and_is_bigger() {
+        let d = ncsu(42);
+        assert_eq!(d.traces.len(), NCSU_TRACES);
+        assert_eq!(d.pois.len(), POI_COUNT);
+        let p = purdue(42);
+        assert!(d.bounds.area() > p.bounds.area(), "NCSU must be the bigger campus");
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = purdue(7);
+        let b = purdue(7);
+        assert_eq!(a.pois, b.pois);
+        assert_eq!(a.start, b.start);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = purdue(1);
+        let b = purdue(2);
+        assert_ne!(a.pois, b.pois);
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic student mobility traces.
+//!
+//! The paper derives PoIs from real student movement traces (59 on Purdue,
+//! 33 on NCSU, CRAWDAD). We simulate each student as a random-waypoint walk
+//! *on the road network*, with waypoints biased towards campus hotspots —
+//! this reproduces the two properties the learning problem depends on: the
+//! visit distribution is spatially uneven, and dense near a few centres.
+
+use crate::campus::CampusSpec;
+use agsc_geo::{Point, RoadNetwork};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One student's movement trace: a sequence of positions at 1-second ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Sampled positions, one per tick.
+    pub positions: Vec<Point>,
+}
+
+impl Trace {
+    /// Number of ticks in the trace.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Parameters of the trace simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Walking speed in m/s (humans: ~1.4).
+    pub walk_speed: f64,
+    /// Trace duration in ticks (seconds).
+    pub duration: usize,
+    /// Mean pause at a waypoint, in ticks.
+    pub mean_pause: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { walk_speed: 1.4, duration: 3000, mean_pause: 120 }
+    }
+}
+
+/// Simulate `count` student traces on the campus road network.
+///
+/// Each student starts at a random hotspot and repeatedly: picks the next
+/// waypoint (a hotspot with probability `spec.hotspot_bias`, otherwise a
+/// uniform road node), walks there along the shortest path, then pauses.
+pub fn simulate_traces<R: Rng + ?Sized>(
+    spec: &CampusSpec,
+    roads: &RoadNetwork,
+    hotspots: &[usize],
+    config: &TraceConfig,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Trace> {
+    assert!(!hotspots.is_empty(), "need at least one hotspot");
+    assert!(config.walk_speed > 0.0, "walk speed must be positive");
+    let mut traces = Vec::with_capacity(count);
+    for _ in 0..count {
+        traces.push(simulate_one(spec, roads, hotspots, config, rng));
+    }
+    traces
+}
+
+fn simulate_one<R: Rng + ?Sized>(
+    spec: &CampusSpec,
+    roads: &RoadNetwork,
+    hotspots: &[usize],
+    config: &TraceConfig,
+    rng: &mut R,
+) -> Trace {
+    let mut positions = Vec::with_capacity(config.duration);
+    let mut current = hotspots[rng.gen_range(0..hotspots.len())];
+    let mut pos = roads.node(current);
+
+    while positions.len() < config.duration {
+        // Choose the next waypoint.
+        let target = if rng.gen::<f64>() < spec.hotspot_bias {
+            hotspots[rng.gen_range(0..hotspots.len())]
+        } else {
+            rng.gen_range(0..roads.node_count())
+        };
+        if target == current {
+            // Pause in place.
+            let pause = 1 + rng.gen_range(0..config.mean_pause.max(1) * 2);
+            for _ in 0..pause {
+                if positions.len() >= config.duration {
+                    break;
+                }
+                positions.push(pos);
+            }
+            continue;
+        }
+        // Walk the shortest path at walk_speed, sampling per tick.
+        if let Some(path) = roads.shortest_path(current, target) {
+            for w in path.nodes.windows(2) {
+                let (a, b) = (roads.node(w[0]), roads.node(w[1]));
+                let seg = a.dist(&b);
+                let ticks = (seg / config.walk_speed).ceil().max(1.0) as usize;
+                for k in 1..=ticks {
+                    if positions.len() >= config.duration {
+                        return Trace { positions };
+                    }
+                    pos = a.lerp(&b, k as f64 / ticks as f64);
+                    positions.push(pos);
+                }
+            }
+            current = target;
+            pos = roads.node(current);
+        }
+        // Pause at the destination.
+        let pause = 1 + rng.gen_range(0..config.mean_pause.max(1) * 2);
+        for _ in 0..pause {
+            if positions.len() >= config.duration {
+                break;
+            }
+            positions.push(pos);
+        }
+    }
+    Trace { positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (CampusSpec, RoadNetwork, Vec<usize>) {
+        let spec = CampusSpec {
+            name: "t".into(),
+            width_m: 500.0,
+            height_m: 500.0,
+            grid_cols: 5,
+            grid_rows: 5,
+            jitter_frac: 0.1,
+            street_removal: 0.1,
+            hotspots: 3,
+            hotspot_bias: 0.7,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let roads = spec.generate_roads(&mut rng);
+        let hotspots = spec.pick_hotspots(&roads, &mut rng);
+        (spec, roads, hotspots)
+    }
+
+    #[test]
+    fn traces_have_requested_length_and_count() {
+        let (spec, roads, hotspots) = setup();
+        let cfg = TraceConfig { duration: 500, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let traces = simulate_traces(&spec, &roads, &hotspots, &cfg, 7, &mut rng);
+        assert_eq!(traces.len(), 7);
+        for t in &traces {
+            assert_eq!(t.len(), 500);
+        }
+    }
+
+    #[test]
+    fn movement_respects_walk_speed() {
+        let (spec, roads, hotspots) = setup();
+        let cfg = TraceConfig { walk_speed: 1.4, duration: 800, mean_pause: 10 };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let t = &simulate_traces(&spec, &roads, &hotspots, &cfg, 1, &mut rng)[0];
+        for w in t.positions.windows(2) {
+            let step = w[0].dist(&w[1]);
+            // Per-tick displacement never exceeds walk speed (+ε for the
+            // ceil-rounding of segment ticks).
+            assert!(step <= cfg.walk_speed + 1e-6, "step {step} exceeds walk speed");
+        }
+    }
+
+    #[test]
+    fn positions_stay_inside_campus() {
+        let (spec, roads, hotspots) = setup();
+        let cfg = TraceConfig { duration: 600, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let traces = simulate_traces(&spec, &roads, &hotspots, &cfg, 3, &mut rng);
+        let b = spec.bounds();
+        for t in &traces {
+            for p in &t.positions {
+                assert!(b.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates_visits() {
+        let (spec, roads, hotspots) = setup();
+        let cfg = TraceConfig { duration: 2000, mean_pause: 60, ..Default::default() };
+
+        let near_fraction = |bias: f64, seed: u64| {
+            let mut biased_spec = spec.clone();
+            biased_spec.hotspot_bias = bias;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let traces = simulate_traces(&biased_spec, &roads, &hotspots, &cfg, 8, &mut rng);
+            let mut near = 0usize;
+            let mut total = 0usize;
+            for t in &traces {
+                for p in &t.positions {
+                    total += 1;
+                    if hotspots.iter().any(|&h| roads.node(h).dist(p) < 30.0) {
+                        near += 1;
+                    }
+                }
+            }
+            near as f64 / total as f64
+        };
+
+        let biased = near_fraction(0.9, 11);
+        let unbiased = near_fraction(0.0, 11);
+        assert!(
+            biased > unbiased,
+            "hotspot bias must concentrate visits (biased {biased:.3} vs unbiased {unbiased:.3})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (spec, roads, hotspots) = setup();
+        let cfg = TraceConfig { duration: 300, ..Default::default() };
+        let a = simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,569 @@
+//! The air-ground spatial-crowdsourcing Dec-POMDP environment (§III-IV).
+
+use crate::collect::{run_collection, SlotCollection};
+use crate::config::EnvConfig;
+use crate::metrics::{MetricInputs, Metrics};
+use crate::obs::{global_state, local_observation, obs_dim};
+use crate::types::{UvAction, UvKind, UvState};
+use agsc_channel::RayleighFading;
+use agsc_datasets::CampusDataset;
+use agsc_geo::{Aabb, Point, RoadNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Extrinsic reward `r^k_ext` per UV (Eqn 17).
+    pub rewards: Vec<f64>,
+    /// True once `t == T`.
+    pub done: bool,
+    /// Full record of the slot's data collection.
+    pub collection: SlotCollection,
+}
+
+/// The environment: campus geometry + UV fleet + PoI data + channel state.
+///
+/// Global UV index convention everywhere: `0..U` are UAVs, `U..U+G` UGVs.
+#[derive(Debug, Clone)]
+pub struct AirGroundEnv {
+    cfg: EnvConfig,
+    bounds: Aabb,
+    roads: RoadNetwork,
+    poi_pos: Vec<Point>,
+    start: Point,
+    uvs: Vec<UvState>,
+    poi_remaining: Vec<f64>,
+    t: usize,
+    fading: RayleighFading,
+    rng: ChaCha8Rng,
+    total_losses: usize,
+    /// Per-UV visited positions, one entry per slot (plus the start).
+    trajectories: Vec<Vec<Point>>,
+    /// Relay pairs of the most recent slot (h-CoPO heterogeneous neighbours).
+    last_relay_pairs: Vec<(usize, usize)>,
+    /// Energy spent in the most recent slot, per UV.
+    last_energy_spent: Vec<f64>,
+    episode_seed: u64,
+}
+
+impl AirGroundEnv {
+    /// Build an environment over a campus dataset.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid or the dataset has no PoIs/roads.
+    pub fn new(cfg: EnvConfig, dataset: &CampusDataset, seed: u64) -> Self {
+        cfg.validate().expect("invalid environment config");
+        assert!(!dataset.pois.is_empty(), "dataset has no PoIs");
+        assert!(!dataset.roads.is_empty(), "dataset has no road network");
+        let poi_pos = dataset.poi_positions();
+        let mut env = Self {
+            bounds: dataset.bounds,
+            roads: dataset.roads.clone(),
+            start: dataset.start,
+            uvs: Vec::new(),
+            poi_remaining: Vec::new(),
+            t: 0,
+            fading: RayleighFading::unit(cfg.channel.subchannels),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            total_losses: 0,
+            trajectories: Vec::new(),
+            last_relay_pairs: Vec::new(),
+            last_energy_spent: Vec::new(),
+            episode_seed: seed,
+            poi_pos,
+            cfg,
+        };
+        env.reset(seed);
+        env
+    }
+
+    /// Reset to the initial state with a fresh episode seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.episode_seed = seed;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self.t = 0;
+        self.total_losses = 0;
+        self.last_relay_pairs.clear();
+        self.poi_remaining = vec![self.cfg.poi_initial_bits; self.poi_pos.len()];
+        self.uvs.clear();
+        for _ in 0..self.cfg.num_uavs {
+            self.uvs.push(UvState {
+                kind: UvKind::Uav,
+                position: self.start,
+                energy: self.cfg.uav_energy_j,
+                initial_energy: self.cfg.uav_energy_j,
+            });
+        }
+        for _ in 0..self.cfg.num_ugvs {
+            self.uvs.push(UvState {
+                kind: UvKind::Ugv,
+                position: self.start,
+                energy: self.cfg.ugv_energy_j,
+                initial_energy: self.cfg.ugv_energy_j,
+            });
+        }
+        self.trajectories = vec![vec![self.start]; self.uvs.len()];
+        self.last_energy_spent = vec![0.0; self.uvs.len()];
+        self.redraw_fading();
+    }
+
+    fn redraw_fading(&mut self) {
+        self.fading = if self.cfg.stochastic_fading {
+            RayleighFading::sample(self.cfg.channel.subchannels, &mut self.rng)
+        } else {
+            RayleighFading::unit(self.cfg.channel.subchannels)
+        };
+    }
+
+    /// Environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Task-area bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Current timeslot.
+    pub fn timeslot(&self) -> usize {
+        self.t
+    }
+
+    /// True once the horizon is reached.
+    pub fn is_done(&self) -> bool {
+        self.t >= self.cfg.horizon
+    }
+
+    /// Number of UVs.
+    pub fn num_uvs(&self) -> usize {
+        self.uvs.len()
+    }
+
+    /// UV states (UAVs first).
+    pub fn uv_states(&self) -> &[UvState] {
+        &self.uvs
+    }
+
+    /// PoI positions.
+    pub fn poi_positions(&self) -> &[Point] {
+        &self.poi_pos
+    }
+
+    /// Remaining data per PoI, bits.
+    pub fn poi_remaining(&self) -> &[f64] {
+        &self.poi_remaining
+    }
+
+    /// Observation/state vector length.
+    pub fn obs_dim(&self) -> usize {
+        obs_dim(self.uvs.len(), self.poi_pos.len())
+    }
+
+    /// Continuous action dimension per UV (heading, speed).
+    pub fn action_dim(&self) -> usize {
+        2
+    }
+
+    /// The unmasked global state `s_t`.
+    pub fn global_state(&self) -> Vec<f32> {
+        global_state(&self.cfg, &self.bounds, &self.uvs, &self.poi_pos, &self.poi_remaining)
+    }
+
+    /// Local observation `o^k_t` for each UV.
+    pub fn observations(&self) -> Vec<Vec<f32>> {
+        (0..self.uvs.len())
+            .map(|k| {
+                local_observation(
+                    &self.cfg,
+                    &self.bounds,
+                    &self.uvs,
+                    &self.poi_pos,
+                    &self.poi_remaining,
+                    k,
+                )
+            })
+            .collect()
+    }
+
+    /// Advance one timeslot: move every UV, run data collection, compute
+    /// rewards.
+    ///
+    /// # Panics
+    /// Panics if the action count differs from the fleet size or the episode
+    /// is already done.
+    pub fn step(&mut self, actions: &[UvAction]) -> StepResult {
+        assert_eq!(actions.len(), self.uvs.len(), "one action per UV required");
+        assert!(!self.is_done(), "episode is over; call reset()");
+
+        // --- Movement (τ_move) and energy (Eqn 1) ---------------------------
+        for (k, action) in actions.iter().enumerate() {
+            let spent = self.move_uv(k, *action);
+            self.last_energy_spent[k] = spent;
+            let pos = self.uvs[k].position;
+            self.trajectories[k].push(pos);
+        }
+
+        // --- Data collection (τ_coll) ---------------------------------------
+        self.redraw_fading();
+        let uav_pos: Vec<Point> =
+            self.uvs.iter().filter(|u| u.kind == UvKind::Uav).map(|u| u.position).collect();
+        let ugv_pos: Vec<Point> =
+            self.uvs.iter().filter(|u| u.kind == UvKind::Ugv).map(|u| u.position).collect();
+        let collection = run_collection(
+            &self.cfg,
+            &self.fading,
+            &uav_pos,
+            &ugv_pos,
+            &self.poi_pos,
+            &self.poi_remaining,
+        );
+        for (i, delta) in collection.poi_delta.iter().enumerate() {
+            self.poi_remaining[i] = (self.poi_remaining[i] - delta).max(0.0);
+        }
+        self.total_losses += collection.losses_per_uv.iter().sum::<usize>();
+        self.last_relay_pairs = collection.relay_pairs.clone();
+
+        // --- Reward (Eqn 17) -------------------------------------------------
+        let norm = self.poi_pos.len() as f64 * self.cfg.poi_initial_bits;
+        let rewards: Vec<f64> = (0..self.uvs.len())
+            .map(|k| {
+                let data_term = collection.collected_per_uv[k] / norm;
+                let loss_term = self.cfg.loss_penalty * collection.losses_per_uv[k] as f64;
+                let energy_term = self.cfg.move_penalty * self.last_energy_spent[k]
+                    / self.uvs[k].initial_energy;
+                data_term - loss_term - energy_term
+            })
+            .collect();
+
+        self.t += 1;
+        StepResult { rewards, done: self.is_done(), collection }
+    }
+
+    /// Move UV `k` per its action; returns the energy spent (J).
+    fn move_uv(&mut self, k: usize, action: UvAction) -> f64 {
+        let uv = self.uvs[k];
+        if uv.is_exhausted() {
+            return 0.0;
+        }
+        match uv.kind {
+            UvKind::Uav => {
+                let (theta, v) = action.decode(self.cfg.uav_max_speed);
+                let want = v * self.cfg.move_secs;
+                // Energy-feasible distance.
+                let affordable = uv.energy / self.cfg.uav_energy_per_m;
+                let dist = want.min(affordable);
+                let raw = uv.position.polar_offset(theta, dist);
+                let clamped = self.bounds.clamp(&raw);
+                // Pay only for distance actually flown (boundary clamp may
+                // shorten the leg).
+                let flown = uv.position.dist(&clamped);
+                let spent = flown * self.cfg.uav_energy_per_m;
+                self.uvs[k].position = clamped;
+                self.uvs[k].energy = (uv.energy - spent).max(0.0);
+                spent
+            }
+            UvKind::Ugv => {
+                let (theta, v) = action.decode(self.cfg.ugv_max_speed);
+                let want = v * self.cfg.move_secs;
+                let affordable = uv.energy / self.cfg.ugv_energy_per_m;
+                let budget = want.min(affordable);
+                let target = self.bounds.clamp(&uv.position.polar_offset(theta, want));
+                let walk = self.roads.walk_towards(&uv.position, &target, budget);
+                let spent = walk.travelled * self.cfg.ugv_energy_per_m;
+                self.uvs[k].position = walk.position;
+                self.uvs[k].energy = (uv.energy - spent).max(0.0);
+                spent
+            }
+        }
+    }
+
+    /// Heterogeneous relay pairs active in the most recent slot —
+    /// h-CoPO's `N_HE` (§V-B).
+    pub fn relay_pairs(&self) -> &[(usize, usize)] {
+        &self.last_relay_pairs
+    }
+
+    /// Homogeneous neighbours of each UV: same-kind UVs within `range`
+    /// metres — h-CoPO's `N_HO` (§V-B).
+    pub fn homogeneous_neighbors(&self, range: f64) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.uvs.len()];
+        for i in 0..self.uvs.len() {
+            for j in 0..self.uvs.len() {
+                if i != j
+                    && self.uvs[i].kind == self.uvs[j].kind
+                    && self.uvs[i].position.dist(&self.uvs[j].position) <= range
+                {
+                    out[i].push(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// End-of-episode metrics (valid at any time; ratios are w.r.t. the
+    /// elapsed horizon).
+    pub fn metrics(&self) -> Metrics {
+        let uav_fracs: Vec<f64> = self
+            .uvs
+            .iter()
+            .filter(|u| u.kind == UvKind::Uav)
+            .map(|u| 1.0 - u.energy_frac())
+            .collect();
+        let ugv_fracs: Vec<f64> = self
+            .uvs
+            .iter()
+            .filter(|u| u.kind == UvKind::Ugv)
+            .map(|u| 1.0 - u.energy_frac())
+            .collect();
+        MetricInputs {
+            poi_initial: vec![self.cfg.poi_initial_bits; self.poi_pos.len()],
+            poi_remaining: self.poi_remaining.clone(),
+            loss_events: self.total_losses,
+            subchannels: self.cfg.channel.subchannels,
+            horizon: self.cfg.horizon,
+            num_uvs: self.uvs.len(),
+            uav_energy_fracs: uav_fracs,
+            ugv_energy_fracs: ugv_fracs,
+        }
+        .compute()
+    }
+
+    /// Per-UV trajectory (start position plus one point per elapsed slot).
+    pub fn trajectories(&self) -> &[Vec<Point>] {
+        &self.trajectories
+    }
+
+    /// Road network reference (for planners and rendering).
+    pub fn roads(&self) -> &RoadNetwork {
+        &self.roads
+    }
+
+    /// Common start position.
+    pub fn start(&self) -> Point {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsc_datasets::presets;
+
+    fn small_env() -> AirGroundEnv {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.stochastic_fading = false;
+        AirGroundEnv::new(cfg, &dataset, 7)
+    }
+
+    #[test]
+    fn reset_state_is_clean() {
+        let env = small_env();
+        assert_eq!(env.timeslot(), 0);
+        assert!(!env.is_done());
+        assert_eq!(env.num_uvs(), 4);
+        assert!(env.uv_states().iter().all(|u| u.position == env.start()));
+        assert!(env.poi_remaining().iter().all(|&d| d == 3e9));
+        assert_eq!(env.obs_dim(), 3 * (4 + 100));
+    }
+
+    #[test]
+    fn step_advances_time_and_episode_terminates() {
+        let mut env = small_env();
+        let actions = vec![UvAction::stay(); env.num_uvs()];
+        for t in 0..100 {
+            assert_eq!(env.timeslot(), t);
+            let r = env.step(&actions);
+            assert_eq!(r.rewards.len(), 4);
+            if t == 99 {
+                assert!(r.done);
+            } else {
+                assert!(!r.done);
+            }
+        }
+        assert!(env.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "episode is over")]
+    fn step_after_done_panics() {
+        let mut env = small_env();
+        let actions = vec![UvAction::stay(); env.num_uvs()];
+        for _ in 0..101 {
+            env.step(&actions);
+        }
+    }
+
+    #[test]
+    fn uav_moves_freely_ugv_follows_roads() {
+        let mut env = small_env();
+        let mut actions = vec![UvAction::stay(); env.num_uvs()];
+        actions[0] = UvAction { heading: 0.25, speed: 1.0 }; // UAV NE at full speed
+        actions[2] = UvAction { heading: 0.25, speed: 1.0 }; // UGV same order
+        let start = env.start();
+        env.step(&actions);
+        let uav = env.uv_states()[0];
+        let ugv = env.uv_states()[2];
+        // UAV covered its full budget (180 m) in a straight line.
+        assert!((uav.position.dist(&start) - 180.0).abs() < 1e-6);
+        // UGV moved along roads: at most its 100 m budget.
+        assert!(ugv.position.dist(&start) <= 100.0 + 1e-6);
+        // UGV position is on (or extremely near) a road segment endpoint
+        // interpolation — at minimum it must differ from a free-flight result.
+        assert!(env.roads().nearest_node(&ugv.position) < env.roads().node_count());
+    }
+
+    #[test]
+    fn movement_consumes_energy_proportionally() {
+        let mut env = small_env();
+        let mut actions = vec![UvAction::stay(); env.num_uvs()];
+        actions[0] = UvAction { heading: 0.0, speed: 1.0 };
+        let e0 = env.uv_states()[0].energy;
+        env.step(&actions);
+        let e1 = env.uv_states()[0].energy;
+        let expected = 180.0 * env.config().uav_energy_per_m;
+        assert!(((e0 - e1) - expected).abs() < 1e-6);
+        // Stationary UVs spend nothing.
+        assert_eq!(env.uv_states()[1].energy, env.config().uav_energy_j);
+    }
+
+    #[test]
+    fn exhausted_uv_cannot_move() {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.stochastic_fading = false;
+        cfg.uav_energy_j = 100.0; // tiny reserve
+        let mut env = AirGroundEnv::new(cfg, &dataset, 7);
+        let mut actions = vec![UvAction::stay(); env.num_uvs()];
+        actions[0] = UvAction { heading: 0.0, speed: 1.0 };
+        env.step(&actions);
+        assert!(env.uv_states()[0].is_exhausted());
+        let pos_after_drain = env.uv_states()[0].position;
+        env.step(&actions);
+        assert_eq!(env.uv_states()[0].position, pos_after_drain);
+    }
+
+    #[test]
+    fn uavs_stay_inside_bounds() {
+        let mut env = small_env();
+        let actions: Vec<UvAction> =
+            (0..env.num_uvs()).map(|_| UvAction { heading: 0.37, speed: 1.0 }).collect();
+        for _ in 0..100 {
+            env.step(&actions);
+        }
+        let b = env.bounds();
+        for uv in env.uv_states() {
+            assert!(b.contains(&uv.position));
+        }
+    }
+
+    #[test]
+    fn collection_near_pois_generates_reward_and_drains_data() {
+        let mut env = small_env();
+        let total_before: f64 = env.poi_remaining().iter().sum();
+        let mut collected_reward = 0.0;
+        // Greedy chase: every UV heads for its nearest data-bearing PoI.
+        for _ in 0..30 {
+            let actions: Vec<UvAction> = env
+                .uv_states()
+                .iter()
+                .map(|uv| {
+                    let target = env
+                        .poi_positions()
+                        .iter()
+                        .zip(env.poi_remaining())
+                        .filter(|(_, &rem)| rem > 0.0)
+                        .min_by(|(a, _), (b, _)| {
+                            uv.position
+                                .dist(a)
+                                .partial_cmp(&uv.position.dist(b))
+                                .unwrap()
+                        })
+                        .map(|(p, _)| *p)
+                        .unwrap_or(uv.position);
+                    let heading = (target.y - uv.position.y)
+                        .atan2(target.x - uv.position.x)
+                        / std::f64::consts::PI;
+                    UvAction { heading, speed: 1.0 }
+                })
+                .collect();
+            let r = env.step(&actions);
+            collected_reward += r.rewards.iter().sum::<f64>();
+        }
+        let total_after: f64 = env.poi_remaining().iter().sum();
+        assert!(
+            total_after < total_before,
+            "a PoI-chasing fleet must drain data within 30 slots"
+        );
+        assert!(collected_reward.is_finite());
+    }
+
+    #[test]
+    fn metrics_consistent_after_episode() {
+        let mut env = small_env();
+        let actions = vec![UvAction { heading: 0.1, speed: 0.0 }; env.num_uvs()];
+        for _ in 0..100 {
+            env.step(&actions);
+        }
+        let m = env.metrics();
+        assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+        assert!((0.0..=1.0).contains(&m.data_loss_ratio));
+        assert!((0.0..=1.0).contains(&m.fairness));
+        assert!(m.energy_ratio >= 0.0 && m.energy_ratio <= 2.0);
+        assert!(m.efficiency >= 0.0);
+    }
+
+    #[test]
+    fn trajectories_recorded_per_slot() {
+        let mut env = small_env();
+        let actions = vec![UvAction::stay(); env.num_uvs()];
+        for _ in 0..5 {
+            env.step(&actions);
+        }
+        for traj in env.trajectories() {
+            assert_eq!(traj.len(), 6); // start + 5 slots
+        }
+    }
+
+    #[test]
+    fn homogeneous_neighbors_by_kind_and_range() {
+        let env = small_env();
+        // At reset all UVs share the start position.
+        let n = env.homogeneous_neighbors(10.0);
+        assert_eq!(n[0], vec![1]); // UAV 0's same-kind neighbour is UAV 1
+        assert_eq!(n[2], vec![3]); // UGV 2's same-kind neighbour is UGV 3
+        let none = env.homogeneous_neighbors(0.0);
+        // Range 0 still matches co-located UVs (distance 0 ≤ 0).
+        assert_eq!(none[0], vec![1]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dataset = presets::purdue(1);
+        let cfg = EnvConfig::default();
+        let mut a = AirGroundEnv::new(cfg.clone(), &dataset, 3);
+        let mut b = AirGroundEnv::new(cfg, &dataset, 3);
+        let actions = vec![UvAction { heading: 0.5, speed: 0.5 }; a.num_uvs()];
+        for _ in 0..10 {
+            let ra = a.step(&actions);
+            let rb = b.step(&actions);
+            assert_eq!(ra.rewards, rb.rewards);
+        }
+        assert_eq!(a.global_state(), b.global_state());
+    }
+
+    #[test]
+    fn reset_restores_initial_conditions() {
+        let mut env = small_env();
+        let actions = vec![UvAction { heading: 0.0, speed: 1.0 }; env.num_uvs()];
+        for _ in 0..20 {
+            env.step(&actions);
+        }
+        env.reset(7);
+        assert_eq!(env.timeslot(), 0);
+        assert!(env.poi_remaining().iter().all(|&d| d == 3e9));
+        assert!(env.uv_states().iter().all(|u| u.position == env.start()));
+    }
+}

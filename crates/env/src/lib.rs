@@ -1,0 +1,27 @@
+//! # agsc-env — the air-ground spatial-crowdsourcing Dec-POMDP
+//!
+//! Implements §III-IV of the paper: UAV free flight / UGV roadmap-constrained
+//! movement with speed-proportional energy (Eqn 1), AG-NOMA data collection
+//! with subchannel pairing and co-channel interference (Definitions 1-2),
+//! blind-range local observations (§IV-B1), the per-UV extrinsic reward
+//! (Eqn 17), and the five task metrics ψ σ ξ κ λ (Eqns 12-16).
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod config;
+pub mod env;
+pub mod metrics;
+pub mod obs;
+pub mod recorder;
+pub mod render;
+pub mod types;
+
+pub use collect::{run_collection, ScheduledEvent, SlotCollection};
+pub use config::EnvConfig;
+pub use env::{AirGroundEnv, StepResult};
+pub use metrics::{MetricInputs, Metrics};
+pub use obs::{global_state, local_observation, obs_dim};
+pub use recorder::{EpisodeRecorder, SlotRecord};
+pub use render::{render_ascii, trajectories_csv};
+pub use types::{UvAction, UvKind, UvState};

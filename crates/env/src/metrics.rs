@@ -1,0 +1,224 @@
+//! Task-level evaluation metrics (Eqns 12-16 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The five headline metrics of an air-ground SC task.
+///
+/// ```
+/// use agsc_env::MetricInputs;
+/// let m = MetricInputs {
+///     poi_initial: vec![100.0; 4],
+///     poi_remaining: vec![0.0, 0.0, 100.0, 100.0], // half the PoIs drained
+///     loss_events: 60,
+///     subchannels: 3,
+///     horizon: 100,
+///     num_uvs: 4,
+///     uav_energy_fracs: vec![0.2, 0.2],
+///     ugv_energy_fracs: vec![0.1, 0.1],
+/// }
+/// .compute();
+/// assert!((m.data_collection_ratio - 0.5).abs() < 1e-12);
+/// assert!((m.data_loss_ratio - 0.05).abs() < 1e-12);       // 60 / (3·100·4)
+/// assert!((m.fairness - 0.5).abs() < 1e-12);               // Jain of (1,1,0,0)
+/// assert!((m.energy_ratio - 0.3).abs() < 1e-12);           // 0.2 + 0.1
+/// // λ = ψ(1−σ)κ/ξ
+/// assert!((m.efficiency - 0.5 * 0.95 * 0.5 / 0.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Data collection ratio ψ (Eqn 12).
+    pub data_collection_ratio: f64,
+    /// Data loss ratio σ (Eqn 13).
+    pub data_loss_ratio: f64,
+    /// Energy consumption ratio ξ (Eqn 14).
+    pub energy_ratio: f64,
+    /// Geographical fairness κ — Jain's index over per-PoI collected
+    /// fractions (Eqn 15).
+    pub fairness: f64,
+    /// Efficiency λ = ψ·(1−σ)·κ / ξ (Eqn 16).
+    pub efficiency: f64,
+}
+
+/// Inputs needed to compute [`Metrics`] at the end of an episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricInputs {
+    /// Initial data per PoI, bits.
+    pub poi_initial: Vec<f64>,
+    /// Remaining data per PoI at `T`, bits.
+    pub poi_remaining: Vec<f64>,
+    /// Total data-loss events over the episode.
+    pub loss_events: usize,
+    /// Subchannel count `Z`.
+    pub subchannels: usize,
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Number of UVs `U + G`.
+    pub num_uvs: usize,
+    /// Per-UAV total energy consumed / initial reserve.
+    pub uav_energy_fracs: Vec<f64>,
+    /// Per-UGV total energy consumed / initial reserve.
+    pub ugv_energy_fracs: Vec<f64>,
+}
+
+impl MetricInputs {
+    /// Compute the five metrics.
+    pub fn compute(&self) -> Metrics {
+        let total_initial: f64 = self.poi_initial.iter().sum();
+        let total_remaining: f64 = self.poi_remaining.iter().sum();
+        let psi = if total_initial > 0.0 {
+            1.0 - total_remaining / total_initial
+        } else {
+            0.0
+        };
+
+        let denom = (self.subchannels * self.horizon * self.num_uvs) as f64;
+        let sigma = if denom > 0.0 {
+            (self.loss_events as f64 / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        // ξ = mean over UAVs + mean over UGVs of consumed/initial (Eqn 14).
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let xi = mean(&self.uav_energy_fracs) + mean(&self.ugv_energy_fracs);
+
+        // κ: Jain's index over collected fractions c_i = (D0 − DT)/D0.
+        let fracs: Vec<f64> = self
+            .poi_initial
+            .iter()
+            .zip(self.poi_remaining.iter())
+            .map(|(&d0, &dt)| if d0 > 0.0 { ((d0 - dt) / d0).max(0.0) } else { 0.0 })
+            .collect();
+        let sum: f64 = fracs.iter().sum();
+        let sum_sq: f64 = fracs.iter().map(|f| f * f).sum();
+        let kappa = if sum_sq > 0.0 && !fracs.is_empty() {
+            sum * sum / (fracs.len() as f64 * sum_sq)
+        } else {
+            0.0
+        };
+
+        let lambda = if xi > 1e-9 { psi * (1.0 - sigma) * kappa / xi } else { 0.0 };
+
+        Metrics {
+            data_collection_ratio: psi,
+            data_loss_ratio: sigma,
+            energy_ratio: xi,
+            fairness: kappa,
+            efficiency: lambda,
+        }
+    }
+}
+
+impl Metrics {
+    /// Mean of a slice of metric records (used to average test episodes).
+    pub fn mean(runs: &[Metrics]) -> Metrics {
+        if runs.is_empty() {
+            return Metrics::default();
+        }
+        let n = runs.len() as f64;
+        Metrics {
+            data_collection_ratio: runs.iter().map(|m| m.data_collection_ratio).sum::<f64>() / n,
+            data_loss_ratio: runs.iter().map(|m| m.data_loss_ratio).sum::<f64>() / n,
+            energy_ratio: runs.iter().map(|m| m.energy_ratio).sum::<f64>() / n,
+            fairness: runs.iter().map(|m| m.fairness).sum::<f64>() / n,
+            efficiency: runs.iter().map(|m| m.efficiency).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> MetricInputs {
+        MetricInputs {
+            poi_initial: vec![100.0; 4],
+            poi_remaining: vec![0.0; 4],
+            loss_events: 0,
+            subchannels: 3,
+            horizon: 100,
+            num_uvs: 4,
+            uav_energy_fracs: vec![0.1, 0.1],
+            ugv_energy_fracs: vec![0.05, 0.05],
+        }
+    }
+
+    #[test]
+    fn perfect_collection() {
+        let m = base_inputs().compute();
+        assert!((m.data_collection_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(m.data_loss_ratio, 0.0);
+        assert!((m.fairness - 1.0).abs() < 1e-12);
+        assert!((m.energy_ratio - 0.15).abs() < 1e-12);
+        assert!((m.efficiency - 1.0 / 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_collection_zero_everything() {
+        let mut i = base_inputs();
+        i.poi_remaining = i.poi_initial.clone();
+        let m = i.compute();
+        assert_eq!(m.data_collection_ratio, 0.0);
+        assert_eq!(m.fairness, 0.0);
+        assert_eq!(m.efficiency, 0.0);
+    }
+
+    #[test]
+    fn uneven_collection_hurts_fairness() {
+        let mut i = base_inputs();
+        i.poi_remaining = vec![0.0, 100.0, 100.0, 100.0]; // only PoI 0 drained
+        let m = i.compute();
+        assert!((m.fairness - 0.25).abs() < 1e-12, "Jain of (1,0,0,0) is 1/4");
+        assert!((m.data_collection_ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_ratio_normalised_by_ztk() {
+        let mut i = base_inputs();
+        i.loss_events = 120; // 120 / (3·100·4) = 0.1
+        let m = i.compute();
+        assert!((m.data_loss_ratio - 0.1).abs() < 1e-12);
+        // Efficiency shrinks by (1 − σ).
+        assert!((m.efficiency - 0.9 / 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_poi_drain_counts_fractionally() {
+        let mut i = base_inputs();
+        i.poi_remaining = vec![50.0; 4];
+        let m = i.compute();
+        assert!((m.data_collection_ratio - 0.5).abs() < 1e-12);
+        assert!((m.fairness - 1.0).abs() < 1e-12, "equal fractions are perfectly fair");
+    }
+
+    #[test]
+    fn zero_energy_gives_zero_efficiency_not_nan() {
+        let mut i = base_inputs();
+        i.uav_energy_fracs = vec![0.0, 0.0];
+        i.ugv_energy_fracs = vec![0.0, 0.0];
+        let m = i.compute();
+        assert_eq!(m.efficiency, 0.0);
+        assert!(m.efficiency.is_finite());
+    }
+
+    #[test]
+    fn mean_averages_runs() {
+        let a = base_inputs().compute();
+        let mut i = base_inputs();
+        i.poi_remaining = i.poi_initial.clone();
+        let b = i.compute();
+        let avg = Metrics::mean(&[a, b]);
+        assert!((avg.data_collection_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_default() {
+        assert_eq!(Metrics::mean(&[]), Metrics::default());
+    }
+}

@@ -1,0 +1,128 @@
+//! UV state and action types.
+
+use agsc_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Which kind of unmanned vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UvKind {
+    /// Unmanned aerial vehicle — free flight at fixed altitude, relays
+    /// collected data to a UGV for decoding.
+    Uav,
+    /// Unmanned ground vehicle — roadmap-constrained, decodes as a mobile BS
+    /// and also collects directly.
+    Ugv,
+}
+
+/// Dynamic state of one UV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UvState {
+    /// Vehicle kind.
+    pub kind: UvKind,
+    /// Planar position (UAV altitude is a config constant).
+    pub position: Point,
+    /// Remaining energy, joules.
+    pub energy: f64,
+    /// Initial energy reserve `E_0^k`, joules.
+    pub initial_energy: f64,
+}
+
+impl UvState {
+    /// Fraction of energy remaining in `[0, 1]`.
+    pub fn energy_frac(&self) -> f64 {
+        (self.energy / self.initial_energy).clamp(0.0, 1.0)
+    }
+
+    /// True once the reserve is exhausted (the UV can no longer move).
+    ///
+    /// A sub-millijoule remainder counts as exhausted — it buys less than a
+    /// micrometre of movement and only arises from floating-point rounding.
+    pub fn is_exhausted(&self) -> bool {
+        self.energy <= 1e-3
+    }
+}
+
+/// A UV control action for one timeslot: the continuous `(ϑ, v)` pair of
+/// §IV-B2, encoded in normalised form.
+///
+/// * `heading ∈ [-1, 1]` maps to direction `ϑ = π · heading` (radians),
+/// * `speed ∈ [-1, 1]` maps to `v = v_max · (speed + 1) / 2`.
+///
+/// For UGVs the same pair designates a *desired destination* (current
+/// position plus the polar offset); the environment projects it onto the
+/// road network and walks at most the slot's movement budget (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UvAction {
+    /// Normalised heading in `[-1, 1]`.
+    pub heading: f64,
+    /// Normalised speed in `[-1, 1]`.
+    pub speed: f64,
+}
+
+impl UvAction {
+    /// Clamp both components into `[-1, 1]` (PPO samples are unbounded).
+    pub fn clamped(self) -> Self {
+        Self { heading: self.heading.clamp(-1.0, 1.0), speed: self.speed.clamp(-1.0, 1.0) }
+    }
+
+    /// Decode to physical `(ϑ in radians, v in m/s)` for the given top speed.
+    pub fn decode(self, max_speed: f64) -> (f64, f64) {
+        let a = self.clamped();
+        let theta = a.heading * std::f64::consts::PI;
+        let v = max_speed * (a.speed + 1.0) / 2.0;
+        (theta, v)
+    }
+
+    /// The do-nothing action (zero speed).
+    pub fn stay() -> Self {
+        Self { heading: 0.0, speed: -1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_fraction_and_exhaustion() {
+        let mut s = UvState {
+            kind: UvKind::Uav,
+            position: Point::ORIGIN,
+            energy: 750.0,
+            initial_energy: 1500.0,
+        };
+        assert!((s.energy_frac() - 0.5).abs() < 1e-12);
+        assert!(!s.is_exhausted());
+        s.energy = 0.0;
+        assert!(s.is_exhausted());
+        assert_eq!(s.energy_frac(), 0.0);
+    }
+
+    #[test]
+    fn action_decode_full_speed_east() {
+        let (theta, v) = UvAction { heading: 0.0, speed: 1.0 }.decode(18.0);
+        assert_eq!(theta, 0.0);
+        assert_eq!(v, 18.0);
+    }
+
+    #[test]
+    fn action_decode_stay() {
+        let (_, v) = UvAction::stay().decode(18.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn action_clamps_out_of_range_samples() {
+        let (theta, v) = UvAction { heading: 5.0, speed: -7.0 }.decode(10.0);
+        assert!((theta - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn heading_covers_full_circle() {
+        let (west, _) = UvAction { heading: -1.0, speed: 0.0 }.decode(1.0);
+        let (east, _) = UvAction { heading: 0.0, speed: 0.0 }.decode(1.0);
+        assert!((west - (-std::f64::consts::PI)).abs() < 1e-12);
+        assert_eq!(east, 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # agsc-geo — planar geometry and road networks
+//!
+//! Spatial substrate for the air-ground spatial-crowdsourcing environment:
+//!
+//! * [`point::Point`] / [`point::Aabb`] — the 2-D task area, slant distances
+//!   and elevation angles feeding the channel models,
+//! * [`roadnet::RoadNetwork`] — the campus roadmap constraining UGVs, with
+//!   Dijkstra shortest paths and budget-limited walks,
+//! * [`grid::SpatialGrid`] — radius queries for PoI access and h-CoPO
+//!   neighbour discovery.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod point;
+pub mod roadnet;
+
+pub use grid::SpatialGrid;
+pub use point::{Aabb, Point};
+pub use roadnet::{NodeId, Path, RoadNetwork, WalkResult};

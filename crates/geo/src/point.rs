@@ -1,0 +1,204 @@
+//! Planar points and axis-aligned boxes.
+//!
+//! The task area is a flat 2-D region (campus map); UAV altitude enters only
+//! through the channel models, which combine the planar distance computed
+//! here with the hovering height `H_u`.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D task area, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Construct a point from coordinates in metres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared distance (avoids the sqrt in hot neighbour queries).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Slant (3-D) distance to a point hovering `height` metres above `other`.
+    ///
+    /// This is `d[i,u]` in the paper's channel equations (Eqn 2-4).
+    pub fn slant_dist(&self, other: &Point, height: f64) -> f64 {
+        let planar = self.dist(other);
+        (planar * planar + height * height).sqrt()
+    }
+
+    /// Elevation angle in **degrees** of a point hovering `height` metres above
+    /// `other`, as seen from `self` — `ang(i,u) = arcsin(H_u / d[i,u])`.
+    pub fn elevation_deg(&self, other: &Point, height: f64) -> f64 {
+        let d = self.slant_dist(other, height);
+        if d <= 0.0 {
+            90.0
+        } else {
+            (height / d).asin().to_degrees()
+        }
+    }
+
+    /// Linear interpolation: `self + t · (other − self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Translate by a polar offset (`heading` in radians, `dist` in metres).
+    pub fn polar_offset(&self, heading: f64, dist: f64) -> Point {
+        Point::new(self.x + heading.cos() * dist, self.y + heading.sin() * dist)
+    }
+
+    /// True if both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+/// Axis-aligned bounding box describing the task area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Box from the origin to `(w, h)`.
+    ///
+    /// # Panics
+    /// Panics if either extent is non-positive.
+    pub fn from_extent(w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "task area must have positive extent");
+        Self { min: Point::ORIGIN, max: Point::new(w, h) }
+    }
+
+    /// Horizontal extent in metres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent in metres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Diagonal length — the paper expresses the homogeneous-neighbour range
+    /// as a percentage "w.r.t the size of the task area" (Table V); we read
+    /// that as a fraction of this diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.min.dist(&self.max)
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> Point {
+        self.min.lerp(&self.max, 0.5)
+    }
+
+    /// True if `p` lies inside (inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the box.
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn slant_distance_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(30.0, 40.0); // planar 50
+        assert!((a.slant_dist(&b, 120.0) - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elevation_overhead_is_90deg() {
+        let a = Point::new(5.0, 5.0);
+        assert!((a.elevation_deg(&a, 60.0) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elevation_decreases_with_distance() {
+        let a = Point::ORIGIN;
+        let near = Point::new(10.0, 0.0);
+        let far = Point::new(1000.0, 0.0);
+        assert!(a.elevation_deg(&near, 60.0) > a.elevation_deg(&far, 60.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn polar_offset_cardinal_directions() {
+        let p = Point::ORIGIN;
+        let east = p.polar_offset(0.0, 1.0);
+        assert!((east.x - 1.0).abs() < 1e-12 && east.y.abs() < 1e-12);
+        let north = p.polar_offset(std::f64::consts::FRAC_PI_2, 2.0);
+        assert!(north.x.abs() < 1e-12 && (north.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_contains_and_clamp() {
+        let b = Aabb::from_extent(10.0, 5.0);
+        assert!(b.contains(&Point::new(5.0, 2.5)));
+        assert!(!b.contains(&Point::new(-1.0, 2.0)));
+        let clamped = b.clamp(&Point::new(20.0, -3.0));
+        assert_eq!(clamped, Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn aabb_diagonal_and_area() {
+        let b = Aabb::from_extent(3.0, 4.0);
+        assert_eq!(b.diagonal(), 5.0);
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.center(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn aabb_rejects_degenerate() {
+        let _ = Aabb::from_extent(0.0, 5.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Element-wise activations with analytic derivatives.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported element-wise activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent — the paper's default for policy/value trunks.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (used inside the GRU gates).
+    Sigmoid,
+    /// Identity (no-op), for output layers.
+    Linear,
+}
+
+impl Activation {
+    /// Apply the activation element-wise.
+    pub fn forward(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Linear => x.clone(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// All four activations here admit a derivative that is a function of the
+    /// activation output, which lets layers cache only the output.
+    pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+            Activation::Linear => Matrix::full(y.rows(), y.cols(), 1.0),
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Row-wise softmax (numerically stable: subtracts the row max).
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn tanh_forward_and_derivative() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 1.0]);
+        let y = Activation::Tanh.forward(&x);
+        assert!(approx(y.as_slice()[1], 0.0));
+        let d = Activation::Tanh.derivative_from_output(&y);
+        // tanh'(0) = 1
+        assert!(approx(d.as_slice()[1], 1.0));
+        // symmetric
+        assert!(approx(d.as_slice()[0], d.as_slice()[2]));
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        let x = Matrix::from_vec(1, 3, vec![-2.0, 0.0, 2.0]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let d = Activation::Relu.derivative_from_output(&y);
+        assert_eq!(d.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(approx(sigmoid(0.0), 0.5));
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_normalised() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!(approx(s, 1.0));
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+        // monotone in logits
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        let pa = softmax_rows(&a);
+        let pb = softmax_rows(&b);
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Matrix::from_vec(1, 4, vec![0.5, -0.5, 2.0, 0.0]);
+        let ls = log_softmax_rows(&x);
+        let p = softmax_rows(&x);
+        for (a, b) in ls.as_slice().iter().zip(p.as_slice()) {
+            assert!(approx(*a, b.ln()));
+        }
+    }
+}

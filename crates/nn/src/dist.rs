@@ -1,0 +1,297 @@
+//! Action distributions for policy heads.
+//!
+//! UAV/UGV actions in the paper are continuous `(direction, speed)` pairs, so
+//! actors use a diagonal Gaussian with a state-independent learned `log σ`
+//! (standard PPO parameterisation). The i-EOI classifier and the discrete
+//! baselines additionally need a categorical distribution.
+
+use crate::activation::{log_softmax_rows, softmax_rows};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+const LOG_2PI: f32 = 1.837_877_1; // ln(2π)
+
+/// Sample a standard normal via Box–Muller (avoids a `rand_distr` dependency).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Diagonal Gaussian over a batch of mean vectors with shared per-dimension
+/// `log σ`.
+#[derive(Debug, Clone)]
+pub struct DiagGaussian<'a> {
+    /// Batch of means, `B × dim`.
+    pub mean: &'a Matrix,
+    /// Shared log standard deviations, length `dim`.
+    pub log_std: &'a [f32],
+}
+
+impl<'a> DiagGaussian<'a> {
+    /// Wrap a batch of means with shared per-dimension log standard deviations.
+    ///
+    /// # Panics
+    /// Panics if `log_std.len() != mean.cols()`.
+    pub fn new(mean: &'a Matrix, log_std: &'a [f32]) -> Self {
+        assert_eq!(mean.cols(), log_std.len(), "log_std length mismatch");
+        Self { mean, log_std }
+    }
+
+    /// Sample one action per batch row.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Matrix {
+        let mut out = self.mean.clone();
+        for r in 0..out.rows() {
+            for (c, x) in out.row_mut(r).iter_mut().enumerate() {
+                let z = sample_standard_normal(rng);
+                *x += z * self.log_std[c].exp();
+            }
+        }
+        out
+    }
+
+    /// Log-probability of `actions` (`B × dim`), one value per row.
+    pub fn log_prob(&self, actions: &Matrix) -> Vec<f32> {
+        assert_eq!(actions.shape(), self.mean.shape(), "action shape mismatch");
+        let mut out = Vec::with_capacity(actions.rows());
+        for r in 0..actions.rows() {
+            let mut lp = 0.0f32;
+            for c in 0..actions.cols() {
+                let ls = self.log_std[c];
+                let inv_var = (-2.0 * ls).exp();
+                let d = actions[(r, c)] - self.mean[(r, c)];
+                lp += -0.5 * (d * d * inv_var + LOG_2PI) - ls;
+            }
+            out.push(lp);
+        }
+        out
+    }
+
+    /// Differential entropy (identical for every row).
+    pub fn entropy(&self) -> f32 {
+        self.log_std
+            .iter()
+            .map(|ls| 0.5 * (LOG_2PI + 1.0) + ls)
+            .sum()
+    }
+
+    /// Gradient of `Σ_r coeff[r] · log p(a_r)` with respect to the means
+    /// (`B × dim`) and with respect to `log σ` (length `dim`).
+    ///
+    /// This is the hand-derived piece that lets PPO backprop through the
+    /// policy head without an autograd engine:
+    /// `∂logp/∂µ = (a − µ)/σ²`, `∂logp/∂logσ = ((a − µ)/σ)² − 1`.
+    pub fn log_prob_grad(&self, actions: &Matrix, coeff: &[f32]) -> (Matrix, Vec<f32>) {
+        assert_eq!(actions.rows(), coeff.len(), "coeff length mismatch");
+        let mut d_mean = Matrix::zeros(actions.rows(), actions.cols());
+        let mut d_log_std = vec![0.0f32; actions.cols()];
+        for r in 0..actions.rows() {
+            let w = coeff[r];
+            if w == 0.0 {
+                continue;
+            }
+            for c in 0..actions.cols() {
+                let ls = self.log_std[c];
+                let inv_var = (-2.0 * ls).exp();
+                let d = actions[(r, c)] - self.mean[(r, c)];
+                d_mean[(r, c)] = w * d * inv_var;
+                d_log_std[c] += w * (d * d * inv_var - 1.0);
+            }
+        }
+        (d_mean, d_log_std)
+    }
+}
+
+/// Categorical distribution over a batch of logits rows.
+#[derive(Debug, Clone)]
+pub struct Categorical<'a> {
+    /// Batch of logits, `B × n`.
+    pub logits: &'a Matrix,
+}
+
+impl<'a> Categorical<'a> {
+    /// Wrap a batch of unnormalised logits.
+    pub fn new(logits: &'a Matrix) -> Self {
+        Self { logits }
+    }
+
+    /// Normalised probabilities, `B × n`.
+    pub fn probs(&self) -> Matrix {
+        softmax_rows(self.logits)
+    }
+
+    /// Sample one class index per row.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        let probs = self.probs();
+        let mut out = Vec::with_capacity(probs.rows());
+        for r in 0..probs.rows() {
+            let u: f32 = rng.gen();
+            let mut acc = 0.0f32;
+            let row = probs.row(r);
+            let mut choice = row.len() - 1;
+            for (i, &p) in row.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    choice = i;
+                    break;
+                }
+            }
+            out.push(choice);
+        }
+        out
+    }
+
+    /// Log-probability of the given class per row.
+    pub fn log_prob(&self, classes: &[usize]) -> Vec<f32> {
+        let ls = log_softmax_rows(self.logits);
+        classes
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| ls[(r, c)])
+            .collect()
+    }
+
+    /// Mean entropy across the batch.
+    pub fn entropy(&self) -> f32 {
+        let p = self.probs();
+        let lp = log_softmax_rows(self.logits);
+        let mut h = 0.0f32;
+        for r in 0..p.rows() {
+            for c in 0..p.cols() {
+                h -= p[(r, c)] * lp[(r, c)];
+            }
+        }
+        h / p.rows().max(1) as f32
+    }
+
+    /// Gradient of `Σ_r coeff[r] · log p(class_r)` w.r.t. the logits:
+    /// `coeff · (onehot − softmax)` — but note the sign convention here
+    /// returns the gradient of the *objective* (ascent direction negated by
+    /// the caller as needed).
+    pub fn log_prob_grad(&self, classes: &[usize], coeff: &[f32]) -> Matrix {
+        let p = self.probs();
+        let mut g = Matrix::zeros(p.rows(), p.cols());
+        for r in 0..p.rows() {
+            let w = coeff[r];
+            for c in 0..p.cols() {
+                let onehot = if classes[r] == c { 1.0 } else { 0.0 };
+                g[(r, c)] = w * (onehot - p[(r, c)]);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gaussian_log_prob_matches_closed_form() {
+        // Standard normal at 0 → logp = -0.5·ln(2π) per dim.
+        let mean = Matrix::zeros(1, 2);
+        let log_std = [0.0f32, 0.0];
+        let d = DiagGaussian::new(&mean, &log_std);
+        let a = Matrix::zeros(1, 2);
+        let lp = d.log_prob(&a)[0];
+        assert!((lp - (-LOG_2PI)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gaussian_entropy_increases_with_std() {
+        let mean = Matrix::zeros(1, 2);
+        let small = [0.0f32, 0.0];
+        let large = [1.0f32, 1.0];
+        let h_small = DiagGaussian::new(&mean, &small).entropy();
+        let h_large = DiagGaussian::new(&mean, &large).entropy();
+        assert!(h_large > h_small);
+    }
+
+    #[test]
+    fn gaussian_sample_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mean = Matrix::from_vec(1, 1, vec![2.0]);
+        let log_std = [0.0f32]; // σ = 1
+        let d = DiagGaussian::new(&mean, &log_std);
+        let n = 4000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let s = d.sample(&mut rng)[(0, 0)] as f64;
+            sum += s;
+            sq += s * s;
+        }
+        let m = sum / n as f64;
+        let var = sq / n as f64 - m * m;
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_grad_matches_finite_difference() {
+        let mean = Matrix::from_vec(1, 2, vec![0.3, -0.2]);
+        let log_std = [0.1f32, -0.3];
+        let a = Matrix::from_vec(1, 2, vec![0.8, 0.1]);
+        let d = DiagGaussian::new(&mean, &log_std);
+        let (dm, dls) = d.log_prob_grad(&a, &[1.0]);
+
+        let eps = 1e-3f32;
+        for c in 0..2 {
+            let mut mp = mean.clone();
+            mp[(0, c)] += eps;
+            let mut mm = mean.clone();
+            mm[(0, c)] -= eps;
+            let lp = DiagGaussian::new(&mp, &log_std).log_prob(&a)[0];
+            let lm = DiagGaussian::new(&mm, &log_std).log_prob(&a)[0];
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dm[(0, c)]).abs() < 1e-2, "d_mean[{c}]");
+
+            let mut lsp = log_std;
+            lsp[c] += eps;
+            let mut lsm = log_std;
+            lsm[c] -= eps;
+            let lp = DiagGaussian::new(&mean, &lsp).log_prob(&a)[0];
+            let lm = DiagGaussian::new(&mean, &lsm).log_prob(&a)[0];
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dls[c]).abs() < 1e-2, "d_log_std[{c}]");
+        }
+    }
+
+    #[test]
+    fn categorical_probs_normalised_and_sampling_biased() {
+        let logits = Matrix::from_vec(1, 3, vec![0.0, 0.0, 5.0]);
+        let d = Categorical::new(&logits);
+        let p = d.probs();
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..500 {
+            counts[d.sample(&mut rng)[0]] += 1;
+        }
+        assert!(counts[2] > 450, "dominant logit should dominate samples");
+    }
+
+    #[test]
+    fn categorical_log_prob_grad_is_onehot_minus_softmax() {
+        let logits = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let d = Categorical::new(&logits);
+        let g = d.log_prob_grad(&[1], &[1.0]);
+        let p = d.probs();
+        assert!((g[(0, 0)] + p[(0, 0)]).abs() < 1e-5);
+        assert!((g[(0, 1)] - (1.0 - p[(0, 1)])).abs() < 1e-5);
+        assert!((g[(0, 2)] + p[(0, 2)]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn categorical_entropy_max_for_uniform() {
+        let uni = Matrix::from_vec(1, 4, vec![0.0; 4]);
+        let peaked = Matrix::from_vec(1, 4, vec![10.0, 0.0, 0.0, 0.0]);
+        let h_uni = Categorical::new(&uni).entropy();
+        let h_peaked = Categorical::new(&peaked).entropy();
+        assert!((h_uni - (4.0f32).ln()).abs() < 1e-4);
+        assert!(h_peaked < h_uni);
+    }
+}

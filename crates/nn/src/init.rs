@@ -1,0 +1,79 @@
+//! Weight initialisation schemes.
+//!
+//! All initialisers take an explicit RNG so that every experiment in the
+//! benchmark harness is reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Initialisation scheme for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`; suits ReLU.
+    HeUniform,
+    /// Small-scale uniform used for policy output heads so the initial policy
+    /// is near-zero-mean (standard PPO practice).
+    SmallUniform,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Sample a `fan_in × fan_out` weight matrix.
+    pub fn sample<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+        let bound = match self {
+            Init::XavierUniform => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+            Init::HeUniform => (6.0 / fan_in.max(1) as f32).sqrt(),
+            Init::SmallUniform => 0.01,
+            Init::Zeros => return Matrix::zeros(fan_in, fan_out),
+        };
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        for x in m.as_mut_slice() {
+            *x = rng.gen_range(-bound..bound);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = Init::XavierUniform.sample(64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= bound));
+        // Should not be degenerate.
+        assert!(m.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn he_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = Init::HeUniform.sample(32, 8, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = Init::Zeros.sample(4, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let ma = Init::XavierUniform.sample(8, 8, &mut a);
+        let mb = Init::XavierUniform.sample(8, 8, &mut b);
+        assert_eq!(ma, mb);
+    }
+}

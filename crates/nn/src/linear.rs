@@ -1,0 +1,168 @@
+//! Fully-connected layer with manual backward pass.
+
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `y = x W + b` with cached input for the backward pass.
+///
+/// `W` is stored `in_dim × out_dim`, so a batch `x` of shape `B × in_dim`
+/// maps to `B × out_dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight parameter, `in_dim × out_dim`.
+    pub w: Param,
+    /// Bias parameter, `1 × out_dim`.
+    pub b: Param,
+    /// Input cached by the last `forward` call (training mode only).
+    #[serde(skip)]
+    cache: Option<Matrix>,
+}
+
+impl Linear {
+    /// Create a layer with the given initialisation for `W` (bias is zero).
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, init: Init, rng: &mut R) -> Self {
+        Self {
+            w: Param::new(init.sample(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cache: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input for `backward`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0));
+        self.cache = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0))
+    }
+
+    /// Backward pass: given `dL/dy`, accumulate `dL/dW`, `dL/db` and return
+    /// `dL/dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cache
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = xᵀ · dY
+        let dw = x.t_matmul(grad_out);
+        self.w.grad.add_scaled(&dw, 1.0);
+        // db = column sums of dY
+        let db = grad_out.sum_rows();
+        for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(db.iter()) {
+            *g += d;
+        }
+        // dX = dY · Wᵀ
+        grad_out.matmul_t(&self.w.value)
+    }
+
+    /// Mutable references to this layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Shared references to this layer's parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Linear::new(3, 2, Init::Zeros, &mut rng());
+        l.b.value.as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        let x = Matrix::from_vec(2, 3, vec![0.0; 6]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (2, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let mut l = Linear::new(4, 3, Init::XavierUniform, &mut rng());
+        let x = Matrix::from_vec(2, 4, vec![0.3, -0.1, 0.8, 0.2, -0.5, 0.4, 0.0, 1.0]);
+
+        // Scalar loss: sum of outputs.
+        let y = l.forward(&x);
+        let grad_out = Matrix::full(y.rows(), y.cols(), 1.0);
+        let dx = l.backward(&grad_out);
+
+        let eps = 1e-3f32;
+        // Check dW numerically for a few entries.
+        for &(i, j) in &[(0usize, 0usize), (2, 1), (3, 2)] {
+            let orig = l.w.value[(i, j)];
+            l.w.value[(i, j)] = orig + eps;
+            let lp = l.forward_inference(&x).sum();
+            l.w.value[(i, j)] = orig - eps;
+            let lm = l.forward_inference(&x).sum();
+            l.w.value[(i, j)] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = l.w.grad[(i, j)];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "dW[{i},{j}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check dX numerically for one entry.
+        let mut xp = x.clone();
+        xp[(0, 2)] += eps;
+        let lp = l.forward_inference(&xp).sum();
+        let mut xm = x.clone();
+        xm[(0, 2)] -= eps;
+        let lm = l.forward_inference(&xm).sum();
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - dx[(0, 2)]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_accumulates_grads() {
+        let mut l = Linear::new(2, 2, Init::XavierUniform, &mut rng());
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let g = Matrix::full(1, 2, 1.0);
+        l.forward(&x);
+        l.backward(&g);
+        let first = l.w.grad.clone();
+        l.forward(&x);
+        l.backward(&g);
+        let mut doubled = first.clone();
+        doubled.add_scaled(&first, 1.0);
+        assert_eq!(l.w.grad, doubled);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Linear::new(2, 2, Init::Zeros, &mut rng());
+        let g = Matrix::full(1, 2, 1.0);
+        l.backward(&g);
+    }
+}

@@ -1,0 +1,360 @@
+//! LSTM cell with truncated back-propagation through time.
+//!
+//! The e-Divert baseline's original paper uses an LSTM for sequential
+//! modeling; [`crate::gru::GruCell`] is the lighter default, and this cell
+//! restores exact fidelity when wanted.
+//!
+//! Gate equations (standard, no peepholes):
+//! ```text
+//! i = σ(x·Wxi + h·Whi + bi)      input gate
+//! f = σ(x·Wxf + h·Whf + bf)      forget gate
+//! o = σ(x·Wxo + h·Who + bo)      output gate
+//! g = tanh(x·Wxg + h·Whg + bg)   candidate
+//! c' = f ⊙ c + i ⊙ g
+//! h' = o ⊙ tanh(c')
+//! ```
+
+use crate::activation::sigmoid;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `(hidden, cell)` state pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h`.
+    pub h: Matrix,
+    /// Cell state `c`.
+    pub c: Matrix,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    o: Matrix,
+    g: Matrix,
+    tanh_c: Matrix,
+}
+
+/// A single-layer LSTM cell operating on batched step inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmCell {
+    /// Input→input-gate weights.
+    pub wxi: Param,
+    /// State→input-gate weights.
+    pub whi: Param,
+    /// Input-gate bias.
+    pub bi: Param,
+    /// Input→forget-gate weights.
+    pub wxf: Param,
+    /// State→forget-gate weights.
+    pub whf: Param,
+    /// Forget-gate bias (initialised to 1 — the standard trick that keeps
+    /// memory open early in training).
+    pub bf: Param,
+    /// Input→output-gate weights.
+    pub wxo: Param,
+    /// State→output-gate weights.
+    pub who: Param,
+    /// Output-gate bias.
+    pub bo: Param,
+    /// Input→candidate weights.
+    pub wxg: Param,
+    /// State→candidate weights.
+    pub whg: Param,
+    /// Candidate bias.
+    pub bg: Param,
+    in_dim: usize,
+    hidden_dim: usize,
+    #[serde(skip)]
+    caches: Vec<StepCache>,
+}
+
+impl LstmCell {
+    /// Xavier-initialised cell mapping `in_dim` inputs to `hidden_dim` state.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        let wi = |rng: &mut R| Param::new(Init::XavierUniform.sample(in_dim, hidden_dim, rng));
+        let wh = |rng: &mut R| Param::new(Init::XavierUniform.sample(hidden_dim, hidden_dim, rng));
+        let b = || Param::new(Matrix::zeros(1, hidden_dim));
+        Self {
+            wxi: wi(rng),
+            whi: wh(rng),
+            bi: b(),
+            wxf: wi(rng),
+            whf: wh(rng),
+            bf: Param::new(Matrix::full(1, hidden_dim, 1.0)),
+            wxo: wi(rng),
+            who: wh(rng),
+            bo: b(),
+            wxg: wi(rng),
+            whg: wh(rng),
+            bg: b(),
+            in_dim,
+            hidden_dim,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Zero `(h, c)` state for a batch of `b` sequences.
+    pub fn zero_state(&self, b: usize) -> LstmState {
+        LstmState { h: Matrix::zeros(b, self.hidden_dim), c: Matrix::zeros(b, self.hidden_dim) }
+    }
+
+    /// Forget all cached steps (start a new BPTT window).
+    pub fn reset_cache(&mut self) {
+        self.caches.clear();
+    }
+
+    /// One step, caching intermediates for `backward_sequence`.
+    pub fn forward(&mut self, x: &Matrix, state: &LstmState) -> LstmState {
+        let (next, cache) = self.step(x, state);
+        self.caches.push(cache);
+        next
+    }
+
+    /// One step without caching (inference).
+    pub fn forward_inference(&self, x: &Matrix, state: &LstmState) -> LstmState {
+        self.step(x, state).0
+    }
+
+    fn step(&self, x: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.cols(), self.in_dim, "LSTM input dim mismatch");
+        assert_eq!(state.h.cols(), self.hidden_dim, "LSTM state dim mismatch");
+        let gate = |wx: &Param, wh: &Param, b: &Param| {
+            (&x.matmul(&wx.value) + &state.h.matmul(&wh.value))
+                .add_row_broadcast(b.value.row(0))
+        };
+        let i = gate(&self.wxi, &self.whi, &self.bi).map(sigmoid);
+        let f = gate(&self.wxf, &self.whf, &self.bf).map(sigmoid);
+        let o = gate(&self.wxo, &self.who, &self.bo).map(sigmoid);
+        let g = gate(&self.wxg, &self.whg, &self.bg).map(f32::tanh);
+        let c = &f.hadamard(&state.c) + &i.hadamard(&g);
+        let tanh_c = c.map(f32::tanh);
+        let h = o.hadamard(&tanh_c);
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            o,
+            g,
+            tanh_c,
+        };
+        (LstmState { h, c }, cache)
+    }
+
+    /// BPTT over all cached steps given `dL/dh_t` per step; accumulates
+    /// parameter gradients and returns `dL/dx_t` per step.
+    ///
+    /// # Panics
+    /// Panics if the gradient count differs from the cached step count.
+    pub fn backward_sequence(&mut self, grad_h_per_step: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(
+            grad_h_per_step.len(),
+            self.caches.len(),
+            "gradient count must equal cached step count"
+        );
+        let steps = self.caches.len();
+        let mut dx_all = vec![Matrix::zeros(0, 0); steps];
+        let mut dh_carry: Option<Matrix> = None;
+        let mut dc_carry: Option<Matrix> = None;
+
+        for t in (0..steps).rev() {
+            let cache = self.caches[t].clone();
+            let mut dh = grad_h_per_step[t].clone();
+            if let Some(c) = dh_carry.take() {
+                dh += &c;
+            }
+            // h = o ⊙ tanh(c)
+            let do_ = dh.hadamard(&cache.tanh_c);
+            let mut dc = dh.hadamard(&cache.o).hadamard(&cache.tanh_c.map(|v| 1.0 - v * v));
+            if let Some(c) = dc_carry.take() {
+                dc += &c;
+            }
+            // c = f ⊙ c_prev + i ⊙ g
+            let df = dc.hadamard(&cache.c_prev);
+            let di = dc.hadamard(&cache.g);
+            let dg = dc.hadamard(&cache.i);
+            let dc_prev = dc.hadamard(&cache.f);
+
+            // Through the gate nonlinearities.
+            let dai = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+            let daf = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
+            let dao = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+            let dag = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+
+            let mut dx = Matrix::zeros(cache.x.rows(), self.in_dim);
+            let mut dh_prev = Matrix::zeros(cache.x.rows(), self.hidden_dim);
+            let mut backprop = |da: &Matrix, wx: &mut Param, wh: &mut Param, b: &mut Param| {
+                wx.grad.add_scaled(&cache.x.t_matmul(da), 1.0);
+                wh.grad.add_scaled(&cache.h_prev.t_matmul(da), 1.0);
+                let col_sums = da.sum_rows();
+                for (gacc, s) in b.grad.as_mut_slice().iter_mut().zip(col_sums.iter()) {
+                    *gacc += s;
+                }
+                dx += &da.matmul_t(&wx.value);
+                dh_prev += &da.matmul_t(&wh.value);
+            };
+            backprop(&dai, &mut self.wxi, &mut self.whi, &mut self.bi);
+            backprop(&daf, &mut self.wxf, &mut self.whf, &mut self.bf);
+            backprop(&dao, &mut self.wxo, &mut self.who, &mut self.bo);
+            backprop(&dag, &mut self.wxg, &mut self.whg, &mut self.bg);
+
+            dx_all[t] = dx;
+            dh_carry = Some(dh_prev);
+            dc_carry = Some(dc_prev);
+        }
+        self.caches.clear();
+        dx_all
+    }
+
+    /// Mutable references to all twelve parameter tensors.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wxi,
+            &mut self.whi,
+            &mut self.bi,
+            &mut self.wxf,
+            &mut self.whf,
+            &mut self.bf,
+            &mut self.wxo,
+            &mut self.who,
+            &mut self.bo,
+            &mut self.wxg,
+            &mut self.whg,
+            &mut self.bg,
+        ]
+    }
+
+    /// Shared references to all twelve parameter tensors.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![
+            &self.wxi, &self.whi, &self.bi, &self.wxf, &self.whf, &self.bf, &self.wxo, &self.who,
+            &self.bo, &self.wxg, &self.whg, &self.bg,
+        ]
+    }
+
+    /// Zero every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut cell = LstmCell::new(3, 5, &mut rng());
+        let s0 = cell.zero_state(2);
+        let x = Matrix::zeros(2, 3);
+        let s1 = cell.forward(&x, &s0);
+        assert_eq!(s1.h.shape(), (2, 5));
+        assert_eq!(s1.c.shape(), (2, 5));
+    }
+
+    #[test]
+    fn memory_carries_information() {
+        let cell = LstmCell::new(2, 4, &mut rng());
+        let s0 = cell.zero_state(1);
+        let xa = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let xb = Matrix::from_vec(1, 2, vec![-1.0, 1.0]);
+        let sa = cell.forward_inference(&xa, &s0);
+        let sb = cell.forward_inference(&xb, &s0);
+        assert_ne!(sa.h, sb.h);
+        let x2 = Matrix::from_vec(1, 2, vec![0.3, 0.3]);
+        let out_a = cell.forward_inference(&x2, &sa);
+        let out_b = cell.forward_inference(&x2, &sb);
+        assert_ne!(out_a.h, out_b.h, "LSTM must remember its history");
+    }
+
+    #[test]
+    fn bptt_gradient_matches_finite_difference() {
+        let mut cell = LstmCell::new(3, 4, &mut rng());
+        let x0 = Matrix::from_vec(1, 3, vec![0.4, -0.2, 0.1]);
+        let x1 = Matrix::from_vec(1, 3, vec![-0.3, 0.6, 0.5]);
+
+        let loss = |cell: &LstmCell| {
+            let s0 = cell.zero_state(1);
+            let s1 = cell.forward_inference(&x0, &s0);
+            let s2 = cell.forward_inference(&x1, &s1);
+            s2.h.sum()
+        };
+
+        cell.zero_grad();
+        cell.reset_cache();
+        let s0 = cell.zero_state(1);
+        let s1 = cell.forward(&x0, &s0);
+        let s2 = cell.forward(&x1, &s1);
+        let zero = Matrix::zeros(1, 4);
+        let ones = Matrix::full(s2.h.rows(), s2.h.cols(), 1.0);
+        cell.backward_sequence(&[zero, ones]);
+
+        let eps = 1e-3f32;
+        // One probe per distinct weight family.
+        for (param_idx, i, j) in [(0usize, 0usize, 0usize), (3, 1, 2), (7, 2, 1), (10, 0, 3)] {
+            let analytic = cell.params()[param_idx].grad[(i, j)];
+            {
+                let p = &mut cell.params_mut()[param_idx];
+                p.value[(i, j)] += eps;
+            }
+            let lp = loss(&cell);
+            {
+                let p = &mut cell.params_mut()[param_idx];
+                p.value[(i, j)] -= 2.0 * eps;
+            }
+            let lm = loss(&cell);
+            {
+                let p = &mut cell.params_mut()[param_idx];
+                p.value[(i, j)] += eps;
+            }
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic).abs() < 2e-2,
+                "param {param_idx}[{i},{j}]: numeric {num} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let cell = LstmCell::new(2, 3, &mut rng());
+        assert!(cell.bf.value.as_slice().iter().all(|&v| v == 1.0));
+        assert!(cell.bi.value.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count must equal cached step count")]
+    fn backward_with_wrong_count_panics() {
+        let mut cell = LstmCell::new(2, 2, &mut rng());
+        let s0 = cell.zero_state(1);
+        cell.forward(&Matrix::zeros(1, 2), &s0);
+        cell.backward_sequence(&[]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Multi-layer perceptron: the workhorse network of the reproduction.
+//!
+//! Every actor, critic, and the i-EOI identity classifier in the paper is a
+//! small MLP ("h/i-MADRL only contains fully connected layers", §VI-F).
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network of `Linear` layers with a shared hidden activation
+/// and a (usually linear) output activation.
+///
+/// ```
+/// use agsc_nn::{Adam, Matrix, Mlp};
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let mut net = Mlp::tanh(&[2, 16, 1], &mut rng);
+/// let mut opt = Adam::new(1e-2);
+/// let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+/// let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]); // XOR
+/// for _ in 0..500 {
+///     net.zero_grad();
+///     let pred = net.forward(&x);
+///     let (_, grad) = agsc_nn::loss::mse(&pred, &y);
+///     net.backward(&grad);
+///     opt.step(&mut net.params_mut());
+/// }
+/// let pred = net.forward_inference(&x);
+/// for (p, t) in pred.as_slice().iter().zip(y.as_slice()) {
+///     assert!((p - t).abs() < 0.2, "XOR not learned: {p} vs {t}");
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    output_act: Activation,
+    /// Cached post-activation outputs of each layer from the last training
+    /// forward pass (needed to differentiate through the activations).
+    #[serde(skip)]
+    act_cache: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[in, 64, 64, out]`.
+    ///
+    /// Hidden layers use `hidden_init`; the final layer uses `out_init` (policy
+    /// heads typically want `Init::SmallUniform`).
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        hidden_init: Init,
+        out_init: Init,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in 0..sizes.len() - 1 {
+            let init = if w == sizes.len() - 2 { out_init } else { hidden_init };
+            layers.push(Linear::new(sizes[w], sizes[w + 1], init, rng));
+        }
+        Self { layers, hidden_act, output_act, act_cache: Vec::new() }
+    }
+
+    /// Convenience constructor matching the paper's defaults: tanh hidden
+    /// layers, linear output, Xavier weights.
+    pub fn tanh<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        Self::new(
+            sizes,
+            Activation::Tanh,
+            Activation::Linear,
+            Init::XavierUniform,
+            Init::SmallUniform,
+            rng,
+        )
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_dim)
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.count()).sum()
+    }
+
+    /// Training-mode forward pass; caches activations for `backward`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.act_cache.clear();
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let z = layer.forward(&h);
+            let act = if i + 1 == n { self.output_act } else { self.hidden_act };
+            h = act.forward(&z);
+            self.act_cache.push(h.clone());
+        }
+        h
+    }
+
+    /// Inference-mode forward pass (no caches touched, `&self`).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward_inference(&h);
+            let act = if i + 1 == n { self.output_act } else { self.hidden_act };
+            h = act.forward(&z);
+        }
+        h
+    }
+
+    /// Backward pass from `dL/dy`; accumulates parameter gradients and returns
+    /// `dL/dx`.
+    ///
+    /// # Panics
+    /// Panics if called before a training-mode `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(
+            self.act_cache.len(),
+            self.layers.len(),
+            "Mlp::backward called before forward"
+        );
+        let n = self.layers.len();
+        let mut g = grad_out.clone();
+        for i in (0..n).rev() {
+            let act = if i + 1 == n { self.output_act } else { self.hidden_act };
+            let d_act = act.derivative_from_output(&self.act_cache[i]);
+            let gz = g.hadamard(&d_act);
+            g = self.layers[i].backward(&gz);
+        }
+        g
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Mutable references to every parameter, in deterministic order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(Linear::params_mut).collect()
+    }
+
+    /// Shared references to every parameter, in deterministic order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(Linear::params).collect()
+    }
+
+    /// Copy the parameter *values* of `other` into `self` (shapes must match).
+    pub fn copy_values_from(&mut self, other: &Mlp) {
+        let src = other.params();
+        let mut dst = self.params_mut();
+        assert_eq!(src.len(), dst.len(), "parameter structure mismatch");
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            assert_eq!(d.value.shape(), s.value.shape(), "parameter shape mismatch");
+            d.value = s.value.clone();
+        }
+    }
+
+    /// Flatten all parameter values into one vector (used by the h-CoPO
+    /// first-order meta-gradient, Eqn 32 of the paper).
+    pub fn flat_values(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for p in self.params() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        out
+    }
+
+    /// Flatten all accumulated gradients into one vector.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for p in self.params() {
+            out.extend_from_slice(p.grad.as_slice());
+        }
+        out
+    }
+
+    /// Global L2 gradient-norm clip; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let scale = max_norm / total;
+            for p in self.params_mut() {
+                for g in p.grad.as_mut_slice() {
+                    *g *= scale;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut net = Mlp::tanh(&[5, 16, 8, 2], &mut rng());
+        assert_eq!(net.in_dim(), 5);
+        assert_eq!(net.out_dim(), 2);
+        let x = Matrix::zeros(7, 5);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), (7, 2));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let net = Mlp::tanh(&[4, 8, 3], &mut rng());
+        // (4*8 + 8) + (8*3 + 3)
+        assert_eq!(net.param_count(), 40 + 27);
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut net = Mlp::tanh(&[3, 10, 2], &mut rng());
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.3, 0.5, 0.9, 0.0, -0.7]);
+        let yt = net.forward(&x);
+        let yi = net.forward_inference(&x);
+        assert_eq!(yt, yi);
+    }
+
+    #[test]
+    fn end_to_end_gradient_matches_finite_difference() {
+        let mut net = Mlp::tanh(&[3, 6, 1], &mut rng());
+        let x = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.6, -0.1, 0.3, 0.8]);
+
+        net.zero_grad();
+        let y = net.forward(&x);
+        let g = Matrix::full(y.rows(), y.cols(), 1.0);
+        net.backward(&g);
+
+        let eps = 1e-3f32;
+        let analytic = net.flat_grads();
+        // Numerically check a scattering of parameters.
+        let n = analytic.len();
+        for &flat_idx in &[0usize, n / 3, n / 2, n - 1] {
+            // Perturb the flat_idx-th parameter.
+            let loss_at = |net: &mut Mlp, delta: f32| {
+                let mut offset = 0usize;
+                for p in net.params_mut() {
+                    let c = p.count();
+                    if flat_idx < offset + c {
+                        p.value.as_mut_slice()[flat_idx - offset] += delta;
+                        break;
+                    }
+                    offset += c;
+                }
+                let l = net.forward_inference(&x).sum();
+                let mut offset = 0usize;
+                for p in net.params_mut() {
+                    let c = p.count();
+                    if flat_idx < offset + c {
+                        p.value.as_mut_slice()[flat_idx - offset] -= delta;
+                        break;
+                    }
+                    offset += c;
+                }
+                l
+            };
+            let lp = loss_at(&mut net, eps);
+            let lm = loss_at(&mut net, -eps);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[flat_idx]).abs() < 2e-2,
+                "param {flat_idx}: numeric {num} vs analytic {}",
+                analytic[flat_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut net = Mlp::tanh(&[2, 2], &mut rng());
+        for p in net.params_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g = 10.0;
+            }
+        }
+        let pre = net.clip_grad_norm(1.0);
+        assert!(pre > 1.0);
+        let post: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn copy_values_from_synchronises() {
+        let mut a = Mlp::tanh(&[3, 4, 2], &mut rng());
+        let b = Mlp::tanh(&[3, 4, 2], &mut ChaCha8Rng::seed_from_u64(99));
+        a.copy_values_from(&b);
+        let x = Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.1]);
+        assert_eq!(a.forward_inference(&x), b.forward_inference(&x));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_outputs() {
+        let net = Mlp::tanh(&[3, 8, 2], &mut rng());
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = Matrix::from_vec(1, 3, vec![0.3, 0.3, -0.9]);
+        assert_eq!(net.forward_inference(&x), back.forward_inference(&x));
+    }
+}

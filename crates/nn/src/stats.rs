@@ -1,0 +1,130 @@
+//! Running statistics used for reward/value normalisation.
+//!
+//! MAPPO's "value normalization" trick (one of the practical techniques the
+//! paper's MAPPO baseline relies on, §VI-A) needs a numerically-stable
+//! streaming mean/variance — Welford's algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance via Welford's online algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStat {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStat {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one value.
+    pub fn push(&mut self, x: f32) {
+        let x = x as f64;
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observe a batch of values.
+    pub fn push_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 until data arrives).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Population variance (0 until two samples seen).
+    pub fn variance(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64) as f32
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Normalise `x` to zero mean / unit variance under the running stats.
+    pub fn normalize(&self, x: f32) -> f32 {
+        let s = self.std();
+        if s < 1e-6 {
+            x - self.mean()
+        } else {
+            (x - self.mean()) / s
+        }
+    }
+
+    /// Invert [`normalize`](Self::normalize).
+    pub fn denormalize(&self, z: f32) -> f32 {
+        let s = self.std();
+        if s < 1e-6 {
+            z + self.mean()
+        } else {
+            z * s + self.mean()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sequence() {
+        let mut s = RunningStat::new();
+        s.push_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-6);
+        assert!((s.variance() - 4.0).abs() < 1e-5);
+        assert!((s.std() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_round_trip() {
+        let mut s = RunningStat::new();
+        s.push_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let x = 2.7;
+        let z = s.normalize(x);
+        assert!((s.denormalize(z) - x).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        // Normalising with no data must not NaN.
+        assert!(s.normalize(1.0).is_finite());
+
+        let mut one = RunningStat::new();
+        one.push(5.0);
+        assert_eq!(one.variance(), 0.0);
+        assert!(one.normalize(5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Classic catastrophic-cancellation test: large offset, small spread.
+        let mut s = RunningStat::new();
+        for i in 0..1000 {
+            s.push(1e7 + (i % 3) as f32);
+        }
+        assert!(s.variance() >= 0.0);
+        assert!(s.variance() < 2.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # agsc — air-ground spatial crowdsourcing by multi-agent deep RL
+//!
+//! Umbrella crate for the h/i-MADRL reproduction (Ye et al., ICDE 2023).
+//! Re-exports every subsystem so downstream users need a single dependency:
+//!
+//! ```
+//! use agsc::datasets::presets;
+//! use agsc::env::{AirGroundEnv, EnvConfig};
+//! use agsc::madrl::{HiMadrlTrainer, TrainConfig};
+//!
+//! let dataset = presets::purdue(42);
+//! let mut env_cfg = EnvConfig::default();
+//! env_cfg.horizon = 5; // doctest-sized episode
+//! let mut env = AirGroundEnv::new(env_cfg, &dataset, 42);
+//! let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42);
+//! let stats = trainer.train_iteration(&mut env);
+//! assert!(stats.mean_ext_reward.is_finite());
+//! ```
+//!
+//! Crate map (see `DESIGN.md` for the full inventory):
+//! * [`nn`] — from-scratch neural-network stack,
+//! * [`geo`] — geometry, road networks, spatial queries,
+//! * [`channel`] — AG-NOMA uplink/relay models,
+//! * [`datasets`] — synthetic Purdue/NCSU campuses,
+//! * [`mod@env`] — the Dec-POMDP environment and metrics,
+//! * [`madrl`] — h/i-MADRL (IPPO base + i-EOI + h-CoPO),
+//! * [`baselines`] — the five comparison methods.
+
+#![warn(missing_docs)]
+
+pub use agsc_baselines as baselines;
+pub use agsc_channel as channel;
+pub use agsc_datasets as datasets;
+pub use agsc_env as env;
+pub use agsc_geo as geo;
+pub use agsc_madrl as madrl;
+pub use agsc_nn as nn;

@@ -1,0 +1,276 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: channel physics, metric bounds, road-network walks, GAE
+//! identities, spatial-grid correctness, and matrix algebra.
+
+use agsc::channel::{
+    air_ground_gain, capacity_bps, db_to_linear, linear_to_db, los_probability, ChannelParams,
+};
+use agsc::env::{MetricInputs, UvAction};
+use agsc::geo::{Aabb, Point, RoadNetwork, SpatialGrid};
+use agsc::datasets::{traces_from_csv, traces_to_csv, Trace};
+use agsc::madrl::gae;
+use agsc::nn::{Adam, Matrix, Param};
+use proptest::prelude::*;
+
+proptest! {
+    // --- channel physics ----------------------------------------------------
+
+    #[test]
+    fn los_probability_is_a_probability(elev in 0.0f64..90.0) {
+        let p = ChannelParams::default();
+        let v = los_probability(&p, elev);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn air_ground_gain_monotone_decreasing_in_distance(
+        d1 in 1.0f64..5_000.0,
+        delta in 1.0f64..5_000.0,
+        elev in 0.0f64..90.0,
+    ) {
+        let p = ChannelParams::default();
+        let near = air_ground_gain(&p, d1, elev);
+        let far = air_ground_gain(&p, d1 + delta, elev);
+        prop_assert!(far <= near, "gain must decay with distance");
+        prop_assert!(near.is_finite() && far > 0.0);
+    }
+
+    #[test]
+    fn capacity_monotone_in_sinr(s1 in 0.0f64..1e6, s2 in 0.0f64..1e6) {
+        let p = ChannelParams::default();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(capacity_bps(&p, lo) <= capacity_bps(&p, hi));
+    }
+
+    #[test]
+    fn db_conversion_round_trips(db in -100.0f64..100.0) {
+        let back = linear_to_db(db_to_linear(db));
+        prop_assert!((back - db).abs() < 1e-9);
+    }
+
+    // --- metrics -------------------------------------------------------------
+
+    #[test]
+    fn metrics_always_bounded(
+        remaining in proptest::collection::vec(0.0f64..=100.0, 1..50),
+        losses in 0usize..500,
+        uav_fracs in proptest::collection::vec(0.0f64..=1.0, 0..5),
+        ugv_fracs in proptest::collection::vec(0.0f64..=1.0, 1..5),
+    ) {
+        let inputs = MetricInputs {
+            poi_initial: vec![100.0; remaining.len()],
+            poi_remaining: remaining,
+            loss_events: losses,
+            subchannels: 3,
+            horizon: 100,
+            num_uvs: uav_fracs.len() + ugv_fracs.len(),
+            uav_energy_fracs: uav_fracs,
+            ugv_energy_fracs: ugv_fracs,
+        };
+        let m = inputs.compute();
+        prop_assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+        prop_assert!((0.0..=1.0).contains(&m.data_loss_ratio));
+        prop_assert!((0.0..=1.0).contains(&m.fairness));
+        prop_assert!((0.0..=2.0).contains(&m.energy_ratio));
+        prop_assert!(m.efficiency.is_finite() && m.efficiency >= 0.0);
+    }
+
+    #[test]
+    fn jain_fairness_maximised_by_equal_fractions(frac in 0.01f64..=1.0, n in 2usize..20) {
+        let inputs = MetricInputs {
+            poi_initial: vec![100.0; n],
+            poi_remaining: vec![100.0 * (1.0 - frac); n],
+            loss_events: 0,
+            subchannels: 3,
+            horizon: 100,
+            num_uvs: 4,
+            uav_energy_fracs: vec![0.1, 0.1],
+            ugv_energy_fracs: vec![0.1, 0.1],
+        };
+        let m = inputs.compute();
+        prop_assert!((m.fairness - 1.0).abs() < 1e-9, "equal fractions ⇒ κ = 1, got {}", m.fairness);
+    }
+
+    // --- actions --------------------------------------------------------------
+
+    #[test]
+    fn action_decode_bounds(h in -10.0f64..10.0, s in -10.0f64..10.0, vmax in 0.1f64..30.0) {
+        let (theta, v) = UvAction { heading: h, speed: s }.decode(vmax);
+        prop_assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&theta));
+        prop_assert!((0.0..=vmax).contains(&v));
+    }
+
+    // --- GAE ------------------------------------------------------------------
+
+    #[test]
+    fn gae_returns_identity(
+        rewards in proptest::collection::vec(-1.0f32..1.0, 1..30),
+        gamma in 0.5f32..1.0,
+        lambda in 0.0f32..1.0,
+    ) {
+        let values = vec![0.3f32; rewards.len()];
+        let (adv, rets) = gae(&rewards, &values, 0.1, gamma, lambda);
+        for t in 0..rewards.len() {
+            prop_assert!((rets[t] - (adv[t] + values[t])).abs() < 1e-5);
+            prop_assert!(adv[t].is_finite());
+        }
+    }
+
+    #[test]
+    fn gae_zero_rewards_perfect_values_zero_advantage(len in 1usize..20, gamma in 0.5f32..0.999) {
+        // With r = 0 and V ≡ 0, every TD error is zero regardless of λ.
+        let rewards = vec![0.0f32; len];
+        let values = vec![0.0f32; len];
+        let (adv, _) = gae(&rewards, &values, 0.0, gamma, 0.95);
+        prop_assert!(adv.iter().all(|a| a.abs() < 1e-7));
+    }
+
+    // --- road network -----------------------------------------------------------
+
+    #[test]
+    fn walk_never_exceeds_budget(
+        sx in 0.0f64..100.0, sy in 0.0f64..100.0,
+        tx in 0.0f64..100.0, ty in 0.0f64..100.0,
+        budget in 0.0f64..500.0,
+    ) {
+        let mut net = RoadNetwork::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                net.add_node(Point::new(x as f64 * 33.0, y as f64 * 33.0));
+            }
+        }
+        for y in 0..4 {
+            for x in 0..4 {
+                let id = y * 4 + x;
+                if x + 1 < 4 { net.add_edge(id, id + 1); }
+                if y + 1 < 4 { net.add_edge(id, id + 4); }
+            }
+        }
+        let walk = net.walk_towards(&Point::new(sx, sy), &Point::new(tx, ty), budget);
+        prop_assert!(walk.travelled <= budget + 1e-9);
+        prop_assert!(walk.position.is_finite());
+        prop_assert!(walk.nearest_node < net.node_count());
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality(seed_a in 0usize..16, seed_b in 0usize..16, seed_c in 0usize..16) {
+        let mut net = RoadNetwork::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                net.add_node(Point::new(x as f64 * 10.0, y as f64 * 10.0));
+            }
+        }
+        for y in 0..4 {
+            for x in 0..4 {
+                let id = y * 4 + x;
+                if x + 1 < 4 { net.add_edge(id, id + 1); }
+                if y + 1 < 4 { net.add_edge(id, id + 4); }
+            }
+        }
+        let ab = net.path_length(seed_a, seed_b);
+        let bc = net.path_length(seed_b, seed_c);
+        let ac = net.path_length(seed_a, seed_c);
+        prop_assert!(ac <= ab + bc + 1e-9, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    }
+
+    // --- spatial grid -------------------------------------------------------------
+
+    #[test]
+    fn grid_query_matches_brute_force(
+        pts in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 0..40),
+        qx in -50.0f64..250.0, qy in -50.0f64..250.0,
+        radius in 0.0f64..150.0,
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let grid = SpatialGrid::build(Aabb::from_extent(200.0, 200.0), 25.0, &points);
+        let center = Point::new(qx, qy);
+        let fast = grid.query_radius(&center, radius);
+        let mut brute: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(fast, brute);
+    }
+
+    // --- matrix algebra -------------------------------------------------------------
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(3, 2, c);
+        let left = ma.matmul(&(&mb + &mc));
+        let right = &ma.matmul(&mb) + &ma.matmul(&mc);
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+
+    // --- optimisers -----------------------------------------------------------
+
+    #[test]
+    fn adam_minimises_arbitrary_quadratics(
+        target in -5.0f32..5.0,
+        scale in 0.5f32..4.0,
+        start in -5.0f32..5.0,
+    ) {
+        // f(x) = scale·(x − target)², f' = 2·scale·(x − target).
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![start]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..600 {
+            let x = p.value.as_slice()[0];
+            p.grad.as_mut_slice()[0] = 2.0 * scale * (x - target);
+            opt.step(&mut [&mut p]);
+        }
+        let x = p.value.as_slice()[0];
+        prop_assert!((x - target).abs() < 0.05, "x={x} target={target}");
+    }
+
+    // --- trace CSV ---------------------------------------------------------------
+
+    #[test]
+    fn trace_csv_round_trips(
+        pts in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..20),
+            1..5,
+        ),
+    ) {
+        let traces: Vec<Trace> = pts
+            .iter()
+            .map(|t| Trace {
+                positions: t.iter().map(|&(x, y)| agsc::geo::Point::new(x, y)).collect(),
+            })
+            .collect();
+        let csv = traces_to_csv(&traces);
+        let back = traces_from_csv(&csv).unwrap();
+        prop_assert_eq!(back.len(), traces.len());
+        for (a, b) in back.iter().zip(traces.iter()) {
+            prop_assert_eq!(a.positions.len(), b.positions.len());
+            for (p, q) in a.positions.iter().zip(b.positions.iter()) {
+                // CSV stores 3 decimals.
+                prop_assert!((p.x - q.x).abs() < 1e-3 && (p.y - q.y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let left = ma.matmul(&mb).transpose();
+        let right = mb.transpose().matmul(&ma.transpose());
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+}
