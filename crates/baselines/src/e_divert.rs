@@ -15,9 +15,9 @@ use agsc_env::{AirGroundEnv, UvAction};
 use agsc_madrl::Policy;
 use agsc_nn::lstm::{LstmCell, LstmState};
 use agsc_nn::{Activation, Adam, GruCell, Init, Matrix, Mlp};
-use serde::{Deserialize, Serialize};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Which recurrent core the e-Divert actor uses. The original paper uses
 /// an LSTM; the GRU default is lighter with the same gated-recurrence
@@ -155,7 +155,12 @@ enum Recurrent {
 }
 
 impl Recurrent {
-    fn new<R: Rng + ?Sized>(kind: RecurrentKind, in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+    fn new<R: Rng + ?Sized>(
+        kind: RecurrentKind,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
         match kind {
             RecurrentKind::Gru => Recurrent::Gru(GruCell::new(in_dim, hidden, rng)),
             RecurrentKind::Lstm => Recurrent::Lstm(LstmCell::new(in_dim, hidden, rng)),
@@ -367,13 +372,7 @@ impl EDivert {
         let obs_dim = env.obs_dim();
         let agents =
             (0..env.num_uvs()).map(|_| EDivertAgent::new(obs_dim, &cfg, &mut rng)).collect();
-        Self {
-            replay: PrioritizedReplay::new(cfg.capacity),
-            agents,
-            rng,
-            iterations_done: 0,
-            cfg,
-        }
+        Self { replay: PrioritizedReplay::new(cfg.capacity), agents, rng, iterations_done: 0, cfg }
     }
 
     /// Iterations completed.

@@ -47,10 +47,9 @@ impl LegMatrix {
     fn build(kind: UvKind, roads: &RoadNetwork, start: &Point, targets: &[Point]) -> Self {
         let sources: Vec<Point> = std::iter::once(*start).chain(targets.iter().copied()).collect();
         let dist = match kind {
-            UvKind::Uav => sources
-                .iter()
-                .map(|s| targets.iter().map(|t| s.dist(t)).collect())
-                .collect(),
+            UvKind::Uav => {
+                sources.iter().map(|s| targets.iter().map(|t| s.dist(t)).collect()).collect()
+            }
             UvKind::Ugv => {
                 let target_nodes: Vec<usize> =
                     targets.iter().map(|t| roads.nearest_node(t)).collect();

@@ -24,7 +24,8 @@ fn bench_action_selection(c: &mut Criterion) {
     let obs = env.observations();
     let mut group = c.benchmark_group("table7_action_selection");
 
-    let trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42);
+    let trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42)
+        .expect("default training config must be valid");
     group.bench_function("hi_madrl_slot", |b| {
         b.iter(|| {
             for k in 0..env.num_uvs() {
@@ -63,9 +64,7 @@ fn bench_matmul(c: &mut Criterion) {
     let env = setup_env();
     let a = Matrix::full(100, env.obs_dim(), 0.5);
     let b_m = Matrix::full(env.obs_dim(), 64, 0.1);
-    c.bench_function("matmul_100x312x64", |b| {
-        b.iter(|| black_box(a.matmul(black_box(&b_m))))
-    });
+    c.bench_function("matmul_100x312x64", |b| b.iter(|| black_box(a.matmul(black_box(&b_m)))));
 }
 
 criterion_group!(benches, bench_action_selection, bench_env_step, bench_matmul);

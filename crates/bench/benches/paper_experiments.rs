@@ -8,8 +8,10 @@ use agsc_bench::HarnessConfig;
 
 fn main() {
     let h = HarnessConfig::from_env();
-    println!("budget: {} training iterations, {} eval episodes, seed {}",
-             h.iters, h.eval_episodes, h.seed);
+    println!(
+        "budget: {} training iterations, {} eval episodes, seed {}",
+        h.iters, h.eval_episodes, h.seed
+    );
     exp::table3_hyperparams(&h);
     exp::table4_win_decay(&h);
     exp::table5_neighbor_range(&h);

@@ -1,0 +1,61 @@
+//! Typed errors for the experiment harness.
+
+use agsc_env::EnvError;
+use agsc_madrl::TrainError;
+use std::fmt;
+
+/// Why one experiment point could not produce metrics.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Environment construction failed.
+    Env(EnvError),
+    /// Trainer construction or restore failed.
+    Train(TrainError),
+    /// A worker job panicked; the payload message is preserved.
+    JobPanicked(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Env(e) => write!(f, "environment setup failed: {e}"),
+            BenchError::Train(e) => write!(f, "trainer setup failed: {e}"),
+            BenchError::JobPanicked(msg) => write!(f, "experiment job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Env(e) => Some(e),
+            BenchError::Train(e) => Some(e),
+            BenchError::JobPanicked(_) => None,
+        }
+    }
+}
+
+impl From<EnvError> for BenchError {
+    fn from(e: EnvError) -> Self {
+        BenchError::Env(e)
+    }
+}
+
+impl From<TrainError> for BenchError {
+    fn from(e: TrainError) -> Self {
+        BenchError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e: BenchError = TrainError::InvalidConfig("clip_eps must be positive".into()).into();
+        assert!(e.to_string().contains("clip_eps"));
+        let e = BenchError::JobPanicked("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+    }
+}

@@ -3,7 +3,7 @@
 //! Each prints the same rows/series the paper reports. Budgets come from
 //! [`HarnessConfig`]; see `EXPERIMENTS.md` for paper-vs-measured values.
 
-use crate::harness::{parallel_map, run_method, HarnessConfig, Method};
+use crate::harness::{parallel_map, run_method_robust, HarnessConfig, Method};
 use crate::table::{banner, metrics_header, metrics_row, rule, series_header, series_row};
 use agsc_baselines::ippo;
 use agsc_datasets::{presets, CampusDataset};
@@ -43,7 +43,7 @@ pub fn table3_hyperparams(h: &HarnessConfig) {
                     centralized_critic: cc,
                     ..TrainConfig::default()
                 };
-                run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+                run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
             });
             for ((sp, cc), m) in jobs.iter().zip(results.iter()) {
                 let label = format!(
@@ -75,7 +75,7 @@ pub fn table4_win_decay(h: &HarnessConfig) {
         println!("{}", rule());
         let results = parallel_map(schedules.clone(), |(_, sched)| {
             let cfg = TrainConfig { intrinsic: *sched, ..TrainConfig::default() };
-            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
         for ((label, _), m) in schedules.iter().zip(results.iter()) {
             println!("{}", metrics_row(label, m));
@@ -96,7 +96,7 @@ pub fn table5_neighbor_range(h: &HarnessConfig) {
     for dataset in both_campuses(h.seed) {
         let results = parallel_map(fracs.to_vec(), |&frac| {
             let cfg = TrainConfig { neighbor_range_frac: frac, ..TrainConfig::default() };
-            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
         println!("\n[{}]", dataset.name);
         println!("{}", series_header("range", &ticks));
@@ -126,7 +126,7 @@ pub fn table6_ablation(h: &HarnessConfig) {
         println!("{}", rule());
         let results = parallel_map(variants.clone(), |(_, ab)| {
             let cfg = TrainConfig { ablation: *ab, ..TrainConfig::default() };
-            run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
         for ((label, _), m) in variants.iter().zip(results.iter()) {
             println!("{}", metrics_row(label, m));
@@ -157,7 +157,8 @@ pub fn table7_complexity(h: &HarnessConfig) {
     // Trainer-based methods share the same inference path (the plug-ins are
     // training-time only — the paper's point in §VI-F).
     for method in [Method::HiMadrl, Method::HiMadrlCopo, Method::Mappo] {
-        let t = HiMadrlTrainer::new(&env, method.train_config().unwrap(), 1, h.seed);
+        let t = HiMadrlTrainer::new(&env, method.train_config().unwrap(), 1, h.seed)
+            .expect("preset training config must be valid");
         let reps = 200usize;
         let start = Instant::now();
         for _ in 0..reps {
@@ -234,8 +235,9 @@ pub fn run_figure_sweep(sweep: &Sweep, h: &HarnessConfig) {
             .iter()
             .flat_map(|&m| (0..sweep.configs.len()).map(move |i| (m, i)))
             .collect();
-        let results: Vec<Metrics> =
-            parallel_map(jobs.clone(), |&(m, i)| run_method(m, &sweep.configs[i], &dataset, h, None));
+        let results: Vec<Metrics> = parallel_map(jobs.clone(), |&(m, i)| {
+            run_method_robust(m, &sweep.configs[i], &dataset, h, None)
+        });
         let metric_of = |m: &Metrics, sel: usize| match sel {
             0 => m.efficiency,
             1 => m.data_collection_ratio,
@@ -243,9 +245,13 @@ pub fn run_figure_sweep(sweep: &Sweep, h: &HarnessConfig) {
             3 => m.fairness,
             _ => m.energy_ratio,
         };
-        for (sel, name) in
-            [(0, "(a) efficiency"), (1, "(b) data collection"), (2, "(c) data loss"), (3, "(d) fairness"), (4, "(e) energy")]
-        {
+        for (sel, name) in [
+            (0, "(a) efficiency"),
+            (1, "(b) data collection"),
+            (2, "(c) data loss"),
+            (3, "(d) fairness"),
+            (4, "(e) energy"),
+        ] {
             println!("\n{name}");
             println!("{}", series_header(&sweep.x_label, &sweep.ticks));
             for (mi, m) in Method::ALL.iter().enumerate() {
@@ -347,7 +353,8 @@ fn render_variant(
     h: &HarnessConfig,
 ) -> String {
     let mut env = AirGroundEnv::new(base_env(), dataset, h.seed);
-    let mut t = HiMadrlTrainer::new(&env, cfg, h.iters, h.seed);
+    let mut t =
+        HiMadrlTrainer::new(&env, cfg, h.iters, h.seed).expect("training config must be valid");
     t.train(&mut env, h.iters);
     env.reset(h.seed.wrapping_add(777));
     while !env.is_done() {
@@ -357,11 +364,7 @@ fn render_variant(
         env.step(&actions);
     }
     let trajectories = env.trajectories().to_vec();
-    let num_uavs = env
-        .uv_states()
-        .iter()
-        .filter(|u| u.kind == UvKind::Uav)
-        .count();
+    let num_uavs = env.uv_states().iter().filter(|u| u.kind == UvKind::Uav).count();
     let drained: Vec<bool> = env.poi_remaining().iter().map(|&d| d <= 0.0).collect();
     let art = render_ascii(
         &env.bounds(),
@@ -420,7 +423,8 @@ pub fn fig11_coordination(h: &HarnessConfig) {
     println!("{}", banner("Fig 11: UV coordination and LCF values"));
     for dataset in both_campuses(h.seed) {
         let mut env = AirGroundEnv::new(base_env(), &dataset, h.seed);
-        let mut t = HiMadrlTrainer::new(&env, TrainConfig::default(), h.iters, h.seed);
+        let mut t = HiMadrlTrainer::new(&env, TrainConfig::default(), h.iters, h.seed)
+            .expect("default training config must be valid");
         t.train(&mut env, h.iters);
 
         // Greedy episode, logging relay pairing and UAV-UGV separation.
@@ -453,7 +457,10 @@ pub fn fig11_coordination(h: &HarnessConfig) {
                 println!("  t~{probe:>3}: no active relay pair");
             } else {
                 let mean = near.iter().sum::<f64>() / near.len() as f64;
-                println!("  t~{probe:>3}: mean UAV-UGV separation {mean:>7.1} m ({} pairs)", near.len());
+                println!(
+                    "  t~{probe:>3}: mean UAV-UGV separation {mean:>7.1} m ({} pairs)",
+                    near.len()
+                );
             }
         }
         let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = t.mean_lcf_by_kind();
@@ -479,7 +486,7 @@ pub fn abl_gae(h: &HarnessConfig) {
     println!("{}", rule());
     let results = parallel_map(lambdas.to_vec(), |&l| {
         let cfg = TrainConfig { gae_lambda: l, ..TrainConfig::default() };
-        run_method(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+        run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
     });
     for (l, m) in lambdas.iter().zip(results.iter()) {
         let label = match *l {
@@ -500,15 +507,18 @@ pub fn abl_gae(h: &HarnessConfig) {
 pub fn abl_access(h: &HarnessConfig) {
     println!("{}", banner("Ablation: multiple-access model (NOMA vs TDMA vs OFDMA)"));
     use agsc_channel::AccessModel;
-    let models =
-        [("AG-NOMA (paper)", AccessModel::Noma), ("TDMA", AccessModel::Tdma), ("OFDMA", AccessModel::Ofdma)];
+    let models = [
+        ("AG-NOMA (paper)", AccessModel::Noma),
+        ("TDMA", AccessModel::Tdma),
+        ("OFDMA", AccessModel::Ofdma),
+    ];
     let dataset = presets::purdue(h.seed);
     println!("{}", metrics_header("access model"));
     println!("{}", rule());
     let results = parallel_map(models.to_vec(), |&(_, model)| {
         let mut env_cfg = base_env();
         env_cfg.access_model = model;
-        run_method(Method::HiMadrl, &env_cfg, &dataset, h, None)
+        run_method_robust(Method::HiMadrl, &env_cfg, &dataset, h, None)
     });
     for ((label, _), m) in models.iter().zip(results.iter()) {
         println!("{}", metrics_row(label, m));

@@ -5,14 +5,21 @@
 //! `AGSC_EVAL_EPISODES` (test episodes averaged per point, default 3 — the
 //! paper uses 50), and `AGSC_SEED`. The defaults are sized so the complete
 //! suite regenerates on a laptop CPU; raise them to sharpen the numbers.
+//!
+//! Long campaigns are failure-hardened: [`run_method_robust`] retries a
+//! failed point once on a bumped seed before recording a sentinel row, and
+//! [`parallel_try_map`] contains worker panics so one poisoned job cannot
+//! take down a whole table.
 
+use crate::error::BenchError;
 use agsc_baselines::{
     hi_madrl, hi_madrl_copo, mappo, EDivert, EDivertConfig, GaConfig, RandomPolicy,
     ShortestPathPolicy,
 };
 use agsc_datasets::CampusDataset;
 use agsc_env::{AirGroundEnv, EnvConfig, Metrics, UvAction};
-use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig};
+use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig, TrainError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Global experiment budget.
 #[derive(Debug, Clone)]
@@ -33,14 +40,35 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     /// Read the budget from `AGSC_ITERS` / `AGSC_EVAL_EPISODES` / `AGSC_SEED`.
+    ///
+    /// Malformed values are rejected with a warning on stderr (naming the
+    /// variable and the offending value) and fall back to the default.
     pub fn from_env() -> Self {
-        let get = |name: &str, default: u64| -> u64 {
-            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        Self::from_vars(|name| std::env::var(name).ok())
+    }
+
+    /// [`HarnessConfig::from_env`] with an injectable variable source, so the
+    /// warning path is unit-testable without mutating process environment.
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Self {
+        let parse = |name: &str, default: u64| -> u64 {
+            match get(name) {
+                None => default,
+                Some(raw) => match raw.trim().parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!(
+                            "warning: ignoring {name}={raw:?} (not a non-negative \
+                             integer); using default {default}"
+                        );
+                        default
+                    }
+                },
+            }
         };
         Self {
-            iters: get("AGSC_ITERS", 25) as usize,
-            eval_episodes: get("AGSC_EVAL_EPISODES", 3) as usize,
-            seed: get("AGSC_SEED", 42),
+            iters: parse("AGSC_ITERS", 25) as usize,
+            eval_episodes: parse("AGSC_EVAL_EPISODES", 3) as usize,
+            seed: parse("AGSC_SEED", 42),
         }
     }
 }
@@ -124,19 +152,31 @@ pub fn evaluate_policy<P: Policy>(
 ///
 /// `train_override` lets hyperparameter experiments (Tables III-V) replace
 /// the preset `TrainConfig` for trainer-based methods.
+///
+/// Setup failures (bad environment config, bad training config) surface as
+/// typed [`BenchError`]s instead of panics.
 pub fn run_method(
     method: Method,
     env_cfg: &EnvConfig,
     dataset: &CampusDataset,
     h: &HarnessConfig,
     train_override: Option<TrainConfig>,
-) -> Metrics {
-    let mut env = AirGroundEnv::new(env_cfg.clone(), dataset, h.seed);
+) -> Result<Metrics, BenchError> {
+    let mut env = AirGroundEnv::try_new(env_cfg.clone(), dataset, h.seed)?;
     let eval_seed = h.seed.wrapping_mul(7919).wrapping_add(13);
-    match method {
+    let metrics = match method {
         Method::HiMadrl | Method::HiMadrlCopo | Method::Mappo => {
-            let cfg = train_override.unwrap_or_else(|| method.train_config().unwrap());
-            let mut t = HiMadrlTrainer::new(&env, cfg, h.iters, h.seed);
+            let cfg = match (train_override, method.train_config()) {
+                (Some(c), _) => c,
+                (None, Some(c)) => c,
+                (None, None) => {
+                    return Err(BenchError::Train(TrainError::InvalidConfig(format!(
+                        "{} has no training preset",
+                        method.name()
+                    ))))
+                }
+            };
+            let mut t = HiMadrlTrainer::new(&env, cfg, h.iters, h.seed)?;
             t.train(&mut env, h.iters);
             evaluate_policy(&t, &mut env, h.eval_episodes, eval_seed, |_| {})
         }
@@ -157,34 +197,152 @@ pub fn run_method(
             let policy = RandomPolicy::new(h.seed);
             evaluate_policy(&policy, &mut env, h.eval_episodes, eval_seed, |_| {})
         }
+    };
+    Ok(metrics)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
-/// Map `f` over `items` on two worker threads (the CI box has two cores),
-/// preserving order.
-pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+/// Like [`run_method`], but never fails the campaign: errors and panics are
+/// contained, the point is retried once on a bumped seed, and a zero-metrics
+/// sentinel row (`Metrics::default()`) is recorded if the retry also fails.
+/// Every failure is reported on stderr.
+pub fn run_method_robust(
+    method: Method,
+    env_cfg: &EnvConfig,
+    dataset: &CampusDataset,
+    h: &HarnessConfig,
+    train_override: Option<TrainConfig>,
+) -> Metrics {
+    let attempt = |budget: &HarnessConfig| -> Result<Metrics, BenchError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_method(method, env_cfg, dataset, budget, train_override.clone())
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(BenchError::JobPanicked(panic_message(&payload))),
+        }
+    };
+    match attempt(h) {
+        Ok(m) => m,
+        Err(first) => {
+            // Transient numeric blow-ups are usually seed-specific; one
+            // retry on a decorrelated seed rescues most of them.
+            let mut retry = h.clone();
+            retry.seed = h.seed.wrapping_add(0x9E37_79B9);
+            eprintln!(
+                "warning: {} failed ({first}); retrying once with seed {}",
+                method.name(),
+                retry.seed
+            );
+            match attempt(&retry) {
+                Ok(m) => m,
+                Err(second) => {
+                    eprintln!(
+                        "warning: {} failed twice ({second}); recording a zero-metrics \
+                         sentinel row",
+                        method.name()
+                    );
+                    Metrics::default()
+                }
+            }
+        }
+    }
+}
+
+/// A parallel job that panicked instead of returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the item whose job died.
+    pub index: usize,
+    /// The panic payload's message, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Map `f` over `items` in parallel, preserving order; a panicking job
+/// yields an `Err` slot instead of aborting its worker thread, so sibling
+/// results survive.
+///
+/// Worker count is `available_parallelism()` clamped to the item count.
+pub fn parallel_try_map<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, JobPanic>>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
     let n = items.len();
-    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = match std::thread::available_parallelism() {
+        Ok(v) => v.get(),
+        Err(_) => 1,
+    }
+    .min(n);
+    // Per-slot locks: each worker writes only its claimed index, so there is
+    // no whole-vector contention point.
+    let slots: Vec<parking_lot::Mutex<Option<Result<U, JobPanic>>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
     std::thread::scope(|scope| {
-        for _ in 0..2usize.min(n.max(1)) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if i >= n {
                     break;
                 }
-                let out = f(&items[i]);
-                results_mutex.lock()[i] = Some(out);
+                let out = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(value) => Ok(value),
+                    Err(payload) => Err(JobPanic { index: i, message: panic_message(&payload) }),
+                };
+                *slots[i].lock() = Some(out);
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker skipped an item")).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot.into_inner() {
+            Some(result) => result,
+            None => Err(JobPanic { index: i, message: "job never ran".into() }),
+        })
+        .collect()
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// # Panics
+/// Re-raises the first worker panic; use [`parallel_try_map`] when sibling
+/// results must survive a dying job.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_try_map(items, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(value) => value,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -209,13 +367,55 @@ mod tests {
         let cfg = tiny_env_cfg();
         let h = tiny_harness();
         for m in Method::ALL {
-            let metrics = run_method(m, &cfg, &dataset, &h, None);
+            let metrics = run_method(m, &cfg, &dataset, &h, None).unwrap();
             assert!(
                 metrics.efficiency.is_finite(),
                 "{} produced a non-finite efficiency",
                 m.name()
             );
         }
+    }
+
+    #[test]
+    fn run_method_surfaces_bad_env_config_as_typed_error() {
+        let dataset = presets::purdue(1);
+        let mut cfg = tiny_env_cfg();
+        cfg.horizon = 0;
+        let h = tiny_harness();
+        let err = run_method(Method::Random, &cfg, &dataset, &h, None).unwrap_err();
+        assert!(matches!(err, BenchError::Env(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn run_method_surfaces_bad_train_config_as_typed_error() {
+        let dataset = presets::purdue(1);
+        let cfg = tiny_env_cfg();
+        let h = tiny_harness();
+        let bad = TrainConfig { gamma: 2.0, ..TrainConfig::default() };
+        let err = run_method(Method::HiMadrl, &cfg, &dataset, &h, Some(bad)).unwrap_err();
+        assert!(matches!(err, BenchError::Train(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn run_method_robust_passes_through_success() {
+        let dataset = presets::purdue(1);
+        let cfg = tiny_env_cfg();
+        let h = tiny_harness();
+        let direct = run_method(Method::Random, &cfg, &dataset, &h, None).unwrap();
+        let robust = run_method_robust(Method::Random, &cfg, &dataset, &h, None);
+        assert_eq!(direct, robust);
+    }
+
+    #[test]
+    fn run_method_robust_records_sentinel_after_double_failure() {
+        let dataset = presets::purdue(1);
+        let cfg = tiny_env_cfg();
+        let h = tiny_harness();
+        // Invalid on every seed: both the attempt and the retry fail, and
+        // the campaign gets a zero row instead of a panic.
+        let bad = TrainConfig { gamma: 2.0, ..TrainConfig::default() };
+        let m = run_method_robust(Method::HiMadrl, &cfg, &dataset, &h, Some(bad));
+        assert_eq!(m, Metrics::default());
     }
 
     #[test]
@@ -231,10 +431,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_try_map_contains_panicking_jobs() {
+        let results = parallel_try_map((0..8).collect(), |&x: &i32| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            x * 2
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("boom"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel job 1 panicked")]
+    fn parallel_map_repanics_worker_failures() {
+        parallel_map(vec![0, 1], |&x: &i32| {
+            if x == 1 {
+                panic!("die");
+            }
+            x
+        });
+    }
+
+    #[test]
     fn harness_from_env_defaults() {
         // No env vars set in the test runner: defaults apply.
         let h = HarnessConfig::from_env();
         assert!(h.iters > 0 && h.eval_episodes > 0);
+    }
+
+    #[test]
+    fn from_vars_warns_and_defaults_on_malformed_values() {
+        let h = HarnessConfig::from_vars(|name| match name {
+            "AGSC_ITERS" => Some("twenty-five".into()),
+            "AGSC_SEED" => Some(" 99 ".into()),
+            _ => None,
+        });
+        assert_eq!(h.iters, 25, "malformed value must fall back to the default");
+        assert_eq!(h.eval_episodes, 3);
+        assert_eq!(h.seed, 99, "whitespace-padded numbers still parse");
     }
 
     #[test]

@@ -7,8 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
 pub mod harness;
 pub mod table;
 
-pub use harness::{evaluate_policy, parallel_map, run_method, HarnessConfig, Method};
+pub use error::BenchError;
+pub use harness::{
+    evaluate_policy, parallel_map, parallel_try_map, run_method, run_method_robust, HarnessConfig,
+    JobPanic, Method,
+};

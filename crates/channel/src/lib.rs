@@ -11,9 +11,11 @@
 pub mod capacity;
 pub mod gain;
 pub mod noma;
+pub mod outage;
 pub mod params;
 
 pub use capacity::{capacity_bps, sinr};
 pub use gain::{air_ground_gain, ground_ground_gain, los_probability, RayleighFading};
 pub use noma::{evaluate_event, AccessModel, EventGeometry, EventOutcome, LinkOutcome};
+pub use outage::OutageSchedule;
 pub use params::{db_to_linear, linear_to_db, ChannelParams};

@@ -130,11 +130,7 @@ pub fn evaluate_event(
             }
             _ => 0.0,
         };
-        let gamma_ug = sinr(
-            g_ug * params.power_uav + g_ig * params.power_poi,
-            noise,
-            interf_g,
-        );
+        let gamma_ug = sinr(g_ug * params.power_uav + g_ig * params.power_poi, noise, interf_g);
 
         out.uav.sinr = gamma_iu.min(gamma_ug);
         if out.uav.sinr < threshold {
@@ -157,8 +153,7 @@ pub fn evaluate_event(
         if gamma_jg < threshold {
             out.ugv.loss = true;
         } else {
-            out.ugv.bits =
-                collect_secs * time_share * capacity_bps(params, gamma_jg) * bw_share;
+            out.ugv.bits = collect_secs * time_share * capacity_bps(params, gamma_jg) * bw_share;
         }
     }
 

@@ -1,0 +1,117 @@
+//! Subchannel outage schedules — the physical-layer fault hook.
+//!
+//! An [`OutageSchedule`] marks, per subchannel and timeslot, whether the
+//! subchannel is usable. Outages model transient spectrum blackouts
+//! (jamming, regulatory preemption, deep shadowing): any upload scheduled on
+//! a downed subchannel fails and counts as a data-loss event. Schedules are
+//! sampled from a caller-supplied RNG so the environment's fault stream stays
+//! independent of its dynamics stream.
+
+use rand::Rng;
+
+/// Per-subchannel up/down flags over an episode horizon.
+///
+/// Slots outside the sampled horizon report "up", so a schedule never turns
+/// a query error into a phantom outage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutageSchedule {
+    /// `up[z][t]` — subchannel `z` usable in slot `t`.
+    up: Vec<Vec<bool>>,
+}
+
+impl OutageSchedule {
+    /// A schedule with every subchannel up for the whole horizon.
+    pub fn always_up(subchannels: usize, horizon: usize) -> Self {
+        Self { up: vec![vec![true; horizon]; subchannels] }
+    }
+
+    /// Sample a schedule: each subchannel-slot independently begins an outage
+    /// window with probability `start_rate`; the window length is drawn
+    /// uniformly from `len_range` (inclusive). Overlapping windows merge.
+    pub fn sample<R: Rng + ?Sized>(
+        subchannels: usize,
+        horizon: usize,
+        start_rate: f64,
+        len_range: (usize, usize),
+        rng: &mut R,
+    ) -> Self {
+        let (lo, hi) = (len_range.0.max(1), len_range.1.max(len_range.0.max(1)));
+        let mut up = vec![vec![true; horizon]; subchannels];
+        for lane in up.iter_mut() {
+            for t in 0..horizon {
+                if rng.gen::<f64>() < start_rate {
+                    let len = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                    for slot in lane.iter_mut().skip(t).take(len) {
+                        *slot = false;
+                    }
+                }
+            }
+        }
+        Self { up }
+    }
+
+    /// Is subchannel `z` usable in slot `t`? Out-of-range queries are "up".
+    pub fn is_up(&self, z: usize, t: usize) -> bool {
+        self.up.get(z).and_then(|lane| lane.get(t)).copied().unwrap_or(true)
+    }
+
+    /// Number of subchannels in the schedule.
+    pub fn subchannels(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Total subchannel-slots marked down.
+    pub fn down_slots(&self) -> usize {
+        self.up.iter().map(|lane| lane.iter().filter(|&&u| !u).count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn always_up_has_no_down_slots() {
+        let s = OutageSchedule::always_up(3, 50);
+        assert_eq!(s.down_slots(), 0);
+        assert!(s.is_up(0, 0) && s.is_up(2, 49));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_up() {
+        let s = OutageSchedule::always_up(2, 10);
+        assert!(s.is_up(99, 0));
+        assert!(s.is_up(0, 99));
+    }
+
+    #[test]
+    fn zero_rate_samples_clean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = OutageSchedule::sample(3, 100, 0.0, (1, 4), &mut rng);
+        assert_eq!(s.down_slots(), 0);
+    }
+
+    #[test]
+    fn full_rate_blacks_everything_out() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = OutageSchedule::sample(2, 20, 1.0, (1, 1), &mut rng);
+        assert_eq!(s.down_slots(), 40);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_rng() {
+        let a = OutageSchedule::sample(3, 80, 0.1, (2, 5), &mut ChaCha8Rng::seed_from_u64(9));
+        let b = OutageSchedule::sample(3, 80, 0.1, (2, 5), &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_extend_past_their_start() {
+        // With a long window length, a single outage covers several slots.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = OutageSchedule::sample(1, 200, 0.02, (5, 5), &mut rng);
+        assert!(s.down_slots() >= 5, "at least one 5-slot window expected");
+    }
+}

@@ -307,11 +307,7 @@ mod tests {
         let obs = Matrix::from_vec(4, 4, vec![0.5; 16]);
         // Always the same state; action [0.5, 0.5] has positive advantage,
         // [-0.5, -0.5] negative.
-        let actions = Matrix::from_vec(
-            4,
-            2,
-            vec![0.5, 0.5, -0.5, -0.5, 0.5, 0.5, -0.5, -0.5],
-        );
+        let actions = Matrix::from_vec(4, 2, vec![0.5, 0.5, -0.5, -0.5, 0.5, 0.5, -0.5, -0.5]);
         let adv = [1.0f32, -1.0, 1.0, -1.0];
 
         let lp_of = |agent: &PpoAgent| {
@@ -322,7 +318,8 @@ mod tests {
             d.log_prob(&good)[0]
         };
 
-        let mean0 = Matrix::from_rows(&(0..4).map(|_| a.act_deterministic(&[0.5; 4])).collect::<Vec<_>>());
+        let mean0 =
+            Matrix::from_rows(&(0..4).map(|_| a.act_deterministic(&[0.5; 4])).collect::<Vec<_>>());
         let dist0 = DiagGaussian::new(&mean0, a.log_std());
         let old_lp = dist0.log_prob(&actions);
 
@@ -331,10 +328,7 @@ mod tests {
             a.ppo_update(&obs, &actions, &old_lp, &adv, 0.2, 0.0, 10.0);
         }
         let after = lp_of(&a);
-        assert!(
-            after > before,
-            "good action log-prob should rise: {before} → {after}"
-        );
+        assert!(after > before, "good action log-prob should rise: {before} → {after}");
     }
 
     #[test]

@@ -10,9 +10,10 @@ use crate::agent::PpoAgent;
 use crate::config::TrainConfig;
 use crate::copo::Lcf;
 use crate::eoi::EoiClassifier;
+use crate::error::CheckpointError;
 use agsc_nn::{Mlp, RunningStat};
 use serde::{Deserialize, Serialize};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A serialisable snapshot of a [`crate::trainer::HiMadrlTrainer`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,17 +49,50 @@ pub struct Checkpoint {
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
+/// The sibling scratch path used for atomic saves (`<path>.tmp`).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
 impl Checkpoint {
-    /// Serialise to a JSON file.
-    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    /// Serialise to a JSON file atomically.
+    ///
+    /// The checkpoint is written to a `<path>.tmp` sibling and renamed into
+    /// place, so an interrupted save can never leave a half-written file at
+    /// `path` — the previous checkpoint (if any) stays intact.
+    pub fn save_json(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = match serde_json::to_string(self) {
+            Ok(j) => j,
+            Err(e) => return Err(CheckpointError::Corrupt(format!("serialisation failed: {e}"))),
+        };
+        let tmp = tmp_sibling(path);
+        if let Err(e) = std::fs::write(&tmp, json) {
+            return Err(CheckpointError::Io(e));
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(CheckpointError::Io(e))
+            }
+        }
     }
 
     /// Deserialise from a JSON file.
-    pub fn load_json(path: &Path) -> std::io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+    ///
+    /// Truncated or garbage content yields [`CheckpointError::Corrupt`];
+    /// filesystem failures yield [`CheckpointError::Io`].
+    pub fn load_json(path: &Path) -> Result<Self, CheckpointError> {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => return Err(CheckpointError::Io(e)),
+        };
+        match serde_json::from_str(&json) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(e) => Err(CheckpointError::Corrupt(e.to_string())),
+        }
     }
 }
 
@@ -84,7 +118,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_policy_outputs() {
         let mut e = env();
-        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 3, 9);
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 3, 9).unwrap();
         t.train(&mut e, 3);
         let ckpt = t.checkpoint();
         assert_eq!(ckpt.version, CHECKPOINT_VERSION);
@@ -106,7 +140,7 @@ mod tests {
     #[test]
     fn restored_trainer_continues_training() {
         let mut e = env();
-        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 5, 9);
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 5, 9).unwrap();
         t.train(&mut e, 2);
         let ckpt = t.checkpoint();
         let mut restored = HiMadrlTrainer::restore(&ckpt, 123).unwrap();
@@ -118,7 +152,7 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let mut e = env();
-        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9);
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9).unwrap();
         t.train(&mut e, 1);
         let ckpt = t.checkpoint();
         let dir = std::env::temp_dir().join("agsc_ckpt_test");
@@ -137,10 +171,78 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let mut e = env();
-        let t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9);
+        let t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9).unwrap();
         let mut ckpt = t.checkpoint();
         ckpt.version = 999;
-        assert!(HiMadrlTrainer::restore(&ckpt, 1).is_err());
+        let err = HiMadrlTrainer::restore(&ckpt, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::TrainError::Checkpoint(CheckpointError::Version {
+                found: 999,
+                supported: CHECKPOINT_VERSION
+            })
+        ));
         let _ = &mut e;
+    }
+
+    #[test]
+    fn garbage_file_is_a_typed_corruption_error() {
+        let dir = std::env::temp_dir().join("agsc_ckpt_garbage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "this is not json {{{").unwrap();
+        let err = Checkpoint::load_json(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_corruption_error() {
+        let e = env();
+        let t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9).unwrap();
+        let dir = std::env::temp_dir().join("agsc_ckpt_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        t.checkpoint().save_json(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = Checkpoint::load_json(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let path = std::env::temp_dir().join("agsc_ckpt_missing_test/nope.json");
+        let err = Checkpoint::load_json(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_checkpoint_readable() {
+        // An interrupted atomic save is, at worst, a stale `<path>.tmp`
+        // sibling: the real path always holds the last complete checkpoint.
+        let mut e = env();
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 2, 9).unwrap();
+        t.train(&mut e, 1);
+        let dir = std::env::temp_dir().join("agsc_ckpt_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        t.checkpoint().save_json(&path).unwrap();
+
+        // Simulate a crash mid-save: a half-written temp file next door.
+        let tmp = super::tmp_sibling(&path);
+        std::fs::write(&tmp, "{\"version\": 1, \"trunc").unwrap();
+        let loaded = Checkpoint::load_json(&path).unwrap();
+        assert_eq!(loaded.iterations_done, 1);
+
+        // The next successful save replaces both the temp file and the
+        // checkpoint.
+        t.train(&mut e, 1);
+        t.checkpoint().save_json(&path).unwrap();
+        assert!(!tmp.exists(), "atomic save must consume the temp file");
+        let reloaded = Checkpoint::load_json(&path).unwrap();
+        assert_eq!(reloaded.iterations_done, 2);
+        std::fs::remove_file(&path).ok();
     }
 }

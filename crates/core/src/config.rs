@@ -122,6 +122,15 @@ pub struct TrainConfig {
     pub init_log_std: f32,
     /// Use MAPPO-style value normalisation on critic targets.
     pub value_norm: bool,
+    /// Guard each iteration against non-finite rewards/advantages/losses:
+    /// the poisoned update is skipped and the last good parameters are
+    /// restored (reported via `IterationStats::update_skipped`).
+    #[serde(default = "default_nan_guard")]
+    pub nan_guard: bool,
+}
+
+fn default_nan_guard() -> bool {
+    true
 }
 
 impl Default for TrainConfig {
@@ -151,6 +160,7 @@ impl Default for TrainConfig {
             max_grad_norm: 0.5,
             init_log_std: -0.5,
             value_norm: true,
+            nan_guard: true,
         }
     }
 }
@@ -215,6 +225,15 @@ mod tests {
         assert!(!Ablation::without_copo().use_copo);
         let base = Ablation::base_only();
         assert!(!base.use_eoi && !base.use_copo);
+    }
+
+    #[test]
+    fn config_without_nan_guard_field_defaults_on() {
+        // Checkpoints saved before the guard existed must restore with it on.
+        let mut v = serde_json::to_value(TrainConfig::default()).unwrap();
+        v.as_object_mut().unwrap().remove("nan_guard");
+        let back: TrainConfig = serde_json::from_value(v).unwrap();
+        assert!(back.nan_guard);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Typed errors for the training stack.
+//!
+//! Long experiments must degrade, not panic: trainer construction and
+//! checkpoint I/O report failures through these enums so a harness can skip
+//! the affected run and keep the rest of a table alive.
+
+use std::fmt;
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (read, write, or the atomic rename).
+    Io(std::io::Error),
+    /// The file exists but is not a valid checkpoint (truncated, garbage,
+    /// or schema mismatch).
+    Corrupt(String),
+    /// The checkpoint was written by an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The checkpoint's internal structure contradicts its own config.
+    Inconsistent(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::Version { found, supported } => {
+                write!(f, "unsupported checkpoint version {found} (supported: {supported})")
+            }
+            CheckpointError::Inconsistent(msg) => {
+                write!(f, "inconsistent checkpoint: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Why a trainer could not be built or restored.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The [`crate::TrainConfig`] failed validation.
+    InvalidConfig(String),
+    /// Restoring from a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = TrainError::InvalidConfig("gamma must be in [0, 1]".into());
+        assert!(e.to_string().contains("gamma"));
+        let e = CheckpointError::Version { found: 999, supported: 1 };
+        assert!(e.to_string().contains("999"));
+        let e: TrainError = CheckpointError::Corrupt("unexpected EOF".into()).into();
+        assert!(e.to_string().contains("EOF"));
+    }
+}

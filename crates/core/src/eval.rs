@@ -75,7 +75,7 @@ mod tests {
         let mut e = env();
         let mut cfg = TrainConfig::default();
         cfg.hidden = vec![16];
-        let t = HiMadrlTrainer::new(&e, cfg, 5, 3);
+        let t = HiMadrlTrainer::new(&e, cfg, 5, 3).unwrap();
         let m = evaluate(&t, &mut e, 2, 100);
         assert!(m.data_collection_ratio.is_finite());
     }

@@ -18,6 +18,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod copo;
 pub mod eoi;
+pub mod error;
 pub mod eval;
 pub mod gae;
 pub mod maddpg;
@@ -29,6 +30,7 @@ pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use config::{Ablation, IntrinsicSchedule, TrainConfig};
 pub use copo::Lcf;
 pub use eoi::EoiClassifier;
+pub use error::{CheckpointError, TrainError};
 pub use eval::{evaluate, Policy};
 pub use gae::{gae, normalize_advantages};
 pub use maddpg::{Maddpg, MaddpgConfig};

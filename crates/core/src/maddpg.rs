@@ -158,9 +158,10 @@ impl Maddpg {
                 }
             })
             .collect();
-        let classifier = cfg.ablation.use_eoi.then(|| {
-            EoiClassifier::new(obs_dim, &cfg.hidden, k, 1e-3, 0.1, &mut rng)
-        });
+        let classifier = cfg
+            .ablation
+            .use_eoi
+            .then(|| EoiClassifier::new(obs_dim, &cfg.hidden, k, 1e-3, 0.1, &mut rng));
         let neighbor_range = env.bounds().diagonal() * cfg.neighbor_range_frac;
         Self {
             agents,
@@ -297,8 +298,9 @@ impl Maddpg {
         let k = self.num_agents;
 
         // Assemble batch tensors.
-        let states =
-            Matrix::from_rows(&idx.iter().map(|&i| self.replay[i].state.clone()).collect::<Vec<_>>());
+        let states = Matrix::from_rows(
+            &idx.iter().map(|&i| self.replay[i].state.clone()).collect::<Vec<_>>(),
+        );
         let next_states = Matrix::from_rows(
             &idx.iter().map(|&i| self.replay[i].next_state.clone()).collect::<Vec<_>>(),
         );

@@ -124,12 +124,7 @@ impl Rollout {
     ///
     /// `rewards[k][t]` must be the compound per-agent rewards; `which`
     /// selects the neighbour family.
-    pub fn neighbor_reward(
-        &self,
-        rewards: &[Vec<f32>],
-        k: usize,
-        which: NeighborKind,
-    ) -> Vec<f32> {
+    pub fn neighbor_reward(&self, rewards: &[Vec<f32>], k: usize, which: NeighborKind) -> Vec<f32> {
         let sets = match which {
             NeighborKind::Heterogeneous => &self.het_neighbors,
             NeighborKind::Homogeneous => &self.hom_neighbors,
@@ -202,6 +197,14 @@ mod tests {
     fn push_step_validates_lengths() {
         let mut r = Rollout::new(2);
         let obs = vec![vec![0.0], vec![0.0]];
-        r.push_step(&obs, vec![0.0], &[[0.0, 0.0]], &[0.0, 0.0], &[0.0, 0.0], vec![vec![], vec![]], vec![vec![], vec![]]);
+        r.push_step(
+            &obs,
+            vec![0.0],
+            &[[0.0, 0.0]],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+        );
     }
 }

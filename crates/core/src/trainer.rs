@@ -9,6 +9,7 @@ use crate::agent::{CriticKind, PpoAgent, PpoStats};
 use crate::config::TrainConfig;
 use crate::copo::{neighbor_range_m, Lcf};
 use crate::eoi::EoiClassifier;
+use crate::error::{CheckpointError, TrainError};
 use crate::gae::{gae, normalize_advantages};
 use crate::rollout::{NeighborKind, Rollout};
 use agsc_env::{AirGroundEnv, Metrics, UvAction};
@@ -33,6 +34,28 @@ pub struct IterationStats {
     pub ppo: PpoStats,
     /// Current LCFs per UV, degrees.
     pub lcf_degrees: Vec<(f32, f32)>,
+    /// `true` when the NaN guard detected non-finite quantities and rolled
+    /// the learnable state back to the pre-iteration snapshot.
+    pub update_skipped: bool,
+    /// Number of non-finite detections this iteration (rewards, advantages,
+    /// or post-update parameters).
+    pub nan_events: usize,
+}
+
+/// Everything the optimisers touch, captured for NaN-guard rollback.
+#[derive(Debug, Clone)]
+struct LearnableSnapshot {
+    agents: Vec<PpoAgent>,
+    classifier: Option<EoiClassifier>,
+    v_all: Mlp,
+    v_all_opt: Adam,
+    lcfs: Vec<Lcf>,
+    stat_own: RunningStat,
+    stat_all: RunningStat,
+}
+
+fn all_finite(xs: &[f32]) -> bool {
+    xs.iter().all(|x| x.is_finite())
 }
 
 /// The h/i-MADRL trainer.
@@ -60,17 +83,22 @@ impl HiMadrlTrainer {
     ///
     /// `planned_iterations` scales the intrinsic-reward schedule (Table IV);
     /// it is a planning hint, not a hard stop.
-    pub fn new(env: &AirGroundEnv, cfg: TrainConfig, planned_iterations: usize, seed: u64) -> Self {
-        cfg.validate().expect("invalid training config");
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when `cfg` fails validation.
+    pub fn new(
+        env: &AirGroundEnv,
+        cfg: TrainConfig,
+        planned_iterations: usize,
+        seed: u64,
+    ) -> Result<Self, TrainError> {
+        if let Err(msg) = cfg.validate() {
+            return Err(TrainError::InvalidConfig(msg));
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let obs_dim = env.obs_dim();
         let state_dim = obs_dim; // state and obs share the layout (§IV-B1)
         let num_agents = env.num_uvs();
-        let num_uavs = env
-            .uv_states()
-            .iter()
-            .filter(|u| u.kind == agsc_env::UvKind::Uav)
-            .count();
+        let num_uavs = env.uv_states().iter().filter(|u| u.kind == agsc_env::UvKind::Uav).count();
         let critic_in = if cfg.centralized_critic { state_dim } else { obs_dim };
         let agent_count = if cfg.shared_params { 1 } else { num_agents };
         let agents = (0..agent_count)
@@ -102,7 +130,7 @@ impl HiMadrlTrainer {
         v_all_sizes.push(1);
         let v_all = Mlp::tanh(&v_all_sizes, &mut rng);
         let neighbor_range = neighbor_range_m(env.bounds().diagonal(), cfg.neighbor_range_frac);
-        Self {
+        Ok(Self {
             num_agents,
             num_uavs,
             obs_dim,
@@ -118,7 +146,29 @@ impl HiMadrlTrainer {
             planned_iterations: planned_iterations.max(1),
             neighbor_range,
             cfg,
+        })
+    }
+
+    fn snapshot_learnables(&self) -> LearnableSnapshot {
+        LearnableSnapshot {
+            agents: self.agents.clone(),
+            classifier: self.classifier.clone(),
+            v_all: self.v_all.clone(),
+            v_all_opt: self.v_all_opt.clone(),
+            lcfs: self.lcfs.clone(),
+            stat_own: self.stat_own.clone(),
+            stat_all: self.stat_all.clone(),
         }
+    }
+
+    fn restore_learnables(&mut self, snap: LearnableSnapshot) {
+        self.agents = snap.agents;
+        self.classifier = snap.classifier;
+        self.v_all = snap.v_all;
+        self.v_all_opt = snap.v_all_opt;
+        self.lcfs = snap.lcfs;
+        self.stat_own = snap.stat_own;
+        self.stat_all = snap.stat_all;
     }
 
     /// Training configuration.
@@ -249,232 +299,286 @@ impl HiMadrlTrainer {
         let t_len = rollout.len();
         let train_metrics = env.metrics();
 
-        let obs_mats: Vec<Matrix> =
-            (0..self.num_agents).map(|k| rollout.obs_matrix(k)).collect();
+        let obs_mats: Vec<Matrix> = (0..self.num_agents).map(|k| rollout.obs_matrix(k)).collect();
         let act_mats: Vec<Matrix> =
             (0..self.num_agents).map(|k| rollout.action_matrix(k)).collect();
         let state_mat = rollout.state_matrix();
 
-        // --- Line 12: classifier update -------------------------------------
-        let (mut classifier_loss, mut classifier_accuracy) = (0.0f32, 0.0f32);
-        if let Some(ref mut c) = self.classifier {
-            // Uniform per-agent sampling: concatenate everything (same count
-            // per agent by construction).
-            let all_obs = Matrix::vstack(&obs_mats.iter().collect::<Vec<_>>());
-            let labels: Vec<usize> =
-                (0..self.num_agents).flat_map(|k| std::iter::repeat(k).take(t_len)).collect();
-            classifier_loss = c.train_batch(&all_obs, &labels);
-            classifier_accuracy = c.accuracy(&all_obs, &labels);
-        }
-
-        // --- Line 16: compound rewards (Eqn 19) ------------------------------
-        let (rewards, mean_intrinsic) = self.compound_rewards(&rollout, &obs_mats);
-        let mean_ext_reward = rollout
-            .rewards_ext
-            .iter()
-            .flat_map(|r| r.iter())
-            .sum::<f32>()
+        let mean_ext_reward = rollout.rewards_ext.iter().flat_map(|r| r.iter()).sum::<f32>()
             / (self.num_agents * t_len.max(1)) as f32;
 
-        // --- Line 13: snapshot behaviour policies for the meta step ---------
-        let old_agents: Vec<PpoAgent> =
-            if self.cfg.ablation.use_copo && self.cfg.lcf_epochs > 0 {
+        // NaN guard: snapshot everything the optimisers touch so a poisoned
+        // iteration can roll back instead of corrupting the rest of the run.
+        let snapshot = if self.cfg.nan_guard { Some(self.snapshot_learnables()) } else { None };
+        let mut nan_events = 0usize;
+        let mut update_skipped = false;
+
+        let (mut classifier_loss, mut classifier_accuracy) = (0.0f32, 0.0f32);
+        let mean_intrinsic;
+        let mut final_ppo = PpoStats::default();
+
+        'update: {
+            // --- Line 12: classifier update ---------------------------------
+            if let Some(ref mut c) = self.classifier {
+                // Uniform per-agent sampling: concatenate everything (same
+                // count per agent by construction).
+                let all_obs = Matrix::vstack(&obs_mats.iter().collect::<Vec<_>>());
+                let labels: Vec<usize> =
+                    (0..self.num_agents).flat_map(|k| std::iter::repeat(k).take(t_len)).collect();
+                classifier_loss = c.train_batch(&all_obs, &labels);
+                classifier_accuracy = c.accuracy(&all_obs, &labels);
+            }
+
+            // --- Line 16: compound rewards (Eqn 19) --------------------------
+            let (rewards, intrinsic) = self.compound_rewards(&rollout, &obs_mats);
+            mean_intrinsic = intrinsic;
+            if self.cfg.nan_guard && rewards.iter().any(|r| !all_finite(r)) {
+                nan_events += 1;
+                update_skipped = true;
+                break 'update;
+            }
+
+            // --- Line 13: snapshot behaviour policies for the meta step -----
+            let old_agents: Vec<PpoAgent> = if self.cfg.ablation.use_copo && self.cfg.lcf_epochs > 0
+            {
                 self.agents.clone()
             } else {
                 Vec::new()
             };
 
-        // Cache the last computed per-agent advantage triples for the meta
-        // step (they depend on critics, which keep updating).
-        let mut last_adv: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
-        let mut last_adv_he: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
-        let mut last_adv_ho: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+            // Cache the last computed per-agent advantage triples for the
+            // meta step (they depend on critics, which keep updating).
+            let mut last_adv: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+            let mut last_adv_he: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
+            let mut last_adv_ho: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
 
-        // --- Lines 14-20: M1 policy epochs -----------------------------------
-        let mut final_ppo = PpoStats::default();
-        for _epoch in 0..self.cfg.policy_epochs {
-            for k in 0..self.num_agents {
-                let ai = self.agent_idx(k);
-                let critic_input = if self.cfg.centralized_critic { &state_mat } else { &obs_mats[k] };
+            // --- Lines 14-20: M1 policy epochs -------------------------------
+            for _epoch in 0..self.cfg.policy_epochs {
+                for k in 0..self.num_agents {
+                    let ai = self.agent_idx(k);
+                    let critic_input =
+                        if self.cfg.centralized_critic { &state_mat } else { &obs_mats[k] };
 
-                // Individual advantage (Eqn 24 generalised by GAE).
-                let raw_v = self.agents[ai].values(critic_input, CriticKind::Own);
-                let v: Vec<f32> = if self.cfg.value_norm {
-                    raw_v.iter().map(|&x| self.stat_own.denormalize(x)).collect()
-                } else {
-                    raw_v
-                };
-                let (adv, ret) = gae(&rewards[k], &v, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-
-                // Neighbourhood advantages.
-                let (adv_he, ret_he, adv_ho, ret_ho) = if self.cfg.ablation.use_copo {
-                    let (r_he, r_ho) = if self.cfg.ablation.heterogeneous {
-                        (
-                            rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous),
-                            rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous),
-                        )
+                    // Individual advantage (Eqn 24 generalised by GAE).
+                    let raw_v = self.agents[ai].values(critic_input, CriticKind::Own);
+                    let v: Vec<f32> = if self.cfg.value_norm {
+                        raw_v.iter().map(|&x| self.stat_own.denormalize(x)).collect()
                     } else {
-                        // CoPO baseline: one undifferentiated neighbour set.
-                        let he = rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous);
-                        let ho = rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous);
-                        let merged: Vec<f32> = he
-                            .iter()
-                            .zip(ho.iter())
-                            .enumerate()
-                            .map(|(t, (&a, &b))| {
-                                let n_he = rollout.het_neighbors[t][k].len();
-                                let n_ho = rollout.hom_neighbors[t][k].len();
-                                let n = n_he + n_ho;
-                                if n == 0 {
-                                    0.0
-                                } else {
-                                    (a * n_he as f32 + b * n_ho as f32) / n as f32
-                                }
+                        raw_v
+                    };
+                    let (adv, ret) = gae(&rewards[k], &v, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+
+                    // Neighbourhood advantages.
+                    let (adv_he, ret_he, adv_ho, ret_ho) = if self.cfg.ablation.use_copo {
+                        let (r_he, r_ho) = if self.cfg.ablation.heterogeneous {
+                            (
+                                rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous),
+                                rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous),
+                            )
+                        } else {
+                            // CoPO baseline: one undifferentiated neighbour set.
+                            let he =
+                                rollout.neighbor_reward(&rewards, k, NeighborKind::Heterogeneous);
+                            let ho =
+                                rollout.neighbor_reward(&rewards, k, NeighborKind::Homogeneous);
+                            let merged: Vec<f32> = he
+                                .iter()
+                                .zip(ho.iter())
+                                .enumerate()
+                                .map(|(t, (&a, &b))| {
+                                    let n_he = rollout.het_neighbors[t][k].len();
+                                    let n_ho = rollout.hom_neighbors[t][k].len();
+                                    let n = n_he + n_ho;
+                                    if n == 0 {
+                                        0.0
+                                    } else {
+                                        (a * n_he as f32 + b * n_ho as f32) / n as f32
+                                    }
+                                })
+                                .collect();
+                            (merged.clone(), merged)
+                        };
+                        let v_he = self.agents[ai].values(&obs_mats[k], CriticKind::Heterogeneous);
+                        let v_ho = self.agents[ai].values(&obs_mats[k], CriticKind::Homogeneous);
+                        let (a_he, r_he_ret) =
+                            gae(&r_he, &v_he, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                        let (a_ho, r_ho_ret) =
+                            gae(&r_ho, &v_ho, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                        (a_he, r_he_ret, a_ho, r_ho_ret)
+                    } else {
+                        (vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len])
+                    };
+
+                    // Cooperation-aware advantage (Eqn 27).
+                    let mut a_co: Vec<f32> = if self.cfg.ablation.use_copo {
+                        (0..t_len)
+                            .map(|t| self.lcfs[k].coop_advantage(adv[t], adv_he[t], adv_ho[t]))
+                            .collect()
+                    } else {
+                        adv.clone()
+                    };
+                    if self.cfg.nan_guard
+                        && !(all_finite(&adv)
+                            && all_finite(&adv_he)
+                            && all_finite(&adv_ho)
+                            && all_finite(&a_co))
+                    {
+                        nan_events += 1;
+                        update_skipped = true;
+                        break 'update;
+                    }
+                    normalize_advantages(&mut a_co);
+
+                    last_adv[k] = adv;
+                    last_adv_he[k] = adv_he;
+                    last_adv_ho[k] = adv_ho;
+
+                    // Policy step (Eqn 28).
+                    final_ppo = self.agents[ai].ppo_update(
+                        &obs_mats[k],
+                        &act_mats[k],
+                        &rollout.log_probs[k],
+                        &a_co,
+                        self.cfg.clip_eps,
+                        self.cfg.entropy_coef,
+                        self.cfg.max_grad_norm,
+                    );
+
+                    // Critic regression (Eqn 26).
+                    let own_targets: Vec<f32> = if self.cfg.value_norm {
+                        self.stat_own.push_slice(&ret);
+                        ret.iter().map(|&r| self.stat_own.normalize(r)).collect()
+                    } else {
+                        ret
+                    };
+                    self.agents[ai].critic_update(
+                        critic_input,
+                        &own_targets,
+                        CriticKind::Own,
+                        self.cfg.max_grad_norm,
+                    );
+                    if self.cfg.ablation.use_copo {
+                        self.agents[ai].critic_update(
+                            &obs_mats[k],
+                            &ret_he,
+                            CriticKind::Heterogeneous,
+                            self.cfg.max_grad_norm,
+                        );
+                        self.agents[ai].critic_update(
+                            &obs_mats[k],
+                            &ret_ho,
+                            CriticKind::Homogeneous,
+                            self.cfg.max_grad_norm,
+                        );
+                    }
+                }
+            }
+
+            // --- Line 20: overall value network on r_all ---------------------
+            let r_all: Vec<f32> =
+                (0..t_len).map(|t| (0..self.num_agents).map(|k| rewards[k][t]).sum()).collect();
+            let v_all_raw = self.v_all.forward_inference(&state_mat).as_slice().to_vec();
+            let v_all_vals: Vec<f32> = if self.cfg.value_norm {
+                v_all_raw.iter().map(|&x| self.stat_all.denormalize(x)).collect()
+            } else {
+                v_all_raw
+            };
+            let (mut adv_all, ret_all) =
+                gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+            if self.cfg.nan_guard && !(all_finite(&adv_all) && all_finite(&ret_all)) {
+                nan_events += 1;
+                update_skipped = true;
+                break 'update;
+            }
+            {
+                let targets: Vec<f32> = if self.cfg.value_norm {
+                    self.stat_all.push_slice(&ret_all);
+                    ret_all.iter().map(|&r| self.stat_all.normalize(r)).collect()
+                } else {
+                    ret_all
+                };
+                self.v_all.zero_grad();
+                let pred = self.v_all.forward(&state_mat);
+                let target = Matrix::from_vec(targets.len(), 1, targets);
+                let (_, grad) = agsc_nn::loss::mse(&pred, &target);
+                self.v_all.backward(&grad);
+                self.v_all.clip_grad_norm(self.cfg.max_grad_norm);
+                self.v_all_opt.step(&mut self.v_all.params_mut());
+            }
+
+            // --- Lines 21-23: M2 LCF meta epochs (Eqns 30-32) ----------------
+            if self.cfg.ablation.use_copo && !old_agents.is_empty() {
+                normalize_advantages(&mut adv_all);
+                for _ in 0..self.cfg.lcf_epochs {
+                    for k in 0..self.num_agents {
+                        let ai = self.agent_idx(k);
+                        // Term 1 (Eqn 31): ∇_{θ_new} J_all via the clipped
+                        // surrogate with the overall advantage.
+                        let term1 = self.agents[ai].ppo_objective_grad(
+                            &obs_mats[k],
+                            &act_mats[k],
+                            &rollout.log_probs[k],
+                            &adv_all,
+                            self.cfg.clip_eps,
+                        );
+                        // Term 2 (Eqn 32): α·E[∇_{θ_old} log π · ∂A_CO/∂LCF].
+                        let scale = self.cfg.meta_alpha / t_len.max(1) as f32;
+                        let c_phi: Vec<f32> = (0..t_len)
+                            .map(|t| {
+                                scale
+                                    * self.lcfs[k].d_phi(
+                                        last_adv[k][t],
+                                        last_adv_he[k][t],
+                                        last_adv_ho[k][t],
+                                    )
                             })
                             .collect();
-                        (merged.clone(), merged)
-                    };
-                    let v_he = self.agents[ai].values(&obs_mats[k], CriticKind::Heterogeneous);
-                    let v_ho = self.agents[ai].values(&obs_mats[k], CriticKind::Homogeneous);
-                    let (a_he, r_he_ret) = gae(&r_he, &v_he, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-                    let (a_ho, r_ho_ret) = gae(&r_ho, &v_ho, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-                    (a_he, r_he_ret, a_ho, r_ho_ret)
-                } else {
-                    (vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len])
-                };
+                        let c_chi: Vec<f32> = (0..t_len)
+                            .map(|t| {
+                                scale
+                                    * self.lcfs[k].d_chi(
+                                        last_adv[k][t],
+                                        last_adv_he[k][t],
+                                        last_adv_ho[k][t],
+                                    )
+                            })
+                            .collect();
+                        let mut old = old_agents[ai].clone();
+                        let t2_phi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_phi);
+                        let t2_chi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_chi);
+                        let dot = |a: &[f32], b: &[f32]| -> f32 {
+                            a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+                        };
+                        let g_phi = dot(&term1, &t2_phi);
+                        let g_chi = dot(&term1, &t2_chi);
+                        // χ only matters under the heterogeneous split.
+                        let g_chi = if self.cfg.ablation.heterogeneous { g_chi } else { 0.0 };
+                        self.lcfs[k].ascend(g_phi, g_chi, self.cfg.lcf_lr);
+                    }
+                }
+            }
 
-                // Cooperation-aware advantage (Eqn 27).
-                let mut a_co: Vec<f32> = if self.cfg.ablation.use_copo {
-                    (0..t_len)
-                        .map(|t| self.lcfs[k].coop_advantage(adv[t], adv_he[t], adv_ho[t]))
-                        .collect()
-                } else {
-                    adv.clone()
-                };
-                normalize_advantages(&mut a_co);
-
-                last_adv[k] = adv;
-                last_adv_he[k] = adv_he;
-                last_adv_ho[k] = adv_ho;
-
-                // Policy step (Eqn 28).
-                final_ppo = self.agents[ai].ppo_update(
-                    &obs_mats[k],
-                    &act_mats[k],
-                    &rollout.log_probs[k],
-                    &a_co,
-                    self.cfg.clip_eps,
-                    self.cfg.entropy_coef,
-                    self.cfg.max_grad_norm,
-                );
-
-                // Critic regression (Eqn 26).
-                let own_targets: Vec<f32> = if self.cfg.value_norm {
-                    self.stat_own.push_slice(&ret);
-                    ret.iter().map(|&r| self.stat_own.normalize(r)).collect()
-                } else {
-                    ret
-                };
-                self.agents[ai].critic_update(
-                    critic_input,
-                    &own_targets,
-                    CriticKind::Own,
-                    self.cfg.max_grad_norm,
-                );
-                if self.cfg.ablation.use_copo {
-                    self.agents[ai].critic_update(
-                        &obs_mats[k],
-                        &ret_he,
-                        CriticKind::Heterogeneous,
-                        self.cfg.max_grad_norm,
-                    );
-                    self.agents[ai].critic_update(
-                        &obs_mats[k],
-                        &ret_ho,
-                        CriticKind::Homogeneous,
-                        self.cfg.max_grad_norm,
-                    );
+            // Post-update sanity: a non-finite LCF or PPO statistic means the
+            // parameters themselves went bad — roll the whole iteration back.
+            if self.cfg.nan_guard {
+                let lcf_ok = self.lcfs.iter().all(|l| {
+                    let (phi, chi) = l.degrees();
+                    phi.is_finite() && chi.is_finite()
+                });
+                let ppo_ok = final_ppo.mean_ratio.is_finite()
+                    && final_ppo.clip_fraction.is_finite()
+                    && final_ppo.entropy.is_finite();
+                if !(lcf_ok && ppo_ok) {
+                    nan_events += 1;
+                    update_skipped = true;
+                    break 'update;
                 }
             }
         }
 
-        // --- Line 20: overall value network on r_all -------------------------
-        let r_all: Vec<f32> = (0..t_len)
-            .map(|t| (0..self.num_agents).map(|k| rewards[k][t]).sum())
-            .collect();
-        let v_all_raw = self.v_all.forward_inference(&state_mat).as_slice().to_vec();
-        let v_all_vals: Vec<f32> = if self.cfg.value_norm {
-            v_all_raw.iter().map(|&x| self.stat_all.denormalize(x)).collect()
-        } else {
-            v_all_raw
-        };
-        let (mut adv_all, ret_all) =
-            gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-        {
-            let targets: Vec<f32> = if self.cfg.value_norm {
-                self.stat_all.push_slice(&ret_all);
-                ret_all.iter().map(|&r| self.stat_all.normalize(r)).collect()
-            } else {
-                ret_all
-            };
-            self.v_all.zero_grad();
-            let pred = self.v_all.forward(&state_mat);
-            let target = Matrix::from_vec(targets.len(), 1, targets);
-            let (_, grad) = agsc_nn::loss::mse(&pred, &target);
-            self.v_all.backward(&grad);
-            self.v_all.clip_grad_norm(self.cfg.max_grad_norm);
-            self.v_all_opt.step(&mut self.v_all.params_mut());
-        }
-
-        // --- Lines 21-23: M2 LCF meta epochs (Eqns 30-32) --------------------
-        if self.cfg.ablation.use_copo && !old_agents.is_empty() {
-            normalize_advantages(&mut adv_all);
-            for _ in 0..self.cfg.lcf_epochs {
-                for k in 0..self.num_agents {
-                    let ai = self.agent_idx(k);
-                    // Term 1 (Eqn 31): ∇_{θ_new} J_all via the clipped
-                    // surrogate with the overall advantage.
-                    let term1 = self.agents[ai].ppo_objective_grad(
-                        &obs_mats[k],
-                        &act_mats[k],
-                        &rollout.log_probs[k],
-                        &adv_all,
-                        self.cfg.clip_eps,
-                    );
-                    // Term 2 (Eqn 32): α·E[∇_{θ_old} log π · ∂A_CO/∂LCF].
-                    let scale = self.cfg.meta_alpha / t_len.max(1) as f32;
-                    let c_phi: Vec<f32> = (0..t_len)
-                        .map(|t| {
-                            scale
-                                * self.lcfs[k].d_phi(
-                                    last_adv[k][t],
-                                    last_adv_he[k][t],
-                                    last_adv_ho[k][t],
-                                )
-                        })
-                        .collect();
-                    let c_chi: Vec<f32> = (0..t_len)
-                        .map(|t| {
-                            scale
-                                * self.lcfs[k].d_chi(
-                                    last_adv[k][t],
-                                    last_adv_he[k][t],
-                                    last_adv_ho[k][t],
-                                )
-                        })
-                        .collect();
-                    let mut old = old_agents[ai].clone();
-                    let t2_phi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_phi);
-                    let t2_chi = old.weighted_logprob_grad(&obs_mats[k], &act_mats[k], &c_chi);
-                    let dot = |a: &[f32], b: &[f32]| -> f32 {
-                        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
-                    };
-                    let g_phi = dot(&term1, &t2_phi);
-                    let g_chi = dot(&term1, &t2_chi);
-                    // χ only matters under the heterogeneous split.
-                    let g_chi = if self.cfg.ablation.heterogeneous { g_chi } else { 0.0 };
-                    self.lcfs[k].ascend(g_phi, g_chi, self.cfg.lcf_lr);
-                }
+        if update_skipped {
+            if let Some(snap) = snapshot {
+                self.restore_learnables(snap);
             }
         }
 
@@ -487,6 +591,8 @@ impl HiMadrlTrainer {
             train_metrics,
             ppo: final_ppo,
             lcf_degrees: self.lcfs.iter().map(|l| l.degrees()).collect(),
+            update_skipped,
+            nan_events,
         }
     }
 
@@ -521,22 +627,28 @@ impl HiMadrlTrainer {
 
     /// Rebuild a trainer from a checkpoint with a fresh RNG seed.
     ///
-    /// Returns an error string on version mismatch or internal
+    /// Returns a typed [`TrainError`] on version mismatch or internal
     /// inconsistency.
-    pub fn restore(ckpt: &crate::checkpoint::Checkpoint, seed: u64) -> Result<Self, String> {
+    pub fn restore(ckpt: &crate::checkpoint::Checkpoint, seed: u64) -> Result<Self, TrainError> {
         if ckpt.version != crate::checkpoint::CHECKPOINT_VERSION {
-            return Err(format!(
-                "unsupported checkpoint version {} (expected {})",
-                ckpt.version,
-                crate::checkpoint::CHECKPOINT_VERSION
-            ));
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                supported: crate::checkpoint::CHECKPOINT_VERSION,
+            }
+            .into());
         }
-        let expected_agents = if ckpt.config.shared_params { 1 } else { ckpt.num_agents };
-        if ckpt.agents.len() != expected_agents {
-            return Err("agent count inconsistent with config".into());
+        let required_agents = if ckpt.config.shared_params { 1 } else { ckpt.num_agents };
+        if ckpt.agents.len() != required_agents {
+            return Err(CheckpointError::Inconsistent(
+                "agent count inconsistent with config".into(),
+            )
+            .into());
         }
         if ckpt.lcfs.len() != ckpt.num_agents {
-            return Err("LCF count inconsistent with fleet size".into());
+            return Err(CheckpointError::Inconsistent(
+                "LCF count inconsistent with fleet size".into(),
+            )
+            .into());
         }
         Ok(Self {
             cfg: ckpt.config.clone(),
@@ -589,7 +701,7 @@ mod tests {
     #[test]
     fn rollout_has_full_horizon() {
         let mut env = small_env();
-        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3);
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
         let r = t.collect_rollout(&mut env);
         assert_eq!(r.len(), 20);
         assert_eq!(r.num_agents(), 4);
@@ -599,7 +711,7 @@ mod tests {
     #[test]
     fn train_iteration_runs_and_reports() {
         let mut env = small_env();
-        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3);
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
         let stats = t.train_iteration(&mut env);
         assert!(stats.mean_ext_reward.is_finite());
         assert!(stats.classifier_loss.is_finite());
@@ -625,7 +737,7 @@ mod tests {
             let mut env = small_env();
             let mut cfg = small_train_cfg();
             cfg.ablation = ablation;
-            let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+            let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap();
             let stats = t.train_iteration(&mut env);
             assert!(stats.mean_ext_reward.is_finite(), "{ablation:?} produced NaN");
         }
@@ -636,7 +748,7 @@ mod tests {
         let mut env = small_env();
         let mut cfg = small_train_cfg();
         cfg.ablation = Ablation::without_eoi();
-        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap();
         assert_eq!(t.intrinsic_weight(), 0.0);
         let stats = t.train_iteration(&mut env);
         assert_eq!(stats.mean_intrinsic, 0.0);
@@ -648,7 +760,7 @@ mod tests {
         let mut env = small_env();
         let mut cfg = small_train_cfg();
         cfg.shared_params = true;
-        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap();
         let s = t.train_iteration(&mut env);
         assert!(s.mean_ext_reward.is_finite());
         // All UVs act through the same network: identical obs ⇒ identical
@@ -664,7 +776,7 @@ mod tests {
         let mut env = small_env();
         let mut cfg = small_train_cfg();
         cfg.centralized_critic = true;
-        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap();
         let s = t.train_iteration(&mut env);
         assert!(s.mean_ext_reward.is_finite());
     }
@@ -676,7 +788,7 @@ mod tests {
         let mut env = small_env();
         let mut cfg = small_train_cfg();
         cfg.policy_epochs = 4;
-        let mut t = HiMadrlTrainer::new(&env, cfg, 40, 11);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 40, 11).unwrap();
         let stats = t.train(&mut env, 40);
         let early: f32 = stats[..5].iter().map(|s| s.mean_ext_reward).sum::<f32>() / 5.0;
         let late: f32 =
@@ -692,11 +804,55 @@ mod tests {
     #[test]
     fn lcf_report_by_kind() {
         let env = small_env();
-        let t = HiMadrlTrainer::new(&env, small_train_cfg(), 5, 3);
+        let t = HiMadrlTrainer::new(&env, small_train_cfg(), 5, 3).unwrap();
         let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = t.mean_lcf_by_kind();
         assert_eq!(uav_phi, 0.0);
         assert!((uav_chi - 45.0).abs() < 1e-4);
         assert_eq!(ugv_phi, 0.0);
         assert!((ugv_chi - 45.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.gamma = 2.0;
+        let err = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "got {err:?}");
+        assert!(err.to_string().contains("gamma"));
+    }
+
+    #[test]
+    fn nan_guard_skips_poisoned_update_and_restores() {
+        let mut env = small_env();
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
+        // Poison the overall value network so `adv_all` goes non-finite
+        // mid-iteration, after the policy networks have already stepped.
+        for p in t.v_all.params_mut() {
+            p.value.as_mut_slice().fill(f32::NAN);
+        }
+        let obs = vec![0.1f32; t.obs_dim()];
+        let before = t.policy_action(0, &obs);
+        let stats = t.train_iteration(&mut env);
+        assert!(stats.update_skipped, "guard must flag the poisoned update");
+        assert!(stats.nan_events >= 1);
+        // The rollback must undo the policy epochs that ran before the
+        // poison was detected.
+        let after = t.policy_action(0, &obs);
+        assert_eq!(before, after, "learnables must be restored on skip");
+        // The iteration still counts and later iterations keep running.
+        assert_eq!(t.iterations_done(), 1);
+        let stats2 = t.train_iteration(&mut env);
+        assert!(stats2.update_skipped);
+        assert_eq!(t.iterations_done(), 2);
+    }
+
+    #[test]
+    fn nan_guard_reports_clean_iterations_as_clean() {
+        let mut env = small_env();
+        let mut t = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
+        let stats = t.train_iteration(&mut env);
+        assert!(!stats.update_skipped);
+        assert_eq!(stats.nan_events, 0);
     }
 }

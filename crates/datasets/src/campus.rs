@@ -6,6 +6,7 @@
 //! irregular blocks and inaccessible corners the paper highlights for UGVs),
 //! always repaired back to a single connected component.
 
+use crate::error::DatasetError;
 use agsc_geo::{Aabb, Point, RoadNetwork};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -63,8 +64,25 @@ impl CampusSpec {
     ///
     /// The graph is guaranteed connected: removed streets that would
     /// disconnect the campus are restored via a union-find repair pass.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; use [`CampusSpec::try_generate_roads`] for
+    /// a recoverable error.
     pub fn generate_roads<R: Rng + ?Sized>(&self, rng: &mut R) -> RoadNetwork {
-        self.validate().expect("invalid campus spec");
+        match self.try_generate_roads(rng) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CampusSpec::generate_roads`] for untrusted specs.
+    pub fn try_generate_roads<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<RoadNetwork, DatasetError> {
+        if let Err(msg) = self.validate() {
+            return Err(DatasetError::InvalidSpec(msg));
+        }
         let mut net = RoadNetwork::new();
         let cell_w = self.width_m / (self.grid_cols - 1) as f64;
         let cell_h = self.height_m / (self.grid_rows - 1) as f64;
@@ -120,7 +138,7 @@ impl CampusSpec {
             }
         }
         debug_assert!(net.is_connected(), "repair pass must leave the campus connected");
-        net
+        Ok(net)
     }
 
     /// Pick hotspot node ids (distinct, spread over the campus).
@@ -243,6 +261,15 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 5, "hotspots must be distinct");
         assert!(h.iter().all(|&i| i < net.node_count()));
+    }
+
+    #[test]
+    fn try_generate_roads_reports_typed_error() {
+        let mut s = spec();
+        s.hotspots = 0;
+        let err = s.try_generate_roads(&mut ChaCha8Rng::seed_from_u64(1)).unwrap_err();
+        assert!(matches!(err, DatasetError::InvalidSpec(_)), "got {err:?}");
+        assert!(err.to_string().contains("hotspot"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The assembled campus dataset consumed by the environment.
 
 use crate::campus::CampusSpec;
+use crate::error::DatasetError;
 use crate::poi::{extract_pois, Poi};
 use crate::trace::{simulate_traces, Trace, TraceConfig};
 use agsc_geo::{Aabb, Point, RoadNetwork};
@@ -35,6 +36,10 @@ pub const POI_CELL_SIZE: f64 = 40.0;
 
 impl CampusDataset {
     /// Generate a full dataset: roads → hotspots → traces → PoIs.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; use [`CampusDataset::try_generate`] for a
+    /// recoverable error.
     pub fn generate(
         spec: CampusSpec,
         trace_config: TraceConfig,
@@ -42,15 +47,29 @@ impl CampusDataset {
         poi_count: usize,
         seed: u64,
     ) -> Self {
+        match Self::try_generate(spec, trace_config, trace_count, poi_count, seed) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CampusDataset::generate`] for untrusted specs.
+    pub fn try_generate(
+        spec: CampusSpec,
+        trace_config: TraceConfig,
+        trace_count: usize,
+        poi_count: usize,
+        seed: u64,
+    ) -> Result<Self, DatasetError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let roads = spec.generate_roads(&mut rng);
+        let roads = spec.try_generate_roads(&mut rng)?;
         let hotspots = spec.pick_hotspots(&roads, &mut rng);
         let traces =
             simulate_traces(&spec, &roads, &hotspots, &trace_config, trace_count, &mut rng);
         let bounds = spec.bounds();
         let pois = extract_pois(&bounds, &traces, POI_CELL_SIZE, poi_count);
         let start = roads.node(roads.nearest_node(&bounds.center()));
-        Self { name: spec.name, bounds, roads, pois, traces, start, seed }
+        Ok(Self { name: spec.name, bounds, roads, pois, traces, start, seed })
     }
 
     /// PoI positions only (in extraction rank order).
@@ -108,10 +127,7 @@ mod tests {
         // be uniform (paper: "PoIs are unevenly distributed").
         let d = presets::purdue(3);
         let fairness = d.poi_popularity_fairness();
-        assert!(
-            fairness < 0.9,
-            "PoI popularity should be uneven, Jain index was {fairness:.3}"
-        );
+        assert!(fairness < 0.9, "PoI popularity should be uneven, Jain index was {fairness:.3}");
         assert!(fairness > 0.0);
     }
 

@@ -1,0 +1,36 @@
+//! Typed errors for dataset generation and trace loading.
+
+use std::fmt;
+
+/// Why a dataset could not be generated or loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The [`crate::CampusSpec`] failed validation.
+    InvalidSpec(String),
+    /// Imported trace data was malformed (bad CSV, tick gaps, NaNs).
+    BadTrace(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidSpec(msg) => write!(f, "invalid campus spec: {msg}"),
+            DatasetError::BadTrace(msg) => write!(f, "bad trace data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = DatasetError::InvalidSpec("at least one hotspot required".into());
+        assert!(e.to_string().contains("hotspot"));
+        let e = DatasetError::BadTrace("line 2: bad x 'abc'".into());
+        assert!(e.to_string().contains("line 2"));
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod campus;
 pub mod dataset;
+pub mod error;
 pub mod loader;
 pub mod poi;
 pub mod presets;
@@ -20,6 +21,7 @@ pub mod trace;
 
 pub use campus::CampusSpec;
 pub use dataset::CampusDataset;
+pub use error::DatasetError;
 pub use loader::{traces_from_csv, traces_to_csv};
 pub use poi::Poi;
 pub use presets::{ncsu, purdue};

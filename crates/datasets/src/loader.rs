@@ -6,22 +6,30 @@
 //! campuses, so the reproduction upgrades in place when the original data is
 //! available.
 
+use crate::error::DatasetError;
 use crate::trace::Trace;
 use agsc_geo::Point;
 use std::fmt::Write as _;
+
+fn bad(msg: String) -> DatasetError {
+    DatasetError::BadTrace(msg)
+}
 
 /// Parse traces from CSV text with a `trace_id,tick,x,y` header.
 ///
 /// Rows may appear in any order; ticks are sorted per trace and gaps are
 /// forbidden (a missing tick is a data error worth surfacing, not patching).
-/// Returns an error message with the offending line number on malformed
-/// input.
-pub fn traces_from_csv(csv: &str) -> Result<Vec<Trace>, String> {
+/// Returns a [`DatasetError::BadTrace`] naming the offending line on
+/// malformed input.
+pub fn traces_from_csv(csv: &str) -> Result<Vec<Trace>, DatasetError> {
     let mut lines = csv.lines().enumerate();
-    let (_, header) = lines.next().ok_or("empty CSV")?;
+    let (_, header) = match lines.next() {
+        Some(l) => l,
+        None => return Err(bad("empty CSV".into())),
+    };
     let normalized = header.replace(' ', "");
     if normalized != "trace_id,tick,x,y" {
-        return Err(format!("unexpected header '{header}' (want trace_id,tick,x,y)"));
+        return Err(bad(format!("unexpected header '{header}' (want trace_id,tick,x,y)")));
     }
     // (trace_id, tick) → point
     let mut rows: Vec<(usize, usize, Point)> = Vec::new();
@@ -31,24 +39,31 @@ pub fn traces_from_csv(csv: &str) -> Result<Vec<Trace>, String> {
         }
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != 4 {
-            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, parts.len()));
+            return Err(bad(format!(
+                "line {}: expected 4 fields, got {}",
+                lineno + 1,
+                parts.len()
+            )));
         }
-        let parse = |s: &str, what: &str| -> Result<f64, String> {
-            s.trim().parse::<f64>().map_err(|_| format!("line {}: bad {what} '{s}'", lineno + 1))
+        let parse = |s: &str, what: &str| -> Result<f64, DatasetError> {
+            match s.trim().parse::<f64>() {
+                Ok(v) => Ok(v),
+                Err(_) => Err(bad(format!("line {}: bad {what} '{s}'", lineno + 1))),
+            }
         };
         let id = parse(parts[0], "trace_id")? as usize;
         let tick = parse(parts[1], "tick")? as usize;
         let x = parse(parts[2], "x")?;
         let y = parse(parts[3], "y")?;
         if !x.is_finite() || !y.is_finite() {
-            return Err(format!("line {}: non-finite coordinate", lineno + 1));
+            return Err(bad(format!("line {}: non-finite coordinate", lineno + 1)));
         }
         rows.push((id, tick, Point::new(x, y)));
     }
     if rows.is_empty() {
-        return Err("CSV contains a header but no rows".into());
+        return Err(bad("CSV contains a header but no rows".into()));
     }
-    let max_id = rows.iter().map(|&(id, _, _)| id).max().unwrap();
+    let max_id = rows.iter().map(|&(id, _, _)| id).max().unwrap_or(0);
     let mut per_trace: Vec<Vec<(usize, Point)>> = vec![Vec::new(); max_id + 1];
     for (id, tick, p) in rows {
         per_trace[id].push((tick, p));
@@ -56,12 +71,12 @@ pub fn traces_from_csv(csv: &str) -> Result<Vec<Trace>, String> {
     let mut traces = Vec::with_capacity(per_trace.len());
     for (id, mut ticks) in per_trace.into_iter().enumerate() {
         if ticks.is_empty() {
-            return Err(format!("trace {id} referenced but has no rows"));
+            return Err(bad(format!("trace {id} referenced but has no rows")));
         }
         ticks.sort_by_key(|&(t, _)| t);
         for (expected, &(tick, _)) in ticks.iter().enumerate() {
             if tick != expected {
-                return Err(format!("trace {id}: tick {expected} missing (found {tick})"));
+                return Err(bad(format!("trace {id}: tick {expected} missing (found {tick})")));
             }
         }
         traces.push(Trace { positions: ticks.into_iter().map(|(_, p)| p).collect() });
@@ -86,9 +101,7 @@ mod tests {
 
     fn sample() -> Vec<Trace> {
         vec![
-            Trace {
-                positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],
-            },
+            Trace { positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)] },
             Trace { positions: vec![Point::new(5.5, 6.25)] },
         ]
     }
@@ -120,19 +133,19 @@ mod tests {
     #[test]
     fn rejects_malformed_rows() {
         let e = traces_from_csv("trace_id,tick,x,y\n0,0,1.0\n").unwrap_err();
-        assert!(e.contains("line 2"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
         let e = traces_from_csv("trace_id,tick,x,y\n0,0,abc,1.0\n").unwrap_err();
-        assert!(e.contains("bad x"), "{e}");
+        assert!(e.to_string().contains("bad x"), "{e}");
         let e = traces_from_csv("trace_id,tick,x,y\n0,0,inf,1.0\n").unwrap_err();
-        assert!(e.contains("non-finite"), "{e}");
+        assert!(e.to_string().contains("non-finite"), "{e}");
     }
 
     #[test]
     fn rejects_tick_gaps_and_missing_traces() {
         let e = traces_from_csv("trace_id,tick,x,y\n0,0,1,1\n0,2,2,2\n").unwrap_err();
-        assert!(e.contains("tick 1 missing"), "{e}");
+        assert!(e.to_string().contains("tick 1 missing"), "{e}");
         let e = traces_from_csv("trace_id,tick,x,y\n1,0,1,1\n").unwrap_err();
-        assert!(e.contains("trace 0"), "{e}");
+        assert!(e.to_string().contains("trace 0"), "{e}");
     }
 
     #[test]

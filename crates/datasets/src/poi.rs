@@ -5,8 +5,8 @@
 //! trace positions into grid cells, rank cells by visit count, and emit the
 //! visit-weighted centroid of each of the top-`I` cells as a PoI.
 
-use agsc_geo::{Aabb, Point};
 use crate::trace::Trace;
+use agsc_geo::{Aabb, Point};
 use serde::{Deserialize, Serialize};
 
 /// A Point-of-Interest with its relative popularity.
@@ -23,12 +23,7 @@ pub struct Poi {
 /// `cell_size` controls spatial granularity (metres). Ties are broken by
 /// cell index so extraction is deterministic. If fewer than `count` cells
 /// were ever visited, all visited cells are returned.
-pub fn extract_pois(
-    bounds: &Aabb,
-    traces: &[Trace],
-    cell_size: f64,
-    count: usize,
-) -> Vec<Poi> {
+pub fn extract_pois(bounds: &Aabb, traces: &[Trace], cell_size: f64, count: usize) -> Vec<Poi> {
     assert!(cell_size > 0.0, "cell size must be positive");
     let nx = (bounds.width() / cell_size).ceil().max(1.0) as usize;
     let ny = (bounds.height() / cell_size).ceil().max(1.0) as usize;
@@ -86,13 +81,8 @@ mod tests {
     #[test]
     fn truncates_to_requested_count() {
         let bounds = Aabb::from_extent(100.0, 100.0);
-        let traces = vec![trace_at(&[
-            (5.0, 5.0),
-            (15.0, 5.0),
-            (25.0, 5.0),
-            (35.0, 5.0),
-            (45.0, 5.0),
-        ])];
+        let traces =
+            vec![trace_at(&[(5.0, 5.0), (15.0, 5.0), (25.0, 5.0), (35.0, 5.0), (45.0, 5.0)])];
         let pois = extract_pois(&bounds, &traces, 10.0, 2);
         assert_eq!(pois.len(), 2);
     }

@@ -51,13 +51,7 @@ pub fn ncsu_spec() -> CampusSpec {
 
 /// Generate the Purdue-like dataset from a seed.
 pub fn purdue(seed: u64) -> CampusDataset {
-    CampusDataset::generate(
-        purdue_spec(),
-        TraceConfig::default(),
-        PURDUE_TRACES,
-        POI_COUNT,
-        seed,
-    )
+    CampusDataset::generate(purdue_spec(), TraceConfig::default(), PURDUE_TRACES, POI_COUNT, seed)
 }
 
 /// Generate the NCSU-like dataset from a seed.

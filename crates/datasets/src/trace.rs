@@ -226,8 +226,10 @@ mod tests {
     fn deterministic_given_seed() {
         let (spec, roads, hotspots) = setup();
         let cfg = TraceConfig { duration: 300, ..Default::default() };
-        let a = simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
-        let b = simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
+        let a =
+            simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
+        let b =
+            simulate_traces(&spec, &roads, &hotspots, &cfg, 2, &mut ChaCha8Rng::seed_from_u64(1));
         assert_eq!(a, b);
     }
 }

@@ -56,6 +56,18 @@ pub struct SlotCollection {
     pub events: Vec<ScheduledEvent>,
 }
 
+/// Availability mask applied during one slot's collection — the fault layer's
+/// view of the fleet and the spectrum. Indices follow the global UV
+/// convention (`0..U` UAVs, `U..U+G` UGVs); out-of-range entries read as
+/// available.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionMask<'a> {
+    /// Which UVs can collect/relay/decode this slot.
+    pub uv_alive: &'a [bool],
+    /// Which subchannels are usable this slot.
+    pub subchannel_up: &'a [bool],
+}
+
 /// A transmitter active on a subchannel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Tx {
@@ -91,6 +103,22 @@ pub fn run_collection(
     poi_pos: &[Point],
     poi_remaining: &[f64],
 ) -> SlotCollection {
+    run_collection_masked(cfg, fading, uav_pos, ugv_pos, poi_pos, poi_remaining, None)
+}
+
+/// [`run_collection`] with an optional fault mask: dead UVs neither request
+/// nor decode, and any upload scheduled on a downed subchannel fails (a
+/// data-loss event). `mask: None` is exactly the unmasked scheduler.
+#[allow(clippy::too_many_arguments)]
+pub fn run_collection_masked(
+    cfg: &EnvConfig,
+    fading: &RayleighFading,
+    uav_pos: &[Point],
+    ugv_pos: &[Point],
+    poi_pos: &[Point],
+    poi_remaining: &[f64],
+    mask: Option<&CollectionMask<'_>>,
+) -> SlotCollection {
     let num_uavs = uav_pos.len();
     let num_ugvs = ugv_pos.len();
     let k = num_uavs + num_ugvs;
@@ -105,6 +133,10 @@ pub fn run_collection(
     if poi_pos.is_empty() || z_count == 0 {
         return out;
     }
+
+    // Fault-mask queries; out-of-range (or no mask) means available.
+    let uv_ok = |k: usize| mask.map_or(true, |m| m.uv_alive.get(k).copied().unwrap_or(true));
+    let ch_ok = |z: usize| mask.map_or(true, |m| m.subchannel_up.get(z).copied().unwrap_or(true));
 
     // Nearest data-bearing PoI within access range, optionally excluding one.
     let nearest_poi = |from: &Point, exclude: Option<usize>| -> Option<usize> {
@@ -129,27 +161,35 @@ pub fn run_collection(
         if num_ugvs == 0 {
             break; // no decoder anywhere: UAVs cannot collect at all
         }
+        if !uv_ok(u) {
+            continue; // dead UAV: no request, no relay
+        }
         if let Some(i) = nearest_poi(up, None) {
-            let mut g_best = 0usize;
+            // Decoder: nearest *alive* UGV; a dead UGV cannot decode.
+            let mut g_best: Option<usize> = None;
             let mut g_dist = f64::INFINITY;
             for (g, gp) in ugv_pos.iter().enumerate() {
+                if !uv_ok(num_uavs + g) {
+                    continue;
+                }
                 let d = gp.dist(up);
                 if d < g_dist {
                     g_dist = d;
-                    g_best = g;
+                    g_best = Some(g);
                 }
             }
-            uav_choice[u] = Some((i, g_best));
+            if let Some(g) = g_best {
+                uav_choice[u] = Some((i, g));
+            }
         }
     }
     // UGV requests: nearest PoI, avoiding the PoI of a UAV that relays to it.
     let mut ugv_choice: Vec<Option<usize>> = vec![None; num_ugvs];
     for (g, gp) in ugv_pos.iter().enumerate() {
-        let partner_poi = uav_choice
-            .iter()
-            .flatten()
-            .find(|&&(_, dec)| dec == g)
-            .map(|&(i, _)| i);
+        if !uv_ok(num_uavs + g) {
+            continue; // dead UGV: no direct collection
+        }
+        let partner_poi = uav_choice.iter().flatten().find(|&&(_, dec)| dec == g).map(|&(i, _)| i);
         let choice = nearest_poi(gp, partner_poi).or_else(|| nearest_poi(gp, None));
         // If the only available PoI is the partner's, accept the collision
         // only when nothing else is in range and it differs (`i ≠ i′` must
@@ -173,11 +213,9 @@ pub fn run_collection(
         if let Some((i, g)) = *choice {
             let idx = requests.len();
             let pairable = |ri: &usize| requests[*ri].partner.is_none() && requests[*ri].poi != i;
-            let partner = ugv_req_idx[g]
-                .filter(|ri| pairable(ri))
-                .or_else(|| {
-                    (0..requests.len()).find(|ri| requests[*ri].decoder.is_none() && pairable(ri))
-                });
+            let partner = ugv_req_idx[g].filter(|ri| pairable(ri)).or_else(|| {
+                (0..requests.len()).find(|ri| requests[*ri].decoder.is_none() && pairable(ri))
+            });
             requests.push(Request { uv: u, poi: i, decoder: Some(num_uavs + g), partner });
             if let Some(ri) = partner {
                 requests[ri].partner = Some(idx);
@@ -228,32 +266,30 @@ pub fn run_collection(
         let ang = from.elevation_deg(uav, cfg.uav_height);
         air_ground_gain(&cfg.channel, d, ang)
     };
-    let tx_power_at = |tx: Tx, receiver_ground: Option<&Point>, receiver_air: Option<&Point>, z: usize| -> f64 {
-        match (tx, receiver_ground, receiver_air) {
-            (Tx::Poi(i), Some(rg), None) => {
-                ground_ground_gain(&cfg.channel, poi_pos[i].dist(rg), fading.gain_sq(z))
-                    * cfg.channel.power_poi
+    let tx_power_at =
+        |tx: Tx, receiver_ground: Option<&Point>, receiver_air: Option<&Point>, z: usize| -> f64 {
+            match (tx, receiver_ground, receiver_air) {
+                (Tx::Poi(i), Some(rg), None) => {
+                    ground_ground_gain(&cfg.channel, poi_pos[i].dist(rg), fading.gain_sq(z))
+                        * cfg.channel.power_poi
+                }
+                (Tx::Poi(i), None, Some(ra)) => g2a(&poi_pos[i], ra) * cfg.channel.power_poi,
+                (Tx::Uav(u), Some(rg), None) => g2a(rg, &uav_pos[u]) * cfg.channel.power_uav,
+                (Tx::Uav(u), None, Some(ra)) => {
+                    // Air-to-air: treat as LoS free-space at the horizontal
+                    // separation (both hover at the same altitude).
+                    let d = uav_pos[u].dist(ra).max(1.0);
+                    cfg.channel.eta_los() * d.powf(-cfg.channel.alpha_g2a) * cfg.channel.power_uav
+                }
+                _ => 0.0,
             }
-            (Tx::Poi(i), None, Some(ra)) => g2a(&poi_pos[i], ra) * cfg.channel.power_poi,
-            (Tx::Uav(u), Some(rg), None) => g2a(rg, &uav_pos[u]) * cfg.channel.power_uav,
-            (Tx::Uav(u), None, Some(ra)) => {
-                // Air-to-air: treat as LoS free-space at the horizontal
-                // separation (both hover at the same altitude).
-                let d = uav_pos[u].dist(ra).max(1.0);
-                cfg.channel.eta_los() * d.powf(-cfg.channel.alpha_g2a) * cfg.channel.power_uav
-            }
-            _ => 0.0,
-        }
-    };
+        };
 
     // Resource shares for the interference-free disciplines.
     let shares = |z: usize| -> (f64, f64, bool) {
-        let n_events = requests
-            .iter()
-            .enumerate()
-            .filter(|&(ri, _)| channel_of[ri] == z)
-            .count()
-            .max(1) as f64;
+        let n_events =
+            requests.iter().enumerate().filter(|&(ri, _)| channel_of[ri] == z).count().max(1)
+                as f64;
         match cfg.access_model {
             AccessModel::Noma => (1.0, 1.0, true),
             AccessModel::Ofdma => (1.0 / n_events, 1.0, false),
@@ -318,8 +354,7 @@ pub fn run_collection(
             let int_ug = interference(Some(g_pos), None, &excl);
             let gamma_ug = sinr(sig_ug, noise, int_ug);
             let gamma = gamma_iu.min(gamma_ug);
-            let c = capacity_bps(&cfg.channel, gamma_iu)
-                .min(capacity_bps(&cfg.channel, gamma_ug))
+            let c = capacity_bps(&cfg.channel, gamma_iu).min(capacity_bps(&cfg.channel, gamma_ug))
                 * bw_share;
             (gamma, cfg.collect_secs * time_share * c, gamma >= threshold)
         } else {
@@ -333,7 +368,9 @@ pub fn run_collection(
             (gamma, cfg.collect_secs * time_share * c, gamma >= threshold)
         };
 
-        let (bits, loss) = if attempted_ok {
+        // A downed subchannel fails the upload outright: the attempt still
+        // happened, so it counts as a data-loss event (σ).
+        let (bits, loss) = if attempted_ok && ch_ok(z) {
             let take = bits_possible.min(poi_left[req.poi]).max(0.0);
             poi_left[req.poi] -= take;
             (take, false)
@@ -567,6 +604,70 @@ mod tests {
     }
 
     #[test]
+    fn no_mask_matches_unmasked_scheduler() {
+        let c = cfg();
+        let f = unit_fading(&c);
+        let uavs = [Point::new(100.0, 100.0)];
+        let ugvs = [Point::new(130.0, 100.0)];
+        let pois = [Point::new(100.0, 100.0), Point::new(130.0, 120.0)];
+        let rem = [3e9, 3e9];
+        let plain = run_collection(&c, &f, &uavs, &ugvs, &pois, &rem);
+        let masked = run_collection_masked(&c, &f, &uavs, &ugvs, &pois, &rem, None);
+        assert_eq!(plain, masked);
+        let all_ok = CollectionMask { uv_alive: &[true, true], subchannel_up: &[true; 3] };
+        let trivially_masked =
+            run_collection_masked(&c, &f, &uavs, &ugvs, &pois, &rem, Some(&all_ok));
+        assert_eq!(plain, trivially_masked);
+    }
+
+    #[test]
+    fn dead_uav_neither_collects_nor_pairs() {
+        let c = cfg();
+        let f = unit_fading(&c);
+        let uavs = [Point::new(100.0, 100.0)];
+        let ugvs = [Point::new(130.0, 100.0)];
+        let pois = [Point::new(100.0, 100.0), Point::new(130.0, 120.0)];
+        let rem = [3e9, 3e9];
+        let m = CollectionMask { uv_alive: &[false, true], subchannel_up: &[true; 3] };
+        let r = run_collection_masked(&c, &f, &uavs, &ugvs, &pois, &rem, Some(&m));
+        assert!(r.relay_pairs.is_empty());
+        assert_eq!(r.collected_per_uv[0], 0.0);
+        assert!(r.collected_per_uv[1] > 0.0, "the surviving UGV still collects");
+        assert!(r.events.iter().all(|e| e.uv == 1));
+    }
+
+    #[test]
+    fn dead_ugv_cannot_decode_for_uavs() {
+        let c = cfg();
+        let f = unit_fading(&c);
+        let uavs = [Point::new(100.0, 100.0)];
+        let ugvs = [Point::new(130.0, 100.0)];
+        let pois = [Point::new(100.0, 100.0), Point::new(130.0, 120.0)];
+        let rem = [3e9, 3e9];
+        let m = CollectionMask { uv_alive: &[true, false], subchannel_up: &[true; 3] };
+        let r = run_collection_masked(&c, &f, &uavs, &ugvs, &pois, &rem, Some(&m));
+        // No alive decoder anywhere: the UAV cannot collect either.
+        assert!(r.events.is_empty());
+        assert_eq!(r.collected_per_uv, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn downed_subchannels_fail_uploads_and_count_losses() {
+        let c = cfg();
+        let f = unit_fading(&c);
+        let ugvs = [Point::new(0.0, 0.0)];
+        let pois = [Point::new(10.0, 0.0)];
+        let rem = [3e9];
+        let m = CollectionMask { uv_alive: &[true], subchannel_up: &[false; 3] };
+        let r = run_collection_masked(&c, &f, &[], &ugvs, &pois, &rem, Some(&m));
+        assert_eq!(r.events.len(), 1);
+        assert!(r.events[0].loss, "outage must register as a loss event");
+        assert_eq!(r.collected_per_uv[0], 0.0);
+        assert_eq!(r.losses_per_uv[0], 1);
+        assert_eq!(r.poi_delta[0], 0.0);
+    }
+
+    #[test]
     fn ofdma_divides_bandwidth() {
         let mut c = cfg();
         c.access_model = AccessModel::Ofdma;
@@ -584,8 +685,10 @@ mod tests {
         let solo = run_collection(&c1, &f1, &[], &[ugvs[0]], &[pois[0]], &[3e12]);
         // Two co-channel OFDMA events each get half the bandwidth.
         assert!(r.collected_per_uv[0] < solo.collected_per_uv[0]);
-        assert!((r.collected_per_uv[0] - solo.collected_per_uv[0] / 2.0).abs()
-            / solo.collected_per_uv[0]
-            < 0.01);
+        assert!(
+            (r.collected_per_uv[0] - solo.collected_per_uv[0] / 2.0).abs()
+                / solo.collected_per_uv[0]
+                < 0.01
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Environment configuration (Table II of the paper).
 
+use crate::faults::FaultConfig;
 use agsc_channel::{AccessModel, ChannelParams};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,11 @@ pub struct EnvConfig {
     pub access_model: AccessModel,
     /// Redraw Rayleigh fading each slot; `false` pins `|h|² = 1` (tests).
     pub stochastic_fading: bool,
+    /// Fault-injection knobs (UV failures, subchannel outages, sensor
+    /// noise). Defaults to everything off, which is bit-identical to the
+    /// fault-free environment.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl Default for EnvConfig {
@@ -82,6 +88,7 @@ impl Default for EnvConfig {
             channel: ChannelParams::default(),
             access_model: AccessModel::Noma,
             stochastic_fading: true,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -128,6 +135,7 @@ impl EnvConfig {
         if self.access_range <= 0.0 || self.obs_range <= 0.0 {
             return Err("ranges must be positive".into());
         }
+        self.faults.validate()?;
         self.channel.validate()
     }
 }
@@ -174,6 +182,31 @@ mod tests {
         c.num_uavs = 0;
         c.num_ugvs = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_faults_are_off() {
+        assert!(EnvConfig::default().faults.is_off());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fault_knobs() {
+        let mut c = EnvConfig::default();
+        c.faults.uv_failure_rate = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = EnvConfig::default();
+        c.faults.outage_len = (0, 2);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_without_faults_field_deserializes() {
+        // Older serialized configs predate the fault layer.
+        let mut legacy = serde_json::to_value(EnvConfig::default()).unwrap();
+        legacy.as_object_mut().unwrap().remove("faults");
+        let back: EnvConfig = serde_json::from_value(legacy).unwrap();
+        assert!(back.faults.is_off());
+        assert_eq!(back, EnvConfig::default());
     }
 
     #[test]

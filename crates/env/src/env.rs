@@ -1,7 +1,9 @@
 //! The air-ground spatial-crowdsourcing Dec-POMDP environment (§III-IV).
 
-use crate::collect::{run_collection, SlotCollection};
+use crate::collect::{run_collection_masked, CollectionMask, SlotCollection};
 use crate::config::EnvConfig;
+use crate::error::EnvError;
+use crate::faults::FaultInjector;
 use crate::metrics::{MetricInputs, Metrics};
 use crate::obs::{global_state, local_observation, obs_dim};
 use crate::types::{UvAction, UvKind, UvState};
@@ -45,6 +47,10 @@ pub struct AirGroundEnv {
     /// Energy spent in the most recent slot, per UV.
     last_energy_spent: Vec<f64>,
     episode_seed: u64,
+    /// Fault layer for the current episode (transparent when faults are off).
+    injector: FaultInjector,
+    /// Liveness per UV for the *current* slot (all true when faults are off).
+    alive: Vec<bool>,
 }
 
 impl AirGroundEnv {
@@ -52,10 +58,26 @@ impl AirGroundEnv {
     ///
     /// # Panics
     /// Panics if the config is invalid or the dataset has no PoIs/roads.
+    /// Long-running pipelines should prefer [`AirGroundEnv::try_new`].
     pub fn new(cfg: EnvConfig, dataset: &CampusDataset, seed: u64) -> Self {
-        cfg.validate().expect("invalid environment config");
-        assert!(!dataset.pois.is_empty(), "dataset has no PoIs");
-        assert!(!dataset.roads.is_empty(), "dataset has no road network");
+        match Self::try_new(cfg, dataset, seed) {
+            Ok(env) => env,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build an environment over a campus dataset, reporting construction
+    /// problems as a typed [`EnvError`] instead of panicking.
+    pub fn try_new(cfg: EnvConfig, dataset: &CampusDataset, seed: u64) -> Result<Self, EnvError> {
+        if let Err(msg) = cfg.validate() {
+            return Err(EnvError::InvalidConfig(msg));
+        }
+        if dataset.pois.is_empty() {
+            return Err(EnvError::BadDataset("dataset has no PoIs".into()));
+        }
+        if dataset.roads.is_empty() {
+            return Err(EnvError::BadDataset("dataset has no road network".into()));
+        }
         let poi_pos = dataset.poi_positions();
         let mut env = Self {
             bounds: dataset.bounds,
@@ -71,11 +93,13 @@ impl AirGroundEnv {
             last_relay_pairs: Vec::new(),
             last_energy_spent: Vec::new(),
             episode_seed: seed,
+            injector: FaultInjector::disabled(0),
+            alive: Vec::new(),
             poi_pos,
             cfg,
         };
         env.reset(seed);
-        env
+        Ok(env)
     }
 
     /// Reset to the initial state with a fresh episode seed.
@@ -105,6 +129,16 @@ impl AirGroundEnv {
         }
         self.trajectories = vec![vec![self.start]; self.uvs.len()];
         self.last_energy_spent = vec![0.0; self.uvs.len()];
+        // The fault stream is salted off the episode seed and never touches
+        // `self.rng`, so the dynamics sequence is identical with faults off.
+        self.injector = FaultInjector::for_episode(
+            &self.cfg.faults,
+            self.uvs.len(),
+            self.cfg.channel.subchannels,
+            self.cfg.horizon,
+            seed,
+        );
+        self.alive = (0..self.uvs.len()).map(|k| self.injector.uv_alive(k, 0)).collect();
         self.redraw_fading();
     }
 
@@ -172,17 +206,37 @@ impl AirGroundEnv {
     }
 
     /// Local observation `o^k_t` for each UV.
+    ///
+    /// Under fault injection, a dead UV's observation is fully dark, dead
+    /// UVs are zero-masked out of every survivor's observation, and sensor
+    /// noise/dropout faults are applied last. With faults off the fault
+    /// layer is bypassed entirely.
     pub fn observations(&self) -> Vec<Vec<f32>> {
         (0..self.uvs.len())
             .map(|k| {
-                local_observation(
+                let mut o = local_observation(
                     &self.cfg,
                     &self.bounds,
                     &self.uvs,
                     &self.poi_pos,
                     &self.poi_remaining,
                     k,
-                )
+                );
+                if self.injector.is_active() {
+                    if !self.alive[k] {
+                        o.fill(0.0);
+                    } else {
+                        for (j, &alive) in self.alive.iter().enumerate() {
+                            if !alive {
+                                o[3 * j] = 0.0;
+                                o[3 * j + 1] = 0.0;
+                                o[3 * j + 2] = 0.0;
+                            }
+                        }
+                        self.injector.perturb_observation(k, self.t, &mut o);
+                    }
+                }
+                o
             })
             .collect()
     }
@@ -199,7 +253,8 @@ impl AirGroundEnv {
 
         // --- Movement (τ_move) and energy (Eqn 1) ---------------------------
         for (k, action) in actions.iter().enumerate() {
-            let spent = self.move_uv(k, *action);
+            // A dead UV holds position and spends nothing.
+            let spent = if self.alive[k] { self.move_uv(k, *action) } else { 0.0 };
             self.last_energy_spent[k] = spent;
             let pos = self.uvs[k].position;
             self.trajectories[k].push(pos);
@@ -211,13 +266,25 @@ impl AirGroundEnv {
             self.uvs.iter().filter(|u| u.kind == UvKind::Uav).map(|u| u.position).collect();
         let ugv_pos: Vec<Point> =
             self.uvs.iter().filter(|u| u.kind == UvKind::Ugv).map(|u| u.position).collect();
-        let collection = run_collection(
+        let subchannel_up: Vec<bool>;
+        let mask_storage;
+        let mask = if self.injector.is_active() {
+            subchannel_up = (0..self.cfg.channel.subchannels)
+                .map(|z| self.injector.subchannel_up(z, self.t))
+                .collect();
+            mask_storage = CollectionMask { uv_alive: &self.alive, subchannel_up: &subchannel_up };
+            Some(&mask_storage)
+        } else {
+            None
+        };
+        let collection = run_collection_masked(
             &self.cfg,
             &self.fading,
             &uav_pos,
             &ugv_pos,
             &self.poi_pos,
             &self.poi_remaining,
+            mask,
         );
         for (i, delta) in collection.poi_delta.iter().enumerate() {
             self.poi_remaining[i] = (self.poi_remaining[i] - delta).max(0.0);
@@ -231,13 +298,19 @@ impl AirGroundEnv {
             .map(|k| {
                 let data_term = collection.collected_per_uv[k] / norm;
                 let loss_term = self.cfg.loss_penalty * collection.losses_per_uv[k] as f64;
-                let energy_term = self.cfg.move_penalty * self.last_energy_spent[k]
-                    / self.uvs[k].initial_energy;
+                let energy_term =
+                    self.cfg.move_penalty * self.last_energy_spent[k] / self.uvs[k].initial_energy;
                 data_term - loss_term - energy_term
             })
             .collect();
 
         self.t += 1;
+        // Refresh liveness for the next slot (deaths are permanent).
+        if self.injector.is_active() {
+            for (k, a) in self.alive.iter_mut().enumerate() {
+                *a = self.injector.uv_alive(k, self.t);
+            }
+        }
         StepResult { rewards, done: self.is_done(), collection }
     }
 
@@ -292,6 +365,8 @@ impl AirGroundEnv {
         for i in 0..self.uvs.len() {
             for j in 0..self.uvs.len() {
                 if i != j
+                    && self.alive[i]
+                    && self.alive[j]
                     && self.uvs[i].kind == self.uvs[j].kind
                     && self.uvs[i].position.dist(&self.uvs[j].position) <= range
                 {
@@ -300,6 +375,16 @@ impl AirGroundEnv {
             }
         }
         out
+    }
+
+    /// Per-UV liveness for the current slot (all `true` when faults are off).
+    pub fn uv_alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The episode's fault injector (transparent when faults are off).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// End-of-episode metrics (valid at any time; ratios are w.r.t. the
@@ -476,15 +561,11 @@ mod tests {
                         .zip(env.poi_remaining())
                         .filter(|(_, &rem)| rem > 0.0)
                         .min_by(|(a, _), (b, _)| {
-                            uv.position
-                                .dist(a)
-                                .partial_cmp(&uv.position.dist(b))
-                                .unwrap()
+                            uv.position.dist(a).partial_cmp(&uv.position.dist(b)).unwrap()
                         })
                         .map(|(p, _)| *p)
                         .unwrap_or(uv.position);
-                    let heading = (target.y - uv.position.y)
-                        .atan2(target.x - uv.position.x)
+                    let heading = (target.y - uv.position.y).atan2(target.x - uv.position.x)
                         / std::f64::consts::PI;
                     UvAction { heading, speed: 1.0 }
                 })
@@ -493,10 +574,7 @@ mod tests {
             collected_reward += r.rewards.iter().sum::<f64>();
         }
         let total_after: f64 = env.poi_remaining().iter().sum();
-        assert!(
-            total_after < total_before,
-            "a PoI-chasing fleet must drain data within 30 slots"
-        );
+        assert!(total_after < total_before, "a PoI-chasing fleet must drain data within 30 slots");
         assert!(collected_reward.is_finite());
     }
 
@@ -537,6 +615,63 @@ mod tests {
         let none = env.homogeneous_neighbors(0.0);
         // Range 0 still matches co-located UVs (distance 0 ≤ 0).
         assert_eq!(none[0], vec![1]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.horizon = 0;
+        match AirGroundEnv::try_new(cfg, &dataset, 1) {
+            Err(crate::error::EnvError::InvalidConfig(msg)) => {
+                assert!(msg.contains("horizon"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_uv_holds_position_and_spends_nothing() {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.stochastic_fading = false;
+        cfg.faults.uv_failure_rate = 1.0;
+        cfg.faults.failure_window = (0.0, 0.0); // everyone dead from slot 0
+        let mut env = AirGroundEnv::new(cfg, &dataset, 7);
+        assert!(env.uv_alive().iter().all(|&a| !a));
+        let actions = vec![UvAction { heading: 0.0, speed: 1.0 }; env.num_uvs()];
+        let r = env.step(&actions);
+        for (uv, reward) in env.uv_states().iter().zip(&r.rewards) {
+            assert_eq!(uv.position, env.start());
+            assert_eq!(uv.energy, uv.initial_energy);
+            assert_eq!(*reward, 0.0);
+        }
+        // Dead observers are fully dark.
+        assert!(env.observations().iter().all(|o| o.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn faulty_episode_completes_with_finite_metrics() {
+        let dataset = presets::purdue(1);
+        let mut cfg = EnvConfig::default();
+        cfg.horizon = 30;
+        cfg.faults.uv_failure_rate = 0.75;
+        cfg.faults.outage_rate = 0.2;
+        cfg.faults.outage_len = (1, 5);
+        cfg.faults.obs_noise_std = 0.05;
+        cfg.faults.obs_drop_rate = 0.1;
+        let mut env = AirGroundEnv::new(cfg, &dataset, 11);
+        let actions = vec![UvAction { heading: 0.3, speed: 0.8 }; env.num_uvs()];
+        while !env.is_done() {
+            let r = env.step(&actions);
+            assert!(r.rewards.iter().all(|x| x.is_finite()));
+            assert!(env.observations().iter().flatten().all(|v| v.is_finite()));
+        }
+        let m = env.metrics();
+        assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+        assert!((0.0..=1.0).contains(&m.data_loss_ratio));
+        assert!((0.0..=1.0).contains(&m.fairness));
+        assert!(m.efficiency.is_finite() && m.efficiency >= 0.0);
     }
 
     #[test]

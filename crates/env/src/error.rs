@@ -1,0 +1,36 @@
+//! Typed errors for environment construction.
+
+use std::fmt;
+
+/// Why an [`crate::AirGroundEnv`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// The [`crate::EnvConfig`] failed validation.
+    InvalidConfig(String),
+    /// The dataset is unusable (no PoIs, no roads, ...).
+    BadDataset(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::InvalidConfig(msg) => write!(f, "invalid environment config: {msg}"),
+            EnvError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_reason() {
+        let e = EnvError::InvalidConfig("horizon must be positive".into());
+        assert!(e.to_string().contains("horizon"));
+        let e = EnvError::BadDataset("no PoIs".into());
+        assert!(e.to_string().contains("no PoIs"));
+    }
+}

@@ -11,15 +11,21 @@
 pub mod collect;
 pub mod config;
 pub mod env;
+pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod obs;
 pub mod recorder;
 pub mod render;
 pub mod types;
 
-pub use collect::{run_collection, ScheduledEvent, SlotCollection};
+pub use collect::{
+    run_collection, run_collection_masked, CollectionMask, ScheduledEvent, SlotCollection,
+};
 pub use config::EnvConfig;
 pub use env::{AirGroundEnv, StepResult};
+pub use error::EnvError;
+pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use metrics::{MetricInputs, Metrics};
 pub use obs::{global_state, local_observation, obs_dim};
 pub use recorder::{EpisodeRecorder, SlotRecord};

@@ -65,18 +65,11 @@ impl MetricInputs {
     pub fn compute(&self) -> Metrics {
         let total_initial: f64 = self.poi_initial.iter().sum();
         let total_remaining: f64 = self.poi_remaining.iter().sum();
-        let psi = if total_initial > 0.0 {
-            1.0 - total_remaining / total_initial
-        } else {
-            0.0
-        };
+        let psi = if total_initial > 0.0 { 1.0 - total_remaining / total_initial } else { 0.0 };
 
         let denom = (self.subchannels * self.horizon * self.num_uvs) as f64;
-        let sigma = if denom > 0.0 {
-            (self.loss_events as f64 / denom).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
+        let sigma =
+            if denom > 0.0 { (self.loss_events as f64 / denom).clamp(0.0, 1.0) } else { 0.0 };
 
         // ξ = mean over UAVs + mean over UGVs of consumed/initial (Eqn 14).
         let mean = |xs: &[f64]| {

@@ -110,7 +110,7 @@ mod tests {
         assert!((s[0] - 0.1).abs() < 1e-6);
         assert!((s[2] - 1.0).abs() < 1e-6); // full energy
         assert!((s[5] - 0.5).abs() < 1e-6); // UGV at half energy
-        // PoI 1 has half its data left.
+                                            // PoI 1 has half its data left.
         assert!((s[6 + 5] - 0.5).abs() < 1e-6);
         assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
     }

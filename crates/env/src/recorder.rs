@@ -42,11 +42,7 @@ impl EpisodeRecorder {
     pub fn record(&mut self, env: &AirGroundEnv, step: &StepResult) {
         self.slots.push(SlotRecord {
             t: env.timeslot(),
-            uv_positions: env
-                .uv_states()
-                .iter()
-                .map(|u| (u.position.x, u.position.y))
-                .collect(),
+            uv_positions: env.uv_states().iter().map(|u| (u.position.x, u.position.y)).collect(),
             uv_energy_frac: env.uv_states().iter().map(|u| u.energy_frac()).collect(),
             events: step.collection.events.clone(),
             total_remaining: env.poi_remaining().iter().sum(),
@@ -153,8 +149,8 @@ mod tests {
         let (env, rec) = recorded_episode(12);
         let collected = rec.collected_per_uv(env.num_uvs());
         let total_from_events: f64 = collected.iter().sum();
-        let drained = 100.0 * env.config().poi_initial_bits
-            - env.poi_remaining().iter().sum::<f64>();
+        let drained =
+            100.0 * env.config().poi_initial_bits - env.poi_remaining().iter().sum::<f64>();
         assert!((total_from_events - drained).abs() < 1.0);
         let losses = rec.losses_per_uv(env.num_uvs());
         assert_eq!(losses.len(), env.num_uvs());

@@ -67,7 +67,10 @@ pub fn render_ascii(
 }
 
 /// Export trajectories as CSV: `uv,kind,slot,x,y` rows with a header.
-pub fn trajectories_csv(uav_trajectories: &[Vec<Point>], ugv_trajectories: &[Vec<Point>]) -> String {
+pub fn trajectories_csv(
+    uav_trajectories: &[Vec<Point>],
+    ugv_trajectories: &[Vec<Point>],
+) -> String {
     let mut out = String::from("uv,kind,slot,x,y\n");
     for (k, traj) in uav_trajectories.iter().enumerate() {
         for (t, p) in traj.iter().enumerate() {

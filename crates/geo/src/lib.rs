@@ -17,4 +17,4 @@ pub mod roadnet;
 
 pub use grid::SpatialGrid;
 pub use point::{Aabb, Point};
-pub use roadnet::{NodeId, Path, RoadNetwork, WalkResult};
+pub use roadnet::{NodeId, Path, RoadNetwork, RoadNetworkError, WalkResult};

@@ -10,9 +10,42 @@ use crate::point::Point;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Node identifier inside a [`RoadNetwork`].
 pub type NodeId = usize;
+
+/// Why a road-network mutation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoadNetworkError {
+    /// The node position contained NaN or ±∞.
+    NonFiniteNode,
+    /// An edge endpoint does not name an existing node.
+    EndpointOutOfRange {
+        /// The offending node id.
+        id: NodeId,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// Both edge endpoints are the same node.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for RoadNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetworkError::NonFiniteNode => write!(f, "road node must be finite"),
+            RoadNetworkError::EndpointOutOfRange { id, nodes } => {
+                write!(f, "edge endpoint {id} out of range (network has {nodes} nodes)")
+            }
+            RoadNetworkError::SelfLoop(id) => {
+                write!(f, "self-loop roads are meaningless (node {id})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadNetworkError {}
 
 /// An undirected road graph with Euclidean edge weights.
 ///
@@ -64,25 +97,55 @@ impl RoadNetwork {
     }
 
     /// Add a node, returning its id.
+    ///
+    /// # Panics
+    /// Panics on a non-finite position; use [`RoadNetwork::try_add_node`] for
+    /// a recoverable error.
     pub fn add_node(&mut self, p: Point) -> NodeId {
-        assert!(p.is_finite(), "road node must be finite");
+        match self.try_add_node(p) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RoadNetwork::add_node`] for untrusted (loaded) data.
+    pub fn try_add_node(&mut self, p: Point) -> Result<NodeId, RoadNetworkError> {
+        if !p.is_finite() {
+            return Err(RoadNetworkError::NonFiniteNode);
+        }
         self.nodes.push(p);
         self.adj.push(Vec::new());
-        self.nodes.len() - 1
+        Ok(self.nodes.len() - 1)
     }
 
     /// Add an undirected edge with Euclidean length.
     ///
     /// # Panics
-    /// Panics on out-of-range ids or self-loops.
+    /// Panics on out-of-range ids or self-loops; use
+    /// [`RoadNetwork::try_add_edge`] for a recoverable error.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "edge endpoint out of range");
-        assert_ne!(a, b, "self-loop roads are meaningless");
+        if let Err(e) = self.try_add_edge(a, b) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`RoadNetwork::add_edge`] for untrusted (loaded) data.
+    /// Duplicate edges are ignored, as in `add_edge`.
+    pub fn try_add_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), RoadNetworkError> {
+        for id in [a, b] {
+            if id >= self.nodes.len() {
+                return Err(RoadNetworkError::EndpointOutOfRange { id, nodes: self.nodes.len() });
+            }
+        }
+        if a == b {
+            return Err(RoadNetworkError::SelfLoop(a));
+        }
         let len = self.nodes[a].dist(&self.nodes[b]);
         if !self.adj[a].iter().any(|&(v, _)| v == b) {
             self.adj[a].push((b, len));
             self.adj[b].push((a, len));
         }
+        Ok(())
     }
 
     /// Number of nodes.
@@ -413,5 +476,24 @@ mod tests {
         let mut net = RoadNetwork::new();
         let a = net.add_node(Point::ORIGIN);
         net.add_edge(a, a);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        let mut net = RoadNetwork::new();
+        assert_eq!(
+            net.try_add_node(Point::new(f64::NAN, 0.0)),
+            Err(RoadNetworkError::NonFiniteNode)
+        );
+        let a = net.try_add_node(Point::ORIGIN).unwrap();
+        let b = net.try_add_node(Point::new(1.0, 0.0)).unwrap();
+        assert_eq!(net.try_add_edge(a, a), Err(RoadNetworkError::SelfLoop(a)));
+        assert_eq!(
+            net.try_add_edge(a, 7),
+            Err(RoadNetworkError::EndpointOutOfRange { id: 7, nodes: 2 })
+        );
+        assert_eq!(net.try_add_edge(a, b), Ok(()));
+        assert_eq!(net.try_add_edge(b, a), Ok(())); // duplicate ignored
+        assert_eq!(net.edge_count(), 1);
     }
 }

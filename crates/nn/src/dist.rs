@@ -70,10 +70,7 @@ impl<'a> DiagGaussian<'a> {
 
     /// Differential entropy (identical for every row).
     pub fn entropy(&self) -> f32 {
-        self.log_std
-            .iter()
-            .map(|ls| 0.5 * (LOG_2PI + 1.0) + ls)
-            .sum()
+        self.log_std.iter().map(|ls| 0.5 * (LOG_2PI + 1.0) + ls).sum()
     }
 
     /// Gradient of `Σ_r coeff[r] · log p(a_r)` with respect to the means
@@ -145,11 +142,7 @@ impl<'a> Categorical<'a> {
     /// Log-probability of the given class per row.
     pub fn log_prob(&self, classes: &[usize]) -> Vec<f32> {
         let ls = log_softmax_rows(self.logits);
-        classes
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| ls[(r, c)])
-            .collect()
+        classes.iter().enumerate().map(|(r, &c)| ls[(r, c)]).collect()
     }
 
     /// Mean entropy across the batch.

@@ -131,14 +131,7 @@ impl GruCell {
             let zi = z.as_slice()[i];
             h.as_mut_slice()[i] = (1.0 - zi) * n.as_slice()[i] + zi * h_prev.as_slice()[i];
         }
-        let cache = StepCache {
-            x: x.clone(),
-            h_prev: h_prev.clone(),
-            z,
-            r,
-            n,
-            rh,
-        };
+        let cache = StepCache { x: x.clone(), h_prev: h_prev.clone(), z, r, n, rh };
         (h, cache)
     }
 

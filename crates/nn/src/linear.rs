@@ -59,10 +59,7 @@ impl Linear {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cache
-            .as_ref()
-            .expect("Linear::backward called before forward");
+        let x = self.cache.as_ref().expect("Linear::backward called before forward");
         // dW = xᵀ · dY
         let dw = x.t_matmul(grad_out);
         self.w.grad.add_scaled(&dw, 1.0);
@@ -127,10 +124,7 @@ mod tests {
             l.w.value[(i, j)] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = l.w.grad[(i, j)];
-            assert!(
-                (num - ana).abs() < 1e-2,
-                "dW[{i},{j}]: numeric {num} vs analytic {ana}"
-            );
+            assert!((num - ana).abs() < 1e-2, "dW[{i},{j}]: numeric {num} vs analytic {ana}");
         }
         // Check dX numerically for one entry.
         let mut xp = x.clone();

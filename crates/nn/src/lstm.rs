@@ -137,8 +137,7 @@ impl LstmCell {
         assert_eq!(x.cols(), self.in_dim, "LSTM input dim mismatch");
         assert_eq!(state.h.cols(), self.hidden_dim, "LSTM state dim mismatch");
         let gate = |wx: &Param, wh: &Param, b: &Param| {
-            (&x.matmul(&wx.value) + &state.h.matmul(&wh.value))
-                .add_row_broadcast(b.value.row(0))
+            (&x.matmul(&wx.value) + &state.h.matmul(&wh.value)).add_row_broadcast(b.value.row(0))
         };
         let i = gate(&self.wxi, &self.whi, &self.bi).map(sigmoid);
         let f = gate(&self.wxf, &self.whf, &self.bf).map(sigmoid);

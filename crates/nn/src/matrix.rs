@@ -223,12 +223,7 @@ impl Matrix {
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a * b)
-            .collect();
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
@@ -373,12 +368,7 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 }
@@ -387,12 +377,7 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a - b)
-            .collect();
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 }

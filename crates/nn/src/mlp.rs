@@ -130,11 +130,7 @@ impl Mlp {
     /// # Panics
     /// Panics if called before a training-mode `forward`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        assert_eq!(
-            self.act_cache.len(),
-            self.layers.len(),
-            "Mlp::backward called before forward"
-        );
+        assert_eq!(self.act_cache.len(), self.layers.len(), "Mlp::backward called before forward");
         let n = self.layers.len();
         let mut g = grad_out.clone();
         for i in (0..n).rev() {
@@ -195,12 +191,7 @@ impl Mlp {
 
     /// Global L2 gradient-norm clip; returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
-        let total: f32 = self
-            .params()
-            .iter()
-            .map(|p| p.grad.norm_sq())
-            .sum::<f32>()
-            .sqrt();
+        let total: f32 = self.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
         if total > max_norm && total > 0.0 {
             let scale = max_norm / total;
             for p in self.params_mut() {

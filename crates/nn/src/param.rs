@@ -24,12 +24,7 @@ impl Param {
     /// Wrap a value matrix, allocating zeroed gradient/moment buffers.
     pub fn new(value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Self {
-            value,
-            grad: Matrix::zeros(r, c),
-            m: Matrix::zeros(r, c),
-            v: Matrix::zeros(r, c),
-        }
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
     }
 
     /// Reset the accumulated gradient to zero (keeps moments).

@@ -41,8 +41,7 @@ fn print_row(name: &str, m: &Metrics) {
 }
 
 fn main() {
-    let iters: usize =
-        std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
     let dataset = presets::ncsu(7);
     println!(
         "NCSU-like campaign: {} PoIs x {:.1} Gbit, fleet of {}+{} UVs, {} slots\n",
@@ -55,7 +54,8 @@ fn main() {
     let mut env = AirGroundEnv::new(EnvConfig::default(), &dataset, 7);
 
     // Learned planner.
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 7);
+    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 7)
+        .expect("default training config must be valid");
     println!("training h/i-MADRL for {iters} iterations...");
     trainer.train(&mut env, iters);
     let learned = run_policy(&trainer, &mut env, 3, |_| {});

@@ -34,9 +34,8 @@ fn scripted_action(env: &AirGroundEnv, k: usize) -> UvAction {
             }
             match best {
                 Some((target, _)) => {
-                    let heading =
-                        (target.y - uv.position.y).atan2(target.x - uv.position.x)
-                            / std::f64::consts::PI;
+                    let heading = (target.y - uv.position.y).atan2(target.x - uv.position.x)
+                        / std::f64::consts::PI;
                     UvAction { heading, speed: 1.0 }
                 }
                 None => UvAction::stay(),
@@ -80,8 +79,7 @@ fn main() {
 
     // 4. Run the scripted campaign.
     while !env.is_done() {
-        let actions: Vec<UvAction> =
-            (0..env.num_uvs()).map(|k| scripted_action(&env, k)).collect();
+        let actions: Vec<UvAction> = (0..env.num_uvs()).map(|k| scripted_action(&env, k)).collect();
         let step = env.step(&actions);
         if env.timeslot() % 15 == 0 {
             let collected: f64 = step.collection.collected_per_uv.iter().sum();
@@ -97,7 +95,9 @@ fn main() {
     // 5. Final metrics.
     let m = env.metrics();
     println!("\nscripted campaign results:");
-    println!("  psi {:.3}  sigma {:.3}  xi {:.3}  kappa {:.3}  lambda {:.3}",
-        m.data_collection_ratio, m.data_loss_ratio, m.energy_ratio, m.fairness, m.efficiency);
+    println!(
+        "  psi {:.3}  sigma {:.3}  xi {:.3}  kappa {:.3}  lambda {:.3}",
+        m.data_collection_ratio, m.data_loss_ratio, m.energy_ratio, m.fairness, m.efficiency
+    );
     println!("\nfor a learned controller on this same campus, see examples/quickstart.rs");
 }

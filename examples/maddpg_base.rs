@@ -9,18 +9,16 @@
 
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
-use agsc::madrl::{
-    evaluate, Checkpoint, HiMadrlTrainer, Maddpg, MaddpgConfig, TrainConfig,
-};
+use agsc::madrl::{evaluate, Checkpoint, HiMadrlTrainer, Maddpg, MaddpgConfig, TrainConfig};
 
 fn main() {
-    let iters: usize =
-        std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
     let dataset = presets::purdue(11);
     let mut env = AirGroundEnv::new(EnvConfig::default(), &dataset, 11);
 
     // --- Base module A: IPPO (the paper's exemplar) -------------------------
-    let mut ppo = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 11);
+    let mut ppo = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 11)
+        .expect("default training config must be valid");
     println!("training h/i-MADRL (IPPO base) for {iters} iterations...");
     ppo.train(&mut env, iters);
     let m_ppo = evaluate(&ppo, &mut env, 3, 500);
@@ -33,10 +31,14 @@ fn main() {
     }
     let m_maddpg = evaluate(&maddpg, &mut env, 3, 500);
 
-    println!("\nIPPO base:   lambda {:.3} (psi {:.3}, sigma {:.3})",
-        m_ppo.efficiency, m_ppo.data_collection_ratio, m_ppo.data_loss_ratio);
-    println!("MADDPG base: lambda {:.3} (psi {:.3}, sigma {:.3})",
-        m_maddpg.efficiency, m_maddpg.data_collection_ratio, m_maddpg.data_loss_ratio);
+    println!(
+        "\nIPPO base:   lambda {:.3} (psi {:.3}, sigma {:.3})",
+        m_ppo.efficiency, m_ppo.data_collection_ratio, m_ppo.data_loss_ratio
+    );
+    println!(
+        "MADDPG base: lambda {:.3} (psi {:.3}, sigma {:.3})",
+        m_maddpg.efficiency, m_maddpg.data_collection_ratio, m_maddpg.data_loss_ratio
+    );
 
     // --- Checkpoint the IPPO fleet and restore it ---------------------------
     let path = std::env::temp_dir().join("hi_madrl_policy.json");

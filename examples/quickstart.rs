@@ -11,10 +11,7 @@ use agsc::env::{AirGroundEnv, EnvConfig};
 use agsc::madrl::{evaluate, HiMadrlTrainer, TrainConfig};
 
 fn main() {
-    let iters: usize = std::env::var("AGSC_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
+    let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
 
     // 1. A campus dataset: road network + 100 PoIs extracted from synthetic
     //    student traces (deterministic from the seed).
@@ -34,7 +31,8 @@ fn main() {
     let mut env = AirGroundEnv::new(env_cfg, &dataset, 42);
 
     // 3. Train full h/i-MADRL (i-EOI + h-CoPO over an IPPO base).
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 42);
+    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 42)
+        .expect("default training config must be valid");
     println!("training {iters} iterations...");
     for i in 0..iters {
         let s = trainer.train_iteration(&mut env);

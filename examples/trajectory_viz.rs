@@ -13,12 +13,12 @@ use agsc::madrl::{HiMadrlTrainer, TrainConfig};
 
 fn main() {
     let csv_mode = std::env::args().any(|a| a == "--csv");
-    let iters: usize =
-        std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
 
     let dataset = presets::purdue(42);
     let mut env = AirGroundEnv::new(EnvConfig::default(), &dataset, 42);
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 42);
+    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 42)
+        .expect("default training config must be valid");
     if !csv_mode {
         eprintln!("training {iters} iterations...");
     }

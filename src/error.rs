@@ -1,0 +1,99 @@
+//! Workspace-wide error type.
+//!
+//! Each crate defines its own narrow error enum (so library code never
+//! depends on its consumers); this umbrella joins them for applications
+//! that drive the full pipeline and want one `Result<_, agsc::Error>`
+//! signature with `?` working across every subsystem.
+
+use std::fmt;
+
+/// Any failure the h/i-MADRL pipeline can report, by subsystem.
+#[derive(Debug)]
+pub enum Error {
+    /// Road-network construction failed (`agsc-geo`).
+    RoadNetwork(crate::geo::RoadNetworkError),
+    /// Dataset generation or trace import failed (`agsc-datasets`).
+    Dataset(crate::datasets::DatasetError),
+    /// Environment configuration or construction failed (`agsc-env`).
+    Env(crate::env::EnvError),
+    /// Trainer construction, validation, or restore failed (`agsc-madrl`).
+    Train(crate::madrl::TrainError),
+    /// Checkpoint persistence failed (`agsc-madrl`).
+    Checkpoint(crate::madrl::CheckpointError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RoadNetwork(e) => write!(f, "road network: {e}"),
+            Error::Dataset(e) => write!(f, "dataset: {e}"),
+            Error::Env(e) => write!(f, "environment: {e}"),
+            Error::Train(e) => write!(f, "training: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::RoadNetwork(e) => Some(e),
+            Error::Dataset(e) => Some(e),
+            Error::Env(e) => Some(e),
+            Error::Train(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<crate::geo::RoadNetworkError> for Error {
+    fn from(e: crate::geo::RoadNetworkError) -> Self {
+        Error::RoadNetwork(e)
+    }
+}
+
+impl From<crate::datasets::DatasetError> for Error {
+    fn from(e: crate::datasets::DatasetError) -> Self {
+        Error::Dataset(e)
+    }
+}
+
+impl From<crate::env::EnvError> for Error {
+    fn from(e: crate::env::EnvError) -> Self {
+        Error::Env(e)
+    }
+}
+
+impl From<crate::madrl::TrainError> for Error {
+    fn from(e: crate::madrl::TrainError) -> Self {
+        Error::Train(e)
+    }
+}
+
+impl From<crate::madrl::CheckpointError> for Error {
+    fn from(e: crate::madrl::CheckpointError) -> Self {
+        Error::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_converts_from_every_subsystem() {
+        fn env_path() -> Result<(), Error> {
+            Err(crate::env::EnvError::InvalidConfig("horizon must be positive".into()))?;
+            Ok(())
+        }
+        fn train_path() -> Result<(), Error> {
+            Err(crate::madrl::TrainError::InvalidConfig("gamma out of range".into()))?;
+            Ok(())
+        }
+        let e = env_path().unwrap_err();
+        assert!(e.to_string().contains("horizon"), "{e}");
+        let e = train_path().unwrap_err();
+        assert!(e.to_string().contains("gamma"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -12,10 +12,15 @@
 //! let mut env_cfg = EnvConfig::default();
 //! env_cfg.horizon = 5; // doctest-sized episode
 //! let mut env = AirGroundEnv::new(env_cfg, &dataset, 42);
-//! let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42);
+//! let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 1, 42).unwrap();
 //! let stats = trainer.train_iteration(&mut env);
 //! assert!(stats.mean_ext_reward.is_finite());
 //! ```
+//!
+//! Fallible entry points (`AirGroundEnv::try_new`, `HiMadrlTrainer::new`,
+//! checkpoint I/O, dataset import) report typed per-crate errors; the
+//! umbrella [`Error`] joins them so application code can use one `?`-friendly
+//! `Result<_, agsc::Error>` across subsystems.
 //!
 //! Crate map (see `DESIGN.md` for the full inventory):
 //! * [`nn`] — from-scratch neural-network stack,
@@ -27,6 +32,10 @@
 //! * [`baselines`] — the five comparison methods.
 
 #![warn(missing_docs)]
+
+pub mod error;
+
+pub use error::Error;
 
 pub use agsc_baselines as baselines;
 pub use agsc_channel as channel;

@@ -21,7 +21,7 @@ fn fast_train_cfg() -> TrainConfig {
 #[test]
 fn full_pipeline_produces_sane_metrics() {
     let mut env = fast_env(1);
-    let mut trainer = HiMadrlTrainer::new(&env, fast_train_cfg(), 5, 1);
+    let mut trainer = HiMadrlTrainer::new(&env, fast_train_cfg(), 5, 1).unwrap();
     trainer.train(&mut env, 5);
     let m = evaluate(&trainer, &mut env, 2, 77);
     assert!((0.0..=1.0).contains(&m.data_collection_ratio));
@@ -35,12 +35,9 @@ fn full_pipeline_produces_sane_metrics() {
 fn training_is_deterministic_given_seeds() {
     let run = || {
         let mut env = fast_env(3);
-        let mut t = HiMadrlTrainer::new(&env, fast_train_cfg(), 3, 9);
+        let mut t = HiMadrlTrainer::new(&env, fast_train_cfg(), 3, 9).unwrap();
         let stats = t.train(&mut env, 3);
-        (
-            stats.last().unwrap().mean_ext_reward,
-            evaluate(&t, &mut env, 1, 5).efficiency,
-        )
+        (stats.last().unwrap().mean_ext_reward, evaluate(&t, &mut env, 1, 5).efficiency)
     };
     let (r1, e1) = run();
     let (r2, e2) = run();
@@ -58,7 +55,7 @@ fn trained_policy_beats_random_on_efficiency() {
     cfg.stochastic_fading = false;
     let mut env = AirGroundEnv::new(cfg, &dataset, 1);
 
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 15, 1);
+    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), 15, 1).unwrap();
     trainer.train(&mut env, 15);
     let learned = evaluate(&trainer, &mut env, 3, 500);
 
@@ -84,7 +81,7 @@ fn every_ablation_variant_trains_without_nan() {
     ] {
         let mut env = fast_env(2);
         let cfg = TrainConfig { ablation, ..fast_train_cfg() };
-        let mut t = HiMadrlTrainer::new(&env, cfg, 3, 2);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 3, 2).unwrap();
         let stats = t.train(&mut env, 3);
         for s in &stats {
             assert!(s.mean_ext_reward.is_finite(), "{ablation:?} diverged");
@@ -98,7 +95,7 @@ fn baseline_presets_train_through_the_same_trainer() {
     for cfg in [baselines::mappo(), baselines::ippo(), baselines::hi_madrl_copo()] {
         let mut env = fast_env(4);
         let cfg = TrainConfig { hidden: vec![32], ..cfg };
-        let mut t = HiMadrlTrainer::new(&env, cfg, 2, 4);
+        let mut t = HiMadrlTrainer::new(&env, cfg, 2, 4).unwrap();
         let stats = t.train(&mut env, 2);
         assert!(stats.iter().all(|s| s.mean_ext_reward.is_finite()));
     }
@@ -152,7 +149,7 @@ fn lcf_angles_move_during_training() {
     let mut env = fast_env(7);
     let mut cfg = fast_train_cfg();
     cfg.lcf_lr = 0.1; // large step so movement is visible in few iterations
-    let mut t = HiMadrlTrainer::new(&env, cfg, 8, 7);
+    let mut t = HiMadrlTrainer::new(&env, cfg, 8, 7).unwrap();
     let before: Vec<_> = t.lcfs().to_vec();
     t.train(&mut env, 8);
     let after = t.lcfs();
@@ -166,7 +163,7 @@ fn lcf_angles_move_during_training() {
 #[test]
 fn intrinsic_reward_flows_into_training() {
     let mut env = fast_env(8);
-    let mut t = HiMadrlTrainer::new(&env, fast_train_cfg(), 4, 8);
+    let mut t = HiMadrlTrainer::new(&env, fast_train_cfg(), 4, 8).unwrap();
     let stats = t.train(&mut env, 4);
     assert!(
         stats.iter().any(|s| s.mean_intrinsic > 0.0),

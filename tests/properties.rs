@@ -5,9 +5,9 @@
 use agsc::channel::{
     air_ground_gain, capacity_bps, db_to_linear, linear_to_db, los_probability, ChannelParams,
 };
+use agsc::datasets::{traces_from_csv, traces_to_csv, Trace};
 use agsc::env::{MetricInputs, UvAction};
 use agsc::geo::{Aabb, Point, RoadNetwork, SpatialGrid};
-use agsc::datasets::{traces_from_csv, traces_to_csv, Trace};
 use agsc::madrl::gae;
 use agsc::nn::{Adam, Matrix, Param};
 use proptest::prelude::*;

@@ -24,7 +24,7 @@ fn minimal_fleet_one_uav_one_ugv() {
     cfg.num_uavs = 1;
     cfg.num_ugvs = 1;
     let mut env = AirGroundEnv::new(cfg, &dataset, 3);
-    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3);
+    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3).unwrap();
     let stats = t.train(&mut env, 2);
     assert!(stats.iter().all(|s| s.mean_ext_reward.is_finite()));
 }
@@ -37,7 +37,7 @@ fn ugv_only_fleet_works() {
     cfg.num_ugvs = 3;
     let mut env = AirGroundEnv::new(cfg, &dataset, 3);
     assert_eq!(env.num_uvs(), 3);
-    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3);
+    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3).unwrap();
     let stats = t.train(&mut env, 2);
     assert!(stats.iter().all(|s| s.mean_ext_reward.is_finite()));
     // No UAVs → no relay pairs ever.
@@ -53,7 +53,7 @@ fn large_fleet_scales() {
     cfg.horizon = 5;
     let mut env = AirGroundEnv::new(cfg, &dataset, 3);
     assert_eq!(env.num_uvs(), 14);
-    let mut t = HiMadrlTrainer::new(&env, small_train(), 1, 3);
+    let mut t = HiMadrlTrainer::new(&env, small_train(), 1, 3).unwrap();
     let s = t.train_iteration(&mut env);
     assert!(s.mean_ext_reward.is_finite());
     assert_eq!(s.lcf_degrees.len(), 14);
@@ -174,7 +174,7 @@ fn maddpg_handles_fleet_variations() {
 fn evaluation_never_mutates_training_state() {
     let dataset = presets::purdue(3);
     let mut env = AirGroundEnv::new(base_cfg(), &dataset, 3);
-    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3);
+    let mut t = HiMadrlTrainer::new(&env, small_train(), 2, 3).unwrap();
     t.train(&mut env, 1);
     let before = t.checkpoint();
     let _ = evaluate(&t, &mut env, 2, 50);
@@ -192,7 +192,7 @@ fn evaluation_never_mutates_training_state() {
 fn ncsu_campus_trains_too() {
     let dataset = presets::ncsu(3);
     let mut env = AirGroundEnv::new(base_cfg(), &dataset, 3);
-    let mut t = HiMadrlTrainer::new(&env, small_train(), 1, 3);
+    let mut t = HiMadrlTrainer::new(&env, small_train(), 1, 3).unwrap();
     let s = t.train_iteration(&mut env);
     assert!(s.mean_ext_reward.is_finite());
 }
