@@ -19,7 +19,9 @@ use agsc_baselines::{
 use agsc_datasets::CampusDataset;
 use agsc_env::{AirGroundEnv, EnvConfig, Metrics, UvAction};
 use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig, TrainError};
+use agsc_telemetry as tlm;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Global experiment budget.
 #[derive(Debug, Clone)]
@@ -56,10 +58,15 @@ impl HarnessConfig {
                 Some(raw) => match raw.trim().parse::<u64>() {
                     Ok(v) => v,
                     Err(_) => {
-                        eprintln!(
-                            "warning: ignoring {name}={raw:?} (not a non-negative \
-                             integer); using default {default}"
-                        );
+                        tlm::warn("config_warning", |e| {
+                            e.str("var", name)
+                                .str("value", raw.clone())
+                                .u64("default", default)
+                                .msg(format!(
+                                    "ignoring {name}={raw:?} (not a non-negative integer); \
+                                     using default {default}"
+                                ))
+                        });
                         default
                     }
                 },
@@ -162,6 +169,8 @@ pub fn run_method(
     h: &HarnessConfig,
     train_override: Option<TrainConfig>,
 ) -> Result<Metrics, BenchError> {
+    let _span = tlm::span("bench_point");
+    let started = tlm::is_enabled().then(Instant::now);
     let mut env = AirGroundEnv::try_new(env_cfg.clone(), dataset, h.seed)?;
     let eval_seed = h.seed.wrapping_mul(7919).wrapping_add(13);
     let metrics = match method {
@@ -198,6 +207,17 @@ pub fn run_method(
             evaluate_policy(&policy, &mut env, h.eval_episodes, eval_seed, |_| {})
         }
     };
+    if let Some(t0) = started {
+        let secs = t0.elapsed().as_secs_f64();
+        tlm::emit_with(tlm::Level::Info, "bench_point", |e| {
+            e.str("method", method.name())
+                .u64("iters", h.iters as u64)
+                .u64("eval_episodes", h.eval_episodes as u64)
+                .u64("seed", h.seed)
+                .f64("lambda", metrics.efficiency)
+                .f64("wall_secs", secs)
+        });
+    }
     Ok(metrics)
 }
 
@@ -238,19 +258,22 @@ pub fn run_method_robust(
             // retry on a decorrelated seed rescues most of them.
             let mut retry = h.clone();
             retry.seed = h.seed.wrapping_add(0x9E37_79B9);
-            eprintln!(
-                "warning: {} failed ({first}); retrying once with seed {}",
-                method.name(),
-                retry.seed
-            );
+            tlm::warn("bench_retry", |e| {
+                e.str("method", method.name()).u64("retry_seed", retry.seed).msg(format!(
+                    "{} failed ({first}); retrying once with seed {}",
+                    method.name(),
+                    retry.seed
+                ))
+            });
             match attempt(&retry) {
                 Ok(m) => m,
                 Err(second) => {
-                    eprintln!(
-                        "warning: {} failed twice ({second}); recording a zero-metrics \
-                         sentinel row",
-                        method.name()
-                    );
+                    tlm::warn("bench_sentinel", |e| {
+                        e.str("method", method.name()).msg(format!(
+                            "{} failed twice ({second}); recording a zero-metrics sentinel row",
+                            method.name()
+                        ))
+                    });
                     Metrics::default()
                 }
             }

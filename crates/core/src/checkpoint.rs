@@ -68,11 +68,18 @@ impl Checkpoint {
             Err(e) => return Err(CheckpointError::Corrupt(format!("serialisation failed: {e}"))),
         };
         let tmp = tmp_sibling(path);
+        let bytes = json.len() as u64;
         if let Err(e) = std::fs::write(&tmp, json) {
             return Err(CheckpointError::Io(e));
         }
         match std::fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                agsc_telemetry::counter_add("checkpoints_saved", 1);
+                agsc_telemetry::emit_with(agsc_telemetry::Level::Info, "checkpoint_saved", |e| {
+                    e.str("path", path.display().to_string()).u64("bytes", bytes)
+                });
+                Ok(())
+            }
             Err(e) => {
                 std::fs::remove_file(&tmp).ok();
                 Err(CheckpointError::Io(e))

@@ -18,6 +18,7 @@ pub fn gae(
     gamma: f32,
     lambda: f32,
 ) -> (Vec<f32>, Vec<f32>) {
+    let _span = agsc_telemetry::span("gae");
     assert_eq!(rewards.len(), values.len(), "rewards/values length mismatch");
     let t_max = rewards.len();
     let mut adv = vec![0.0f32; t_max];

@@ -14,6 +14,7 @@ use crate::gae::{gae, normalize_advantages};
 use crate::rollout::{NeighborKind, Rollout};
 use agsc_env::{AirGroundEnv, Metrics, UvAction};
 use agsc_nn::{Adam, Matrix, Mlp, RunningStat};
+use agsc_telemetry as tlm;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -224,6 +225,7 @@ impl HiMadrlTrainer {
 
     /// Sample one episode with the current (stochastic) policies.
     pub fn collect_rollout(&mut self, env: &mut AirGroundEnv) -> Rollout {
+        let _span = tlm::span("collect_rollout");
         let seed = self.rng.gen::<u64>();
         env.reset(seed);
         let mut rollout = Rollout::new(self.num_agents);
@@ -295,6 +297,7 @@ impl HiMadrlTrainer {
 
     /// Run one full training iteration (Algorithm 1 body).
     pub fn train_iteration(&mut self, env: &mut AirGroundEnv) -> IterationStats {
+        let _span = tlm::span("train_iteration");
         let rollout = self.collect_rollout(env);
         let t_len = rollout.len();
         let train_metrics = env.metrics();
@@ -320,6 +323,7 @@ impl HiMadrlTrainer {
         'update: {
             // --- Line 12: classifier update ---------------------------------
             if let Some(ref mut c) = self.classifier {
+                let _s = tlm::span("eoi_update");
                 // Uniform per-agent sampling: concatenate everything (same
                 // count per agent by construction).
                 let all_obs = Matrix::vstack(&obs_mats.iter().collect::<Vec<_>>());
@@ -353,6 +357,7 @@ impl HiMadrlTrainer {
             let mut last_adv_ho: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
 
             // --- Lines 14-20: M1 policy epochs -------------------------------
+            let _ppo_span = tlm::span("ppo_epochs");
             for _epoch in 0..self.cfg.policy_epochs {
                 for k in 0..self.num_agents {
                     let ai = self.agent_idx(k);
@@ -474,23 +479,26 @@ impl HiMadrlTrainer {
                 }
             }
 
+            drop(_ppo_span);
+
             // --- Line 20: overall value network on r_all ---------------------
-            let r_all: Vec<f32> =
-                (0..t_len).map(|t| (0..self.num_agents).map(|k| rewards[k][t]).sum()).collect();
-            let v_all_raw = self.v_all.forward_inference(&state_mat).as_slice().to_vec();
-            let v_all_vals: Vec<f32> = if self.cfg.value_norm {
-                v_all_raw.iter().map(|&x| self.stat_all.denormalize(x)).collect()
-            } else {
-                v_all_raw
-            };
-            let (mut adv_all, ret_all) =
-                gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-            if self.cfg.nan_guard && !(all_finite(&adv_all) && all_finite(&ret_all)) {
-                nan_events += 1;
-                update_skipped = true;
-                break 'update;
-            }
-            {
+            let mut adv_all = {
+                let _s = tlm::span("v_all_update");
+                let r_all: Vec<f32> =
+                    (0..t_len).map(|t| (0..self.num_agents).map(|k| rewards[k][t]).sum()).collect();
+                let v_all_raw = self.v_all.forward_inference(&state_mat).as_slice().to_vec();
+                let v_all_vals: Vec<f32> = if self.cfg.value_norm {
+                    v_all_raw.iter().map(|&x| self.stat_all.denormalize(x)).collect()
+                } else {
+                    v_all_raw
+                };
+                let (adv_all, ret_all) =
+                    gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                if self.cfg.nan_guard && !(all_finite(&adv_all) && all_finite(&ret_all)) {
+                    nan_events += 1;
+                    update_skipped = true;
+                    break 'update;
+                }
                 let targets: Vec<f32> = if self.cfg.value_norm {
                     self.stat_all.push_slice(&ret_all);
                     ret_all.iter().map(|&r| self.stat_all.normalize(r)).collect()
@@ -504,10 +512,12 @@ impl HiMadrlTrainer {
                 self.v_all.backward(&grad);
                 self.v_all.clip_grad_norm(self.cfg.max_grad_norm);
                 self.v_all_opt.step(&mut self.v_all.params_mut());
-            }
+                adv_all
+            };
 
             // --- Lines 21-23: M2 LCF meta epochs (Eqns 30-32) ----------------
             if self.cfg.ablation.use_copo && !old_agents.is_empty() {
+                let _s = tlm::span("lcf_meta_gradient");
                 normalize_advantages(&mut adv_all);
                 for _ in 0..self.cfg.lcf_epochs {
                     for k in 0..self.num_agents {
@@ -583,7 +593,7 @@ impl HiMadrlTrainer {
         }
 
         self.iterations_done += 1;
-        IterationStats {
+        let stats = IterationStats {
             mean_ext_reward,
             mean_intrinsic,
             classifier_loss,
@@ -593,7 +603,56 @@ impl HiMadrlTrainer {
             lcf_degrees: self.lcfs.iter().map(|l| l.degrees()).collect(),
             update_skipped,
             nan_events,
+        };
+        self.emit_iteration_telemetry(&stats);
+        stats
+    }
+
+    /// Publish one iteration's diagnostics to the telemetry layer. A no-op
+    /// when telemetry is disabled — training output is bit-identical either
+    /// way because nothing here feeds back into learnable state.
+    fn emit_iteration_telemetry(&self, stats: &IterationStats) {
+        if !tlm::is_enabled() {
+            return;
         }
+        let iter = self.iterations_done as u64;
+        tlm::counter_add("train_iterations", 1);
+        if stats.nan_events > 0 {
+            tlm::counter_add("nan_events", stats.nan_events as u64);
+        }
+        if stats.update_skipped {
+            tlm::counter_add("nan_rollbacks", 1);
+            tlm::warn("nan_rollback", |e| {
+                e.u64("iter", iter).u64("nan_events", stats.nan_events as u64).msg(
+                    "non-finite quantities detected; learnable state rolled back to \
+                     pre-iteration snapshot",
+                )
+            });
+        }
+        let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = self.mean_lcf_by_kind();
+        let m = &stats.train_metrics;
+        tlm::emit_with(tlm::Level::Info, "iteration", |e| {
+            e.u64("iter", iter)
+                .f64("mean_ext_reward", stats.mean_ext_reward as f64)
+                .f64("mean_intrinsic", stats.mean_intrinsic as f64)
+                .f64("classifier_loss", stats.classifier_loss as f64)
+                .f64("classifier_accuracy", stats.classifier_accuracy as f64)
+                .f64("lambda", m.efficiency)
+                .f64("psi", m.data_collection_ratio)
+                .f64("sigma", m.data_loss_ratio)
+                .f64("xi", m.energy_ratio)
+                .f64("kappa", m.fairness)
+                .f64("ppo_ratio", stats.ppo.mean_ratio as f64)
+                .f64("clip_fraction", stats.ppo.clip_fraction as f64)
+                .f64("entropy", stats.ppo.entropy as f64)
+                .f64("uav_phi_deg", uav_phi as f64)
+                .f64("uav_chi_deg", uav_chi as f64)
+                .f64("ugv_phi_deg", ugv_phi as f64)
+                .f64("ugv_chi_deg", ugv_chi as f64)
+                .u64("nan_events", stats.nan_events as u64)
+                .bool("update_skipped", stats.update_skipped)
+        });
+        tlm::gauge_set("lambda", m.efficiency);
     }
 
     /// Train for `iterations` full iterations; returns the per-iteration stats.

@@ -18,6 +18,7 @@ use agsc_channel::{
     air_ground_gain, capacity_bps, ground_ground_gain, sinr, AccessModel, RayleighFading,
 };
 use agsc_geo::Point;
+use agsc_telemetry as tlm;
 use serde::{Deserialize, Serialize};
 
 /// One scheduled data-collection event (diagnostic / visualisation record).
@@ -119,6 +120,7 @@ pub fn run_collection_masked(
     poi_remaining: &[f64],
     mask: Option<&CollectionMask<'_>>,
 ) -> SlotCollection {
+    let sched_span = tlm::span("collection_scheduling");
     let num_uavs = uav_pos.len();
     let num_ugvs = ugv_pos.len();
     let k = num_uavs + num_ugvs;
@@ -256,7 +258,10 @@ pub fn run_collection_masked(
         }
     }
 
+    drop(sched_span);
+
     // --- Evaluate every request ---------------------------------------------
+    let _cap_span = tlm::span("noma_capacity");
     let noise = cfg.channel.noise_power();
     let threshold = cfg.channel.sinr_threshold();
 

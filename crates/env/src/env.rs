@@ -10,6 +10,7 @@ use crate::types::{UvAction, UvKind, UvState};
 use agsc_channel::RayleighFading;
 use agsc_datasets::CampusDataset;
 use agsc_geo::{Aabb, Point, RoadNetwork};
+use agsc_telemetry as tlm;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -139,6 +140,12 @@ impl AirGroundEnv {
             seed,
         );
         self.alive = (0..self.uvs.len()).map(|k| self.injector.uv_alive(k, 0)).collect();
+        if self.injector.is_active() {
+            let fleet = self.uvs.len() as u64;
+            tlm::emit_with(tlm::Level::Info, "fault_plan_armed", |e| {
+                e.u64("seed", seed).u64("fleet", fleet).u64("horizon", self.cfg.horizon as u64)
+            });
+        }
         self.redraw_fading();
     }
 
@@ -248,6 +255,7 @@ impl AirGroundEnv {
     /// Panics if the action count differs from the fleet size or the episode
     /// is already done.
     pub fn step(&mut self, actions: &[UvAction]) -> StepResult {
+        let _span = tlm::span("env_step");
         assert_eq!(actions.len(), self.uvs.len(), "one action per UV required");
         assert!(!self.is_done(), "episode is over; call reset()");
 
@@ -308,7 +316,15 @@ impl AirGroundEnv {
         // Refresh liveness for the next slot (deaths are permanent).
         if self.injector.is_active() {
             for (k, a) in self.alive.iter_mut().enumerate() {
-                *a = self.injector.uv_alive(k, self.t);
+                let next = self.injector.uv_alive(k, self.t);
+                if *a && !next {
+                    tlm::counter_add("uv_failures", 1);
+                    let slot = self.t as u64;
+                    tlm::emit_with(tlm::Level::Warn, "uv_failed", |e| {
+                        e.u64("uv", k as u64).u64("slot", slot).msg("injected UV failure")
+                    });
+                }
+                *a = next;
             }
         }
         StepResult { rewards, done: self.is_done(), collection }

@@ -1,0 +1,300 @@
+//! Structured event records and their JSON / human renderings.
+//!
+//! An [`Event`] is a flat record: a severity [`Level`], a `kind` tag (the
+//! JSONL `type` field), and an ordered list of typed fields. Rendering is
+//! hand-rolled so the crate stays dependency-free; the JSON form is strict
+//! enough for any standard parser (non-finite floats become `null`).
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// High-volume diagnostics.
+    Debug = 0,
+    /// Normal progress records (per-iteration stats, manifests).
+    Info = 1,
+    /// Something unexpected but survivable (retries, NaN rollbacks).
+    Warn = 2,
+    /// A failure the run could not absorb.
+    Error = 3,
+}
+
+impl Level {
+    /// Lower-case name, as written in JSONL records and `AGSC_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse an `AGSC_LOG`-style name (case-insensitive). `None` for
+    /// unknown strings — callers decide the fallback.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    /// Rebuild from the `repr(u8)` discriminant (clamping unknown values to
+    /// `Error`); the inverse of `self as u8`.
+    pub fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values render as JSON `null`.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Pre-serialised JSON spliced verbatim (e.g. a `serde_json` config
+    /// dump). The caller guarantees validity.
+    Raw(String),
+}
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_value_json(out: &mut String, v: &Value) {
+    match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{}` on floats is the shortest round-trip representation,
+                // which is always valid JSON for finite values.
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_json_str(out, s),
+        Value::Raw(raw) => out.push_str(raw),
+    }
+}
+
+fn push_value_human(out: &mut String, v: &Value) {
+    match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => out.push_str(&format!("{f:.4}")),
+        Value::Str(s) | Value::Raw(s) => out.push_str(s),
+    }
+}
+
+/// A structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Record type, written as the JSONL `type` field (`iteration`,
+    /// `manifest`, `warn`, `checkpoint_saved`, ...).
+    pub kind: &'static str,
+    /// Ordered `(key, value)` fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// An empty event of the given severity and kind.
+    pub fn new(level: Level, kind: &'static str) -> Self {
+        Self { level, kind, fields: Vec::new() }
+    }
+
+    /// Append a boolean field.
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, Value::Bool(v)));
+        self
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, Value::U64(v)));
+        self
+    }
+
+    /// Append a signed-integer field.
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, Value::I64(v)));
+        self
+    }
+
+    /// Append a float field (f32 values widen losslessly).
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, Value::F64(v)));
+        self
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, Value::Str(v.into())));
+        self
+    }
+
+    /// Append a pre-serialised JSON field, spliced verbatim into the JSONL
+    /// record. The caller is responsible for validity.
+    pub fn raw_json(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, Value::Raw(v.into())));
+        self
+    }
+
+    /// Append a human-readable message (the `msg` field). Sinks that render
+    /// for people lead with it.
+    pub fn msg(self, text: impl Into<String>) -> Self {
+        self.str("msg", text)
+    }
+
+    /// One JSON object (no trailing newline):
+    /// `{"type":"...","level":"...","ts_ms":...,<fields>}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push_str("{\"type\":");
+        push_json_str(&mut out, self.kind);
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"ts_ms\":");
+        out.push_str(&unix_millis().to_string());
+        for (k, v) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_value_json(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// One human-readable line: `[level] kind: msg (k=v k=v)`.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(48 + 16 * self.fields.len());
+        out.push('[');
+        out.push_str(self.level.as_str());
+        out.push_str("] ");
+        out.push_str(self.kind);
+        let msg = self.fields.iter().find(|(k, _)| *k == "msg");
+        if let Some((_, v)) = msg {
+            out.push_str(": ");
+            push_value_human(&mut out, v);
+        }
+        let rest: Vec<&(&'static str, Value)> =
+            self.fields.iter().filter(|(k, _)| *k != "msg").collect();
+        for (i, (k, v)) in rest.iter().enumerate() {
+            out.push_str(if i == 0 { ": " } else { " " });
+            out.push_str(k);
+            out.push('=');
+            push_value_human(&mut out, v);
+        }
+        out
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub(crate) fn unix_millis() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.as_str(), "warn");
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("verbose"), None);
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event::new(Level::Info, "iteration")
+            .u64("iter", 3)
+            .f64("lambda", 0.5)
+            .bool("update_skipped", false)
+            .str("note", "ok");
+        let j = e.to_json();
+        assert!(j.starts_with("{\"type\":\"iteration\",\"level\":\"info\",\"ts_ms\":"), "{j}");
+        assert!(j.contains("\"iter\":3"), "{j}");
+        assert!(j.contains("\"lambda\":0.5"), "{j}");
+        assert!(j.contains("\"update_skipped\":false"), "{j}");
+        assert!(j.contains("\"note\":\"ok\""), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let j =
+            Event::new(Level::Info, "x").f64("nan", f64::NAN).f64("inf", f64::INFINITY).to_json();
+        assert!(j.contains("\"nan\":null"), "{j}");
+        assert!(j.contains("\"inf\":null"), "{j}");
+    }
+
+    #[test]
+    fn raw_json_is_spliced_verbatim() {
+        let j = Event::new(Level::Info, "manifest").raw_json("cfg", "{\"gamma\":0.99}").to_json();
+        assert!(j.contains("\"cfg\":{\"gamma\":0.99}"), "{j}");
+    }
+
+    #[test]
+    fn human_line_leads_with_msg() {
+        let line = Event::new(Level::Warn, "bench_retry")
+            .msg("h/i-MADRL failed; retrying")
+            .u64("seed", 9)
+            .to_line();
+        assert!(line.starts_with("[warn] bench_retry: h/i-MADRL failed; retrying"), "{line}");
+        assert!(line.contains("seed=9"), "{line}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Run manifests: the first record of every JSONL log, making the log
+//! self-describing and replayable (seed + configs + dataset + version).
+
+use crate::event::{Event, Level};
+
+/// Builder for the `manifest` record emitted at run start.
+///
+/// Configs are attached as pre-serialised JSON (`config_json`) so this crate
+/// needs no knowledge of — or dependency on — the types it describes.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    event: Event,
+}
+
+impl RunManifest {
+    /// A manifest for a run seeded with `seed` over dataset `dataset`.
+    ///
+    /// Records the workspace crate version so any log names the code that
+    /// produced it.
+    pub fn new(seed: u64, dataset: impl Into<String>) -> Self {
+        let event = Event::new(Level::Info, "manifest")
+            .u64("seed", seed)
+            .str("dataset", dataset)
+            .str("version", env!("CARGO_PKG_VERSION"));
+        Self { event }
+    }
+
+    /// Attach a config as raw JSON (e.g. the `serde_json` dump of a
+    /// `TrainConfig`). The caller guarantees `json` is valid JSON.
+    pub fn config_json(mut self, name: &'static str, json: impl Into<String>) -> Self {
+        self.event = self.event.raw_json(name, json);
+        self
+    }
+
+    /// Attach an arbitrary string field (e.g. a method name).
+    pub fn field(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.event = self.event.str(name, value);
+        self
+    }
+
+    /// Attach an integer field (e.g. planned iterations).
+    pub fn field_u64(mut self, name: &'static str, value: u64) -> Self {
+        self.event = self.event.u64(name, value);
+        self
+    }
+
+    /// The underlying event (for custom routing).
+    pub fn into_event(self) -> Event {
+        self.event
+    }
+
+    /// Emit through the global telemetry handle (no-op when disabled).
+    pub fn emit(self) {
+        crate::emit(self.event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_records_seed_dataset_and_version() {
+        let j = RunManifest::new(42, "purdue")
+            .config_json("train_config", "{\"gamma\":0.99}")
+            .field("method", "h/i-MADRL")
+            .field_u64("iterations", 30)
+            .into_event()
+            .to_json();
+        assert!(j.contains("\"type\":\"manifest\""), "{j}");
+        assert!(j.contains("\"seed\":42"), "{j}");
+        assert!(j.contains("\"dataset\":\"purdue\""), "{j}");
+        assert!(j.contains("\"version\":\""), "{j}");
+        assert!(j.contains("\"train_config\":{\"gamma\":0.99}"), "{j}");
+        assert!(j.contains("\"method\":\"h/i-MADRL\""), "{j}");
+        assert!(j.contains("\"iterations\":30"), "{j}");
+    }
+}

@@ -1,0 +1,90 @@
+//! End-of-run span profile rendering: a ranked table of where the wall time
+//! went, so hot paths are measured before they are optimised.
+
+use crate::span::SpanStat;
+
+/// Render span statistics as an aligned table, ranked by total time
+/// descending. Returns `None` when there is nothing to report.
+pub fn render_table(spans: &[(String, SpanStat)]) -> Option<String> {
+    if spans.is_empty() {
+        return None;
+    }
+    let mut rows: Vec<&(String, SpanStat)> = spans.iter().collect();
+    rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then_with(|| a.0.cmp(&b.0)));
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max("span".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>9}  {:>12}  {:>12}\n",
+        "span", "calls", "total ms", "mean us"
+    ));
+    for (name, stat) in rows {
+        let total_ms = stat.total.as_secs_f64() * 1e3;
+        let mean_us = stat.mean().as_secs_f64() * 1e6;
+        out.push_str(&format!(
+            "{name:<name_w$}  {:>9}  {:>12.2}  {:>12.2}\n",
+            stat.calls, total_ms, mean_us
+        ));
+    }
+    Some(out)
+}
+
+/// Render span statistics as a JSON object keyed by span path:
+/// `{"path":{"calls":N,"total_ms":T,"mean_us":M},...}`.
+pub fn render_json(spans: &[(String, SpanStat)]) -> String {
+    let mut rows: Vec<&(String, SpanStat)> = spans.iter().collect();
+    rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then_with(|| a.0.cmp(&b.0)));
+    let mut out = String::from("{");
+    for (i, (name, stat)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::event::push_json_str(&mut out, name);
+        let total_ms = stat.total.as_secs_f64() * 1e3;
+        let mean_us = stat.mean().as_secs_f64() * 1e6;
+        out.push_str(&format!(
+            ":{{\"calls\":{},\"total_ms\":{total_ms},\"mean_us\":{mean_us}}}",
+            stat.calls
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> Vec<(String, SpanStat)> {
+        vec![
+            ("train_iteration".into(), SpanStat { calls: 2, total: Duration::from_millis(500) }),
+            (
+                "train_iteration/ppo_epochs".into(),
+                SpanStat { calls: 2, total: Duration::from_millis(900) },
+            ),
+        ]
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(render_table(&[]).is_none());
+    }
+
+    #[test]
+    fn table_ranks_by_total_descending() {
+        let t = render_table(&sample()).unwrap();
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("span") && lines[0].contains("total ms"), "{t}");
+        assert!(lines[1].starts_with("train_iteration/ppo_epochs"), "{t}");
+        assert!(lines[2].starts_with("train_iteration "), "{t}");
+        assert!(lines[1].contains("900.00"), "{t}");
+    }
+
+    #[test]
+    fn json_contains_all_paths() {
+        let j = render_json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"train_iteration/ppo_epochs\":{\"calls\":2"), "{j}");
+        assert!(j.contains("\"train_iteration\":{\"calls\":2"), "{j}");
+    }
+}

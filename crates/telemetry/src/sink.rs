@@ -1,0 +1,181 @@
+//! Pluggable event sinks: human-readable stderr, JSONL files, and an
+//! in-memory sink for tests.
+
+use crate::event::Event;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A destination for telemetry events. Implementations must be cheap to call
+/// from hot paths (buffer internally; heavy work belongs in `flush`).
+pub trait Sink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &Event);
+    /// Flush any buffered records to their backing store.
+    fn flush(&self) {}
+}
+
+/// Renders each event as one human-readable line on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        eprintln!("{}", event.to_line());
+    }
+}
+
+/// Appends each event as one JSON object per line to a file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").field("path", &self.path).finish()
+    }
+}
+
+impl JsonlSink {
+    /// Create (or truncate) a JSONL log at `path`.
+    pub fn at_path(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)), path })
+    }
+
+    /// Create a uniquely named `run-<millis>-<pid>.jsonl` inside `dir`
+    /// (creating the directory if needed).
+    pub fn in_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let name = format!("run-{}-{}.jsonl", crate::event::unix_millis(), std::process::id());
+        Self::at_path(dir.join(name))
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        // A full disk or revoked handle must not kill the run: telemetry is
+        // best-effort by contract.
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Collects events in memory — the assertion surface for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every recorded event, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// JSONL rendering of every recorded event (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.record(&Event::new(Level::Info, "a"));
+        sink.record(&Event::new(Level::Warn, "b"));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[1].kind, "b");
+        assert_eq!(sink.to_jsonl().lines().count(), 2);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join(format!("agsc_tlm_sink_{}", std::process::id()));
+        let sink = JsonlSink::in_dir(&dir).unwrap();
+        let path = sink.path().to_path_buf();
+        sink.record(&Event::new(Level::Info, "first").u64("n", 1));
+        sink.record(&Event::new(Level::Info, "second").str("s", "x\"y"));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"first\""));
+        assert!(lines[1].contains("\"s\":\"x\\\"y\""));
+        drop(sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_at_path_truncates_existing() {
+        let dir = std::env::temp_dir().join(format!("agsc_tlm_trunc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        std::fs::write(&path, "stale content\n").unwrap();
+        let sink = JsonlSink::at_path(&path).unwrap();
+        sink.record(&Event::new(Level::Info, "fresh"));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("stale"));
+        assert!(text.contains("\"type\":\"fresh\""));
+        drop(sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

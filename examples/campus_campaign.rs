@@ -11,6 +11,7 @@ use agsc::baselines::{GaConfig, RandomPolicy, ShortestPathPolicy};
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig, Metrics, UvAction};
 use agsc::madrl::{HiMadrlTrainer, Policy, TrainConfig};
+use agsc::telemetry as tlm;
 
 fn run_policy<P: Policy>(
     policy: &P,
@@ -42,6 +43,9 @@ fn print_row(name: &str, m: &Metrics) {
 
 fn main() {
     let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    if let Some(path) = tlm::init_run() {
+        println!("telemetry JSONL: {}", path.display());
+    }
     let dataset = presets::ncsu(7);
     println!(
         "NCSU-like campaign: {} PoIs x {:.1} Gbit, fleet of {}+{} UVs, {} slots\n",
@@ -51,10 +55,19 @@ fn main() {
         EnvConfig::default().num_ugvs,
         EnvConfig::default().horizon,
     );
-    let mut env = AirGroundEnv::new(EnvConfig::default(), &dataset, 7);
+    let env_cfg = EnvConfig::default();
+    let train_cfg = TrainConfig::default();
+    tlm::RunManifest::new(7, dataset.name.clone())
+        .config_json("env_config", serde_json::to_string(&env_cfg).unwrap())
+        .config_json("train_config", serde_json::to_string(&train_cfg).unwrap())
+        .field("entry", "campus_campaign")
+        .field_u64("iterations", iters as u64)
+        .emit();
+    let mut env = AirGroundEnv::new(env_cfg, &dataset, 7);
 
-    // Learned planner.
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 7)
+    // Learned planner. With telemetry on, each train iteration emits one
+    // `iteration` record (λ, ψ, classifier accuracy, NaN-guard state, ...).
+    let mut trainer = HiMadrlTrainer::new(&env, train_cfg, iters, 7)
         .expect("default training config must be valid");
     println!("training h/i-MADRL for {iters} iterations...");
     trainer.train(&mut env, iters);
@@ -81,4 +94,10 @@ fn main() {
              not dominate yet — raise AGSC_ITERS for the paper-shaped result."
         );
     }
+
+    tlm::emit_profile();
+    if let Some(table) = tlm::profile_table() {
+        println!("\nspan profile:\n{table}");
+    }
+    tlm::flush();
 }

@@ -4,14 +4,20 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Environment variables: `AGSC_ITERS` (default 30) scales training.
+//! Environment variables: `AGSC_ITERS` (default 30) scales training;
+//! `AGSC_LOG` sets the telemetry severity filter (`off` silences it);
+//! `AGSC_TELEMETRY_DIR` additionally writes a JSONL event log there.
 
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
 use agsc::madrl::{evaluate, HiMadrlTrainer, TrainConfig};
+use agsc::telemetry as tlm;
 
 fn main() {
     let iters: usize = std::env::var("AGSC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    if let Some(path) = tlm::init_run() {
+        println!("telemetry JSONL: {}", path.display());
+    }
 
     // 1. A campus dataset: road network + 100 PoIs extracted from synthetic
     //    student traces (deterministic from the seed).
@@ -28,15 +34,25 @@ fn main() {
     // 2. The air-ground SC environment with Table-II defaults
     //    (2 UAVs + 2 UGVs, 100 timeslots, 3 NOMA subchannels).
     let env_cfg = EnvConfig::default();
+    let train_cfg = TrainConfig::default();
+    tlm::RunManifest::new(42, dataset.name.clone())
+        .config_json("env_config", serde_json::to_string(&env_cfg).unwrap())
+        .config_json("train_config", serde_json::to_string(&train_cfg).unwrap())
+        .field("entry", "quickstart")
+        .field_u64("iterations", iters as u64)
+        .emit();
     let mut env = AirGroundEnv::new(env_cfg, &dataset, 42);
 
-    // 3. Train full h/i-MADRL (i-EOI + h-CoPO over an IPPO base).
-    let mut trainer = HiMadrlTrainer::new(&env, TrainConfig::default(), iters, 42)
+    // 3. Train full h/i-MADRL (i-EOI + h-CoPO over an IPPO base). With
+    //    telemetry on, the trainer itself emits one `iteration` record per
+    //    iteration (λ, ψ, classifier accuracy, NaN-guard state, ...) through
+    //    the stderr/JSONL sinks.
+    let mut trainer = HiMadrlTrainer::new(&env, train_cfg, iters, 42)
         .expect("default training config must be valid");
     println!("training {iters} iterations...");
     for i in 0..iters {
         let s = trainer.train_iteration(&mut env);
-        if (i + 1) % 10 == 0 || i == 0 {
+        if !tlm::is_enabled() && ((i + 1) % 10 == 0 || i == 0) {
             println!(
                 "  iter {:>3}: mean extrinsic reward {:>8.5}, intrinsic {:>8.5}, \
                  classifier acc {:.2}, train-episode lambda {:.3}",
@@ -63,4 +79,11 @@ fn main() {
     println!("\nlearned LCFs (degrees):");
     println!("  UAVs: phi {uav_phi:.1}, chi {uav_chi:.1}");
     println!("  UGVs: phi {ugv_phi:.1}, chi {ugv_chi:.1}");
+
+    // 6. Where the wall time went (telemetry span profile; empty when off).
+    tlm::emit_profile();
+    if let Some(table) = tlm::profile_table() {
+        println!("\nspan profile:\n{table}");
+    }
+    tlm::flush();
 }

@@ -29,7 +29,8 @@
 //! * [`datasets`] — synthetic Purdue/NCSU campuses,
 //! * [`mod@env`] — the Dec-POMDP environment and metrics,
 //! * [`madrl`] — h/i-MADRL (IPPO base + i-EOI + h-CoPO),
-//! * [`baselines`] — the five comparison methods.
+//! * [`baselines`] — the five comparison methods,
+//! * [`telemetry`] — spans, counters, event sinks, and run manifests.
 
 #![warn(missing_docs)]
 
@@ -44,3 +45,4 @@ pub use agsc_env as env;
 pub use agsc_geo as geo;
 pub use agsc_madrl as madrl;
 pub use agsc_nn as nn;
+pub use agsc_telemetry as telemetry;
