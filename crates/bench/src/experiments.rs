@@ -2,8 +2,16 @@
 //!
 //! Each prints the same rows/series the paper reports. Budgets come from
 //! [`HarnessConfig`]; see `EXPERIMENTS.md` for paper-vs-measured values.
+//!
+//! Output is routed through [`ExperimentWriter`], so every table reaches
+//! stdout and — when telemetry is enabled with `AGSC_TELEMETRY_DIR` — is
+//! also teed into `<run_dir>/tables/<experiment>.txt`. Every evaluated
+//! point is additionally merged into `BENCH_results.json` (see
+//! [`BenchResults`]) with its five metrics and wall-clock cost.
 
-use crate::harness::{parallel_map, run_method_robust, HarnessConfig, Method};
+use crate::harness::{parallel_map, run_method_robust_timed, HarnessConfig, Method};
+use crate::output::ExperimentWriter;
+use crate::results::BenchResults;
 use crate::table::{banner, metrics_header, metrics_row, rule, series_header, series_row};
 use agsc_baselines::ippo;
 use agsc_datasets::{presets, CampusDataset};
@@ -28,12 +36,14 @@ pub fn base_env() -> EnvConfig {
 /// Regenerate Table III: `ω_in ∈ {0.001, 0.003, 0.01}` crossed with
 /// parameter sharing (SP) and centralised critics (CC), both campuses.
 pub fn table3_hyperparams(h: &HarnessConfig) {
-    println!("{}", banner("Table III: hyperparameter tuning (win x SP x CC)"));
+    let mut w = ExperimentWriter::for_experiment("table3_hyperparams");
+    let mut res = BenchResults::new("table3_hyperparams");
+    w.line(banner("Table III: hyperparameter tuning (win x SP x CC)"));
     let grid = [(false, false), (true, false), (false, true), (true, true)];
     for dataset in both_campuses(h.seed) {
-        println!("\n[{}]", dataset.name);
-        println!("{}", metrics_header("config"));
-        println!("{}", rule());
+        w.line(format!("\n[{}]", dataset.name));
+        w.line(metrics_header("config"));
+        w.line(rule());
         for &win in &[0.001f32, 0.003, 0.01] {
             let jobs: Vec<(bool, bool)> = grid.to_vec();
             let results = parallel_map(jobs.clone(), |&(sp, cc)| {
@@ -43,18 +53,21 @@ pub fn table3_hyperparams(h: &HarnessConfig) {
                     centralized_critic: cc,
                     ..TrainConfig::default()
                 };
-                run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+                run_method_robust_timed(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
             });
-            for ((sp, cc), m) in jobs.iter().zip(results.iter()) {
+            for ((sp, cc), (m, secs)) in jobs.iter().zip(results.iter()) {
                 let label = format!(
                     "win={win} {} {}",
                     if *sp { "w/SP" } else { "w/oSP" },
                     if *cc { "w/CC" } else { "w/oCC" }
                 );
-                println!("{}", metrics_row(&label, m));
+                w.line(metrics_row(&label, m));
+                res.record(&dataset.name, &label, h, m, *secs);
             }
         }
     }
+    res.finish();
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -63,24 +76,29 @@ pub fn table3_hyperparams(h: &HarnessConfig) {
 
 /// Regenerate Table IV: linear ω_in decay vs the constant winner.
 pub fn table4_win_decay(h: &HarnessConfig) {
-    println!("{}", banner("Table IV: impact of linearly decreased win"));
+    let mut w = ExperimentWriter::for_experiment("table4_win_decay");
+    let mut res = BenchResults::new("table4_win_decay");
+    w.line(banner("Table IV: impact of linearly decreased win"));
     let schedules: Vec<(&str, IntrinsicSchedule)> = vec![
         ("win 0.01 -> 0.001", IntrinsicSchedule::LinearDecay { from: 0.01, to: 0.001 }),
         ("win 0.003 -> 0", IntrinsicSchedule::LinearDecay { from: 0.003, to: 0.0 }),
         ("win = 0.003 (const)", IntrinsicSchedule::Constant(0.003)),
     ];
     for dataset in both_campuses(h.seed) {
-        println!("\n[{}]", dataset.name);
-        println!("{}", metrics_header("schedule"));
-        println!("{}", rule());
+        w.line(format!("\n[{}]", dataset.name));
+        w.line(metrics_header("schedule"));
+        w.line(rule());
         let results = parallel_map(schedules.clone(), |(_, sched)| {
             let cfg = TrainConfig { intrinsic: *sched, ..TrainConfig::default() };
-            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust_timed(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
-        for ((label, _), m) in schedules.iter().zip(results.iter()) {
-            println!("{}", metrics_row(label, m));
+        for ((label, _), (m, secs)) in schedules.iter().zip(results.iter()) {
+            w.line(metrics_row(label, m));
+            res.record(&dataset.name, label, h, m, *secs);
         }
     }
+    res.finish();
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -90,21 +108,28 @@ pub fn table4_win_decay(h: &HarnessConfig) {
 /// Regenerate Table V: neighbour range ∈ {10, 25, 33, 50, 66} % of the task
 /// area, efficiency only (as the paper reports).
 pub fn table5_neighbor_range(h: &HarnessConfig) {
-    println!("{}", banner("Table V: impact of neighbor range (% of task area)"));
+    let mut w = ExperimentWriter::for_experiment("table5_neighbor_range");
+    let mut res = BenchResults::new("table5_neighbor_range");
+    w.line(banner("Table V: impact of neighbor range (% of task area)"));
     let fracs = [0.10f64, 0.25, 0.33, 0.50, 0.66];
     let ticks: Vec<String> = fracs.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
     for dataset in both_campuses(h.seed) {
         let results = parallel_map(fracs.to_vec(), |&frac| {
             let cfg = TrainConfig { neighbor_range_frac: frac, ..TrainConfig::default() };
-            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust_timed(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
-        println!("\n[{}]", dataset.name);
-        println!("{}", series_header("range", &ticks));
-        println!(
-            "{}",
-            series_row("lambda", &results.iter().map(|m| m.efficiency).collect::<Vec<_>>())
-        );
+        w.line(format!("\n[{}]", dataset.name));
+        w.line(series_header("range", &ticks));
+        w.line(series_row(
+            "lambda",
+            &results.iter().map(|(m, _)| m.efficiency).collect::<Vec<_>>(),
+        ));
+        for (tick, (m, secs)) in ticks.iter().zip(results.iter()) {
+            res.record(&dataset.name, &format!("range={tick}"), h, m, *secs);
+        }
     }
+    res.finish();
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -113,7 +138,9 @@ pub fn table5_neighbor_range(h: &HarnessConfig) {
 
 /// Regenerate Table VI: full / −i-EOI / −h-CoPO / −both.
 pub fn table6_ablation(h: &HarnessConfig) {
-    println!("{}", banner("Table VI: ablation study"));
+    let mut w = ExperimentWriter::for_experiment("table6_ablation");
+    let mut res = BenchResults::new("table6_ablation");
+    w.line(banner("Table VI: ablation study"));
     let variants: Vec<(&str, Ablation)> = vec![
         ("h/i-MADRL", Ablation::full()),
         ("h/i-MADRL w/o i-EOI", Ablation::without_eoi()),
@@ -121,17 +148,20 @@ pub fn table6_ablation(h: &HarnessConfig) {
         ("w/o i-EOI, h-CoPO", Ablation::base_only()),
     ];
     for dataset in both_campuses(h.seed) {
-        println!("\n[{}]", dataset.name);
-        println!("{}", metrics_header("variant"));
-        println!("{}", rule());
+        w.line(format!("\n[{}]", dataset.name));
+        w.line(metrics_header("variant"));
+        w.line(rule());
         let results = parallel_map(variants.clone(), |(_, ab)| {
             let cfg = TrainConfig { ablation: *ab, ..TrainConfig::default() };
-            run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+            run_method_robust_timed(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
         });
-        for ((label, _), m) in variants.iter().zip(results.iter()) {
-            println!("{}", metrics_row(label, m));
+        for ((label, _), (m, secs)) in variants.iter().zip(results.iter()) {
+            w.line(metrics_row(label, m));
+            res.record(&dataset.name, label, h, m, *secs);
         }
     }
+    res.finish();
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -146,14 +176,15 @@ pub fn table6_ablation(h: &HarnessConfig) {
 /// Adam) — the quantity that matters for the paper's on-board-deployment
 /// argument in §VI-F.
 pub fn table7_complexity(h: &HarnessConfig) {
-    println!("{}", banner("Table VII: computational complexity"));
+    let mut w = ExperimentWriter::for_experiment("table7_complexity");
+    w.line(banner("Table VII: computational complexity"));
     let dataset = presets::purdue(h.seed);
     let env_cfg = base_env();
     let mut env = AirGroundEnv::new(env_cfg.clone(), &dataset, h.seed);
     let obs = env.observations();
 
-    println!("{:<20} {:>16} {:>18}", "method", "time cost (us)", "param mem (KB)");
-    println!("{}", "-".repeat(56));
+    w.line(format!("{:<20} {:>16} {:>18}", "method", "time cost (us)", "param mem (KB)"));
+    w.line("-".repeat(56));
     // Trainer-based methods share the same inference path (the plug-ins are
     // training-time only — the paper's point in §VI-F).
     for method in [Method::HiMadrl, Method::HiMadrlCopo, Method::Mappo] {
@@ -172,14 +203,14 @@ pub fn table7_complexity(h: &HarnessConfig) {
         let obs_dim = env.obs_dim();
         let mut per_agent = 0usize;
         let mut prev = obs_dim;
-        for &w in hidden {
-            per_agent += prev * w + w;
-            prev = w;
+        for &width in hidden {
+            per_agent += prev * width + width;
+            prev = width;
         }
         per_agent += prev * 2 + 2 + 2;
         let agents = if t.config().shared_params { 1 } else { env.num_uvs() };
         let mem_kb = (per_agent * agents * 4 * 4) as f64 / 1024.0;
-        println!("{:<20} {:>16.1} {:>18.1}", method.name(), per_slot, mem_kb);
+        w.line(format!("{:<20} {:>16.1} {:>18.1}", method.name(), per_slot, mem_kb));
     }
     {
         let learner =
@@ -197,15 +228,16 @@ pub fn table7_complexity(h: &HarnessConfig) {
         let gru = 3 * (obs_dim * cfg.gru_hidden + cfg.gru_hidden * cfg.gru_hidden + cfg.gru_hidden);
         let mut head = 0usize;
         let mut prev = cfg.gru_hidden;
-        for &w in &cfg.hidden {
-            head += prev * w + w;
-            prev = w;
+        for &width in &cfg.hidden {
+            head += prev * width + width;
+            prev = width;
         }
         head += prev * 2 + 2;
         let mem_kb = ((gru + head) * env.num_uvs() * 4 * 4) as f64 / 1024.0;
-        println!("{:<20} {:>16.1} {:>18.1}", "e-Divert", per_slot, mem_kb);
+        w.line(format!("{:<20} {:>16.1} {:>18.1}", "e-Divert", per_slot, mem_kb));
     }
     let _ = env.step(&vec![UvAction::stay(); env.num_uvs()]);
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -214,6 +246,8 @@ pub fn table7_complexity(h: &HarnessConfig) {
 
 /// A parameter sweep: tick labels plus one `EnvConfig` per point.
 pub struct Sweep {
+    /// Machine-friendly experiment name (file stems, result rows).
+    pub slug: String,
     /// Figure title.
     pub title: String,
     /// X-axis name.
@@ -227,17 +261,23 @@ pub struct Sweep {
 /// Run a sweep for all six methods on both campuses and print the five
 /// metric series each figure reports (λ ψ σ κ ξ).
 pub fn run_figure_sweep(sweep: &Sweep, h: &HarnessConfig) {
-    println!("{}", banner(&sweep.title));
+    let mut w = ExperimentWriter::for_experiment(&sweep.slug);
+    let mut res = BenchResults::new(&sweep.slug);
+    w.line(banner(&sweep.title));
     for dataset in both_campuses(h.seed) {
-        println!("\n[{}]", dataset.name);
+        w.line(format!("\n[{}]", dataset.name));
         // Jobs: method-major so expensive methods interleave across threads.
         let jobs: Vec<(Method, usize)> = Method::ALL
             .iter()
             .flat_map(|&m| (0..sweep.configs.len()).map(move |i| (m, i)))
             .collect();
-        let results: Vec<Metrics> = parallel_map(jobs.clone(), |&(m, i)| {
-            run_method_robust(m, &sweep.configs[i], &dataset, h, None)
+        let results: Vec<(Metrics, f64)> = parallel_map(jobs.clone(), |&(m, i)| {
+            run_method_robust_timed(m, &sweep.configs[i], &dataset, h, None)
         });
+        for (&(m, i), (metrics, secs)) in jobs.iter().zip(results.iter()) {
+            let label = format!("{} @ {}={}", m.name(), sweep.x_label, sweep.ticks[i]);
+            res.record(&dataset.name, &label, h, metrics, *secs);
+        }
         let metric_of = |m: &Metrics, sel: usize| match sel {
             0 => m.efficiency,
             1 => m.data_collection_ratio,
@@ -252,22 +292,25 @@ pub fn run_figure_sweep(sweep: &Sweep, h: &HarnessConfig) {
             (3, "(d) fairness"),
             (4, "(e) energy"),
         ] {
-            println!("\n{name}");
-            println!("{}", series_header(&sweep.x_label, &sweep.ticks));
+            w.line(format!("\n{name}"));
+            w.line(series_header(&sweep.x_label, &sweep.ticks));
             for (mi, m) in Method::ALL.iter().enumerate() {
                 let row: Vec<f64> = (0..sweep.configs.len())
-                    .map(|i| metric_of(&results[mi * sweep.configs.len() + i], sel))
+                    .map(|i| metric_of(&results[mi * sweep.configs.len() + i].0, sel))
                     .collect();
-                println!("{}", series_row(m.name(), &row));
+                w.line(series_row(m.name(), &row));
             }
         }
     }
+    res.finish();
+    w.finish();
 }
 
 /// Figs 3-4: impact of the number of UAVs/UGVs (equal counts).
 pub fn fig3_4_num_uvs(h: &HarnessConfig) {
     let counts = [1usize, 2, 3, 4, 5, 7, 10];
     let sweep = Sweep {
+        slug: "fig3_4_num_uvs".into(),
         title: "Figs 3-4: impact of no. of UAVs/UGVs".into(),
         x_label: "No. of UAVs/UGVs".into(),
         ticks: counts.iter().map(|c| c.to_string()).collect(),
@@ -288,6 +331,7 @@ pub fn fig3_4_num_uvs(h: &HarnessConfig) {
 pub fn fig5_6_subchannels(h: &HarnessConfig) {
     let zs = [1usize, 2, 3, 4, 5, 7, 10];
     let sweep = Sweep {
+        slug: "fig5_6_subchannels".into(),
         title: "Figs 5-6: impact of no. of subchannels".into(),
         x_label: "No. of Subchannels".into(),
         ticks: zs.iter().map(|z| z.to_string()).collect(),
@@ -307,6 +351,7 @@ pub fn fig5_6_subchannels(h: &HarnessConfig) {
 pub fn fig7_8_uav_height(h: &HarnessConfig) {
     let heights = [60.0f64, 70.0, 90.0, 120.0, 150.0];
     let sweep = Sweep {
+        slug: "fig7_8_uav_height".into(),
         title: "Figs 7-8: impact of UAV hovering height".into(),
         x_label: "UAV height (m)".into(),
         ticks: heights.iter().map(|v| format!("{v:.0}")).collect(),
@@ -326,6 +371,7 @@ pub fn fig7_8_uav_height(h: &HarnessConfig) {
 pub fn fig9_10_sinr(h: &HarnessConfig) {
     let thresholds = [-7.0f64, -2.2, 0.0, 3.0, 7.0];
     let sweep = Sweep {
+        slug: "fig9_10_sinr".into(),
         title: "Figs 9-10: impact of SINR threshold".into(),
         x_label: "SINR threshold (dB)".into(),
         ticks: thresholds.iter().map(|v| format!("{v}")).collect(),
@@ -386,7 +432,8 @@ fn render_variant(
 /// Regenerate Fig 2: ASCII trajectory patterns for the ablation grid on both
 /// campuses (UAVs `A`/`B`, UGVs `a`/`b`, PoIs `.`, drained `*`, start `S`).
 pub fn fig2_trajectories(h: &HarnessConfig) {
-    println!("{}", banner("Fig 2: trajectory patterns over ablation study"));
+    let mut w = ExperimentWriter::for_experiment("fig2_trajectories");
+    w.line(banner("Fig 2: trajectory patterns over ablation study"));
     let variants: Vec<(&str, TrainConfig)> = vec![
         ("h/i-MADRL", TrainConfig::default()),
         (
@@ -408,9 +455,10 @@ pub fn fig2_trajectories(h: &HarnessConfig) {
             render_variant(label, cfg.clone(), &dataset, h)
         });
         for art in arts {
-            println!("{art}");
+            w.line(art);
         }
     }
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -420,7 +468,8 @@ pub fn fig2_trajectories(h: &HarnessConfig) {
 /// Regenerate Fig 11: air-ground coordination traces (UAV↔UGV distances over
 /// highlighted timeslots) and the learned mean `(φ, χ)` per UV class.
 pub fn fig11_coordination(h: &HarnessConfig) {
-    println!("{}", banner("Fig 11: UV coordination and LCF values"));
+    let mut w = ExperimentWriter::for_experiment("fig11_coordination");
+    w.line(banner("Fig 11: UV coordination and LCF values"));
     for dataset in both_campuses(h.seed) {
         let mut env = AirGroundEnv::new(base_env(), &dataset, h.seed);
         let mut t = HiMadrlTrainer::new(&env, TrainConfig::default(), h.iters, h.seed)
@@ -442,11 +491,11 @@ pub fn fig11_coordination(h: &HarnessConfig) {
                 sep_samples.push((env.timeslot(), states[u].position.dist(&states[g].position)));
             }
         }
-        println!("\n[{}]", dataset.name);
-        println!(
+        w.line(format!("\n[{}]", dataset.name));
+        w.line(format!(
             "relay pairs formed over the episode: {pair_count} / {} slots",
             env.config().horizon
-        );
+        ));
         for probe in [5usize, 25, 50, 75, 100] {
             let near: Vec<f64> = sep_samples
                 .iter()
@@ -454,22 +503,23 @@ pub fn fig11_coordination(h: &HarnessConfig) {
                 .map(|&(_, d)| d)
                 .collect();
             if near.is_empty() {
-                println!("  t~{probe:>3}: no active relay pair");
+                w.line(format!("  t~{probe:>3}: no active relay pair"));
             } else {
                 let mean = near.iter().sum::<f64>() / near.len() as f64;
-                println!(
+                w.line(format!(
                     "  t~{probe:>3}: mean UAV-UGV separation {mean:>7.1} m ({} pairs)",
                     near.len()
-                );
+                ));
             }
         }
         let ((uav_phi, uav_chi), (ugv_phi, ugv_chi)) = t.mean_lcf_by_kind();
-        println!("learned mean LCFs (degrees):");
-        println!("  UAVs: phi {uav_phi:>5.1}  chi {uav_chi:>5.1}");
-        println!("  UGVs: phi {ugv_phi:>5.1}  chi {ugv_chi:>5.1}");
+        w.line("learned mean LCFs (degrees):");
+        w.line(format!("  UAVs: phi {uav_phi:>5.1}  chi {uav_chi:>5.1}"));
+        w.line(format!("  UGVs: phi {ugv_phi:>5.1}  chi {ugv_chi:>5.1}"));
         let m = env.metrics();
-        println!("episode metrics: {}", metrics_row("h/i-MADRL", &m).trim_start());
+        w.line(format!("episode metrics: {}", metrics_row("h/i-MADRL", &m).trim_start()));
     }
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -479,23 +529,28 @@ pub fn fig11_coordination(h: &HarnessConfig) {
 /// Ablate the advantage estimator: one-step TD (paper Eqn 24, λ = 0) vs
 /// GAE-0.95 vs Monte-Carlo (λ = 1).
 pub fn abl_gae(h: &HarnessConfig) {
-    println!("{}", banner("Ablation: advantage estimator (GAE lambda)"));
+    let mut w = ExperimentWriter::for_experiment("abl_gae");
+    let mut res = BenchResults::new("abl_gae");
+    w.line(banner("Ablation: advantage estimator (GAE lambda)"));
     let lambdas = [0.0f32, 0.95, 1.0];
     let dataset = presets::purdue(h.seed);
-    println!("{}", metrics_header("estimator"));
-    println!("{}", rule());
+    w.line(metrics_header("estimator"));
+    w.line(rule());
     let results = parallel_map(lambdas.to_vec(), |&l| {
         let cfg = TrainConfig { gae_lambda: l, ..TrainConfig::default() };
-        run_method_robust(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
+        run_method_robust_timed(Method::HiMadrl, &base_env(), &dataset, h, Some(cfg))
     });
-    for (l, m) in lambdas.iter().zip(results.iter()) {
+    for (l, (m, secs)) in lambdas.iter().zip(results.iter()) {
         let label = match *l {
             x if x == 0.0 => "one-step TD (Eqn 24)".to_string(),
             x if x == 1.0 => "Monte-Carlo (l=1)".to_string(),
             x => format!("GAE l={x}"),
         };
-        println!("{}", metrics_row(&label, m));
+        w.line(metrics_row(&label, m));
+        res.record(&dataset.name, &label, h, m, *secs);
     }
+    res.finish();
+    w.finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -505,7 +560,9 @@ pub fn abl_gae(h: &HarnessConfig) {
 /// Ablate the communication discipline: the paper's NOMA vs the TDMA/OFDMA
 /// alternates it names as drop-in replacements.
 pub fn abl_access(h: &HarnessConfig) {
-    println!("{}", banner("Ablation: multiple-access model (NOMA vs TDMA vs OFDMA)"));
+    let mut w = ExperimentWriter::for_experiment("abl_access");
+    let mut res = BenchResults::new("abl_access");
+    w.line(banner("Ablation: multiple-access model (NOMA vs TDMA vs OFDMA)"));
     use agsc_channel::AccessModel;
     let models = [
         ("AG-NOMA (paper)", AccessModel::Noma),
@@ -513,16 +570,19 @@ pub fn abl_access(h: &HarnessConfig) {
         ("OFDMA", AccessModel::Ofdma),
     ];
     let dataset = presets::purdue(h.seed);
-    println!("{}", metrics_header("access model"));
-    println!("{}", rule());
+    w.line(metrics_header("access model"));
+    w.line(rule());
     let results = parallel_map(models.to_vec(), |&(_, model)| {
         let mut env_cfg = base_env();
         env_cfg.access_model = model;
-        run_method_robust(Method::HiMadrl, &env_cfg, &dataset, h, None)
+        run_method_robust_timed(Method::HiMadrl, &env_cfg, &dataset, h, None)
     });
-    for ((label, _), m) in models.iter().zip(results.iter()) {
-        println!("{}", metrics_row(label, m));
+    for ((label, _), (m, secs)) in models.iter().zip(results.iter()) {
+        w.line(metrics_row(label, m));
+        res.record(&dataset.name, label, h, m, *secs);
     }
+    res.finish();
+    w.finish();
 }
 
 #[cfg(test)]
@@ -541,6 +601,7 @@ mod tests {
     fn sweep_configs_match_ticks() {
         let counts = [1usize, 2, 3];
         let sweep = Sweep {
+            slug: "t".into(),
             title: "t".into(),
             x_label: "x".into(),
             ticks: counts.iter().map(|c| c.to_string()).collect(),

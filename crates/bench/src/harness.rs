@@ -281,6 +281,20 @@ pub fn run_method_robust(
     }
 }
 
+/// [`run_method_robust`] plus the wall-clock seconds the point cost
+/// (train + eval + any retry), for machine-readable result rows.
+pub fn run_method_robust_timed(
+    method: Method,
+    env_cfg: &EnvConfig,
+    dataset: &CampusDataset,
+    h: &HarnessConfig,
+    train_override: Option<TrainConfig>,
+) -> (Metrics, f64) {
+    let t0 = Instant::now();
+    let metrics = run_method_robust(method, env_cfg, dataset, h, train_override);
+    (metrics, t0.elapsed().as_secs_f64())
+}
+
 /// A parallel job that panicked instead of returning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobPanic {
@@ -427,6 +441,16 @@ mod tests {
         let direct = run_method(Method::Random, &cfg, &dataset, &h, None).unwrap();
         let robust = run_method_robust(Method::Random, &cfg, &dataset, &h, None);
         assert_eq!(direct, robust);
+    }
+
+    #[test]
+    fn run_method_robust_timed_reports_wall_clock() {
+        let dataset = presets::purdue(1);
+        let cfg = tiny_env_cfg();
+        let h = tiny_harness();
+        let (m, secs) = run_method_robust_timed(Method::Random, &cfg, &dataset, &h, None);
+        assert!(m.efficiency.is_finite());
+        assert!(secs > 0.0, "wall-clock must be positive, got {secs}");
     }
 
     #[test]

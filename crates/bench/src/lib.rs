@@ -10,10 +10,14 @@
 pub mod error;
 pub mod experiments;
 pub mod harness;
+pub mod output;
+pub mod results;
 pub mod table;
 
 pub use error::BenchError;
 pub use harness::{
-    evaluate_policy, parallel_map, parallel_try_map, run_method, run_method_robust, HarnessConfig,
-    JobPanic, Method,
+    evaluate_policy, parallel_map, parallel_try_map, run_method, run_method_robust,
+    run_method_robust_timed, HarnessConfig, JobPanic, Method,
 };
+pub use output::ExperimentWriter;
+pub use results::{BenchResults, ResultPoint};

@@ -1,0 +1,235 @@
+//! Machine-readable experiment results: `BENCH_results.json`.
+//!
+//! Every table/figure experiment records one [`ResultPoint`] per
+//! (dataset, configuration) cell it evaluates — the five paper metrics
+//! (ψ σ ξ κ λ), the budget that produced them, and the wall-clock cost —
+//! and merges them into a single `BENCH_results.json` in the telemetry
+//! run directory (`AGSC_TELEMETRY_DIR`, falling back to the working
+//! directory). Re-running an experiment replaces its previous points
+//! instead of duplicating them, so the file converges to one row per
+//! unique (experiment, dataset, label, seed) cell.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use agsc_env::Metrics;
+use agsc_telemetry as tlm;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::HarnessConfig;
+
+/// One evaluated experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultPoint {
+    /// Experiment name (e.g. `"table6_ablation"`).
+    pub experiment: String,
+    /// Dataset name (e.g. `"purdue"`), empty when not dataset-specific.
+    pub dataset: String,
+    /// Method or configuration label (e.g. `"h/i-MADRL w/o i-EOI"`).
+    pub label: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Training iterations of the budget.
+    pub iters: usize,
+    /// Evaluation episodes averaged into the metrics.
+    pub eval_episodes: usize,
+    /// Data collection ratio ψ.
+    pub psi: f64,
+    /// Data loss ratio σ.
+    pub sigma: f64,
+    /// Energy consumption ratio ξ.
+    pub xi: f64,
+    /// Geographical fairness κ.
+    pub kappa: f64,
+    /// Energy efficiency λ (the headline metric).
+    pub lambda: f64,
+    /// Wall-clock seconds spent producing this point (train + eval).
+    pub wall_secs: f64,
+}
+
+impl ResultPoint {
+    /// Build a point from an experiment cell's metrics and timing.
+    pub fn new(
+        experiment: &str,
+        dataset: &str,
+        label: &str,
+        h: &HarnessConfig,
+        metrics: &Metrics,
+        wall_secs: f64,
+    ) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            dataset: dataset.to_string(),
+            label: label.to_string(),
+            seed: h.seed,
+            iters: h.iters,
+            eval_episodes: h.eval_episodes,
+            psi: metrics.data_collection_ratio,
+            sigma: metrics.data_loss_ratio,
+            xi: metrics.energy_ratio,
+            kappa: metrics.fairness,
+            lambda: metrics.efficiency,
+            wall_secs,
+        }
+    }
+
+    /// The identity under which re-runs replace older points.
+    fn key(&self) -> (&str, &str, &str, u64) {
+        (&self.experiment, &self.dataset, &self.label, self.seed)
+    }
+}
+
+/// Accumulates [`ResultPoint`]s for one experiment and merges them into
+/// `BENCH_results.json` on [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct BenchResults {
+    experiment: String,
+    points: Vec<ResultPoint>,
+}
+
+impl BenchResults {
+    /// Start collecting for `experiment`.
+    pub fn new(experiment: &str) -> Self {
+        Self { experiment: experiment.to_string(), points: Vec::new() }
+    }
+
+    /// Record one evaluated cell.
+    pub fn record(
+        &mut self,
+        dataset: &str,
+        label: &str,
+        h: &HarnessConfig,
+        metrics: &Metrics,
+        wall_secs: f64,
+    ) {
+        self.points.push(ResultPoint::new(&self.experiment, dataset, label, h, metrics, wall_secs));
+    }
+
+    /// Points recorded so far.
+    pub fn points(&self) -> &[ResultPoint] {
+        &self.points
+    }
+
+    /// Where results land: the telemetry run directory when set, else the
+    /// working directory.
+    pub fn default_path() -> PathBuf {
+        tlm::run_dir().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_results.json")
+    }
+
+    /// Merge the collected points into `BENCH_results.json` (best-effort:
+    /// I/O problems become telemetry warnings, never experiment failures).
+    /// Returns the written path on success.
+    pub fn finish(self) -> Option<PathBuf> {
+        let path = Self::default_path();
+        match self.write_to(&path) {
+            Ok(()) => Some(path),
+            Err(err) => {
+                tlm::warn("bench_results_io", |e| {
+                    e.str("path", path.display().to_string()).str("error", err.to_string())
+                });
+                None
+            }
+        }
+    }
+
+    /// Merge into an explicit file: existing points whose
+    /// (experiment, dataset, label, seed) matches a new point are replaced;
+    /// everything else is preserved.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut merged: Vec<ResultPoint> = match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
+            Err(_) => Vec::new(),
+        };
+        merged.retain(|old| !self.points.iter().any(|new| new.key() == old.key()));
+        merged.extend(self.points.iter().cloned());
+        let json = serde_json::to_string_pretty(&merged)?;
+        // Write-then-rename so a crash mid-write cannot truncate the file.
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(lambda: f64) -> Metrics {
+        Metrics {
+            data_collection_ratio: 0.8,
+            data_loss_ratio: 0.1,
+            energy_ratio: 0.2,
+            fairness: 0.9,
+            efficiency: lambda,
+        }
+    }
+
+    fn harness() -> HarnessConfig {
+        HarnessConfig { iters: 2, eval_episodes: 1, seed: 7 }
+    }
+
+    #[test]
+    fn write_and_reload_round_trips() {
+        let dir = std::env::temp_dir().join(format!("agsc-res-{}", std::process::id()));
+        let path = dir.join("BENCH_results.json");
+        let mut r = BenchResults::new("table6_ablation");
+        r.record("purdue", "h/i-MADRL", &harness(), &metrics(7.5), 1.25);
+        r.record("ncsu", "h/i-MADRL", &harness(), &metrics(6.0), 1.5);
+        r.write_to(&path).unwrap();
+        let loaded: Vec<ResultPoint> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].experiment, "table6_ablation");
+        assert_eq!(loaded[0].lambda, 7.5);
+        assert_eq!(loaded[0].seed, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rerun_replaces_matching_points_and_keeps_others() {
+        let dir = std::env::temp_dir().join(format!("agsc-res2-{}", std::process::id()));
+        let path = dir.join("BENCH_results.json");
+        let mut first = BenchResults::new("table6_ablation");
+        first.record("purdue", "h/i-MADRL", &harness(), &metrics(7.5), 1.0);
+        first.write_to(&path).unwrap();
+        let mut other = BenchResults::new("abl_gae");
+        other.record("purdue", "GAE l=0.95", &harness(), &metrics(5.0), 2.0);
+        other.write_to(&path).unwrap();
+        // Re-run the first experiment with a different λ: replaced, not duplicated.
+        let mut rerun = BenchResults::new("table6_ablation");
+        rerun.record("purdue", "h/i-MADRL", &harness(), &metrics(8.0), 1.1);
+        rerun.write_to(&path).unwrap();
+
+        let loaded: Vec<ResultPoint> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.len(), 2, "one replaced row + one untouched row");
+        let t6 = loaded.iter().find(|p| p.experiment == "table6_ablation").unwrap();
+        assert_eq!(t6.lambda, 8.0);
+        assert!(loaded.iter().any(|p| p.experiment == "abl_gae"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_existing_file_is_overwritten_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("agsc-res3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let mut r = BenchResults::new("x");
+        r.record("purdue", "a", &harness(), &metrics(1.0), 0.1);
+        r.write_to(&path).unwrap();
+        let loaded: Vec<ResultPoint> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

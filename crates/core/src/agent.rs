@@ -45,6 +45,20 @@ pub struct PpoStats {
     pub clip_fraction: f32,
     /// Policy entropy after the update.
     pub entropy: f32,
+    /// Approximate KL divergence old‖new, the standard `E[logπ_old − logπ_new]`
+    /// estimator evaluated before the step.
+    pub approx_kl: f32,
+    /// Pre-clip L2 norm of the policy gradient.
+    pub grad_norm: f32,
+}
+
+/// Stats of one critic regression step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CriticStats {
+    /// MSE loss against the targets (Eqn 26).
+    pub loss: f32,
+    /// Pre-clip L2 norm of the critic gradient.
+    pub grad_norm: f32,
 }
 
 impl PpoAgent {
@@ -155,9 +169,11 @@ impl PpoAgent {
         let mut coeff = vec![0.0f32; b];
         let mut clipped = 0usize;
         let mut ratio_sum = 0.0f32;
+        let mut kl_sum = 0.0f32;
         for i in 0..b {
             let ratio = (logp_new[i] - old_log_probs[i]).exp();
             ratio_sum += ratio;
+            kl_sum += old_log_probs[i] - logp_new[i];
             let a = advantages[i];
             let unclipped = ratio * a;
             let clipped_val = ratio.clamp(1.0 - clip_eps, 1.0 + clip_eps) * a;
@@ -176,7 +192,7 @@ impl PpoAgent {
             *g += d - entropy_coef;
         }
 
-        self.actor.clip_grad_norm(max_grad_norm);
+        let grad_norm = self.actor.clip_grad_norm(max_grad_norm);
         let mut params = self.actor.params_mut();
         params.push(&mut self.log_std);
         self.actor_opt.step(&mut params);
@@ -188,21 +204,23 @@ impl PpoAgent {
             mean_ratio: ratio_sum / b as f32,
             clip_fraction: clipped as f32 / b as f32,
             entropy,
+            approx_kl: kl_sum / b as f32,
+            grad_norm,
         }
     }
 
     /// One MSE regression step of the chosen critic towards `targets`
-    /// (Eqn 26); returns the loss.
+    /// (Eqn 26); returns the loss and pre-clip gradient norm.
     pub fn critic_update(
         &mut self,
         input: &Matrix,
         targets: &[f32],
         which: CriticKind,
         max_grad_norm: f32,
-    ) -> f32 {
+    ) -> CriticStats {
         assert_eq!(input.rows(), targets.len(), "target count mismatch");
         if targets.is_empty() {
-            return 0.0;
+            return CriticStats::default();
         }
         let net = match which {
             CriticKind::Own => &mut self.critic,
@@ -214,9 +232,9 @@ impl PpoAgent {
         let target = Matrix::from_vec(targets.len(), 1, targets.to_vec());
         let (loss, grad) = agsc_nn::loss::mse(&pred, &target);
         net.backward(&grad);
-        net.clip_grad_norm(max_grad_norm);
+        let grad_norm = net.clip_grad_norm(max_grad_norm);
         self.critic_opt.step(&mut net.params_mut());
-        loss
+        CriticStats { loss, grad_norm }
     }
 
     /// Flat gradient of `Σ_t coeff[t] · log π(a_t | o_t)` with respect to
@@ -337,11 +355,17 @@ mod tests {
         let input = Matrix::from_vec(3, 4, vec![0.1; 12]);
         let targets = [1.0f32, 1.0, 1.0];
         let first = a.critic_update(&input, &targets, CriticKind::Own, 10.0);
+        assert!(first.grad_norm > 0.0, "a non-trivial regression step must have gradient");
         let mut last = first;
         for _ in 0..300 {
             last = a.critic_update(&input, &targets, CriticKind::Own, 10.0);
         }
-        assert!(last < first * 0.1, "critic loss should fall ({first} → {last})");
+        assert!(
+            last.loss < first.loss * 0.1,
+            "critic loss should fall ({} → {})",
+            first.loss,
+            last.loss
+        );
         let v = a.values(&input, CriticKind::Own);
         assert!((v[0] - 1.0).abs() < 0.2);
     }
@@ -359,6 +383,31 @@ mod tests {
         assert!((he[0] - 2.0).abs() < 0.3, "HE critic should have learned");
         assert!((own[0] - 2.0).abs() > 0.5, "own critic must be untouched");
         assert!((ho[0] - 2.0).abs() > 0.5, "HO critic must be untouched");
+    }
+
+    #[test]
+    fn ppo_stats_expose_learning_health_signals() {
+        let mut a = agent();
+        let obs = Matrix::from_vec(2, 4, vec![0.5; 8]);
+        let actions = Matrix::from_vec(2, 2, vec![0.2, 0.2, -0.2, -0.2]);
+        let mean = Matrix::from_rows(&vec![a.act_deterministic(&[0.5; 4]); 2]);
+        let old_lp = DiagGaussian::new(&mean, a.log_std()).log_prob(&actions);
+
+        // First update starts at the behaviour policy: ratio 1, KL ≈ 0.
+        let s0 = a.ppo_update(&obs, &actions, &old_lp, &[-1.0, -1.0], 0.2, 0.0, 10.0);
+        assert!((s0.mean_ratio - 1.0).abs() < 1e-5);
+        assert!(s0.approx_kl.abs() < 1e-6, "pre-step KL must be ~0, got {}", s0.approx_kl);
+        assert!(s0.grad_norm > 0.0, "non-zero advantages must produce gradient");
+
+        // Negative advantages push the policy away from the sampled actions,
+        // so their log-probs fall and the KL estimate E[logπ_old − logπ_new]
+        // turns strictly positive.
+        let mut last = s0;
+        for _ in 0..30 {
+            last = a.ppo_update(&obs, &actions, &old_lp, &[-1.0, -1.0], 0.2, 0.0, 10.0);
+        }
+        assert!(last.approx_kl > 0.0, "diverged policy must show positive KL");
+        assert!(last.entropy.is_finite());
     }
 
     #[test]

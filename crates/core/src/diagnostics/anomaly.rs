@@ -1,0 +1,469 @@
+//! Streaming anomaly detection over per-iteration learning signals.
+//!
+//! The detector keeps EWMA mean/variance baselines per signal and raises
+//! typed [`Anomaly`] records for entropy collapse, approx-KL spikes,
+//! value-loss blowups, LCF pinning at 0°/90°, and dead agents (near-zero
+//! collection share). Iterations the NaN guard rolled back are recorded but
+//! never folded into the baselines, so one poisoned iteration cannot widen
+//! the envelope for the rest of the run.
+
+use crate::trainer::IterationStats;
+
+/// What kind of learning pathology was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Policy entropy fell below the absolute floor: the policy has
+    /// (near-)deterministically collapsed and exploration is gone.
+    EntropyCollapse,
+    /// Approximate KL between behaviour and updated policy spiked — the
+    /// update moved much further than the trust region intends.
+    KlSpike,
+    /// Critic loss jumped far outside its recent envelope.
+    ValueLossBlowup,
+    /// An LCF angle has sat at the 0°/90° boundary for many consecutive
+    /// iterations after having learned away from it — the meta-gradient has
+    /// saturated.
+    LcfPinned,
+    /// A UV's share of collected data has been near zero for many
+    /// consecutive iterations: the agent is alive but useless.
+    DeadAgent,
+}
+
+impl AnomalyKind {
+    /// Stable machine-readable name (used in telemetry events and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::EntropyCollapse => "entropy_collapse",
+            AnomalyKind::KlSpike => "kl_spike",
+            AnomalyKind::ValueLossBlowup => "value_loss_blowup",
+            AnomalyKind::LcfPinned => "lcf_pinned",
+            AnomalyKind::DeadAgent => "dead_agent",
+        }
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// What happened.
+    pub kind: AnomalyKind,
+    /// Which signal tripped (e.g. `"entropy"`, `"lcf_phi"`).
+    pub signal: &'static str,
+    /// The UV index for per-agent anomalies, `None` for fleet-wide ones.
+    pub agent: Option<usize>,
+    /// The offending observation.
+    pub value: f32,
+    /// The bound it violated (absolute floor/ceiling, or the z threshold).
+    pub threshold: f32,
+    /// z-score against the EWMA baseline (0 for purely absolute checks).
+    pub zscore: f32,
+}
+
+/// Detection thresholds. The defaults are deliberately loose — diagnostics
+/// should flag runs that are clearly sick, not second-guess healthy noise.
+#[derive(Debug, Clone)]
+pub struct AnomalyThresholds {
+    /// Absolute policy-entropy floor (nats). The Gaussian head's log-σ is
+    /// clamped at −3, where a 2-D policy's entropy is ≈ −3.2, so −3.0 means
+    /// "σ pinned at the clamp": exploration is gone.
+    pub entropy_floor: f32,
+    /// Absolute approx-KL ceiling per update.
+    pub kl_ceiling: f32,
+    /// Absolute value-loss ceiling.
+    pub value_loss_ceiling: f32,
+    /// z-score beyond which a signal counts as a spike (after warmup).
+    pub z_threshold: f32,
+    /// EWMA smoothing factor in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Baseline observations required before z-checks arm.
+    pub warmup: usize,
+    /// Degrees from 0°/90° within which an LCF angle counts as pinned.
+    pub lcf_pin_margin_deg: f32,
+    /// Consecutive pinned iterations before [`AnomalyKind::LcfPinned`] fires.
+    pub lcf_pin_iters: usize,
+    /// Collection share below which an agent counts as dead.
+    pub dead_share_floor: f32,
+    /// Consecutive dead iterations before [`AnomalyKind::DeadAgent`] fires.
+    pub dead_iters: usize,
+}
+
+impl Default for AnomalyThresholds {
+    fn default() -> Self {
+        Self {
+            entropy_floor: -3.0,
+            kl_ceiling: 0.5,
+            value_loss_ceiling: 1e4,
+            z_threshold: 6.0,
+            ewma_alpha: 0.1,
+            warmup: 8,
+            lcf_pin_margin_deg: 0.5,
+            lcf_pin_iters: 20,
+            dead_share_floor: 0.01,
+            dead_iters: 10,
+        }
+    }
+}
+
+/// EWMA mean/variance baseline for one scalar signal.
+#[derive(Debug, Clone, Default)]
+struct Ewma {
+    mean: f64,
+    var: f64,
+    n: usize,
+}
+
+impl Ewma {
+    /// z-score of `x` against the current baseline (0 until the baseline
+    /// has any variance), then fold `x` in.
+    fn observe(&mut self, x: f64, alpha: f64) -> f64 {
+        let z =
+            if self.n > 0 && self.var > 1e-24 { (x - self.mean) / self.var.sqrt() } else { 0.0 };
+        if self.n == 0 {
+            self.mean = x;
+        } else {
+            let d = x - self.mean;
+            self.mean += alpha * d;
+            self.var = (1.0 - alpha) * (self.var + alpha * d * d);
+        }
+        self.n += 1;
+        z
+    }
+}
+
+/// Consecutive-iteration latch: counts how long a boolean condition has
+/// held and fires exactly once when it reaches `limit`.
+#[derive(Debug, Clone, Default)]
+struct Latch {
+    run: usize,
+    fired: bool,
+}
+
+impl Latch {
+    fn update(&mut self, active: bool, limit: usize) -> bool {
+        if !active {
+            self.run = 0;
+            self.fired = false;
+            return false;
+        }
+        self.run += 1;
+        if self.run >= limit && !self.fired {
+            self.fired = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Pin tracker for one LCF angle: arms only after the angle has moved away
+/// from the boundary at least once, so a freshly-initialised `φ = 0°` does
+/// not read as saturation.
+#[derive(Debug, Clone, Default)]
+struct PinTracker {
+    armed: bool,
+    latch: Latch,
+}
+
+impl PinTracker {
+    fn update(&mut self, deg: f32, th: &AnomalyThresholds) -> bool {
+        let pinned = deg <= th.lcf_pin_margin_deg || deg >= 90.0 - th.lcf_pin_margin_deg;
+        if !pinned {
+            self.armed = true;
+        }
+        self.armed && self.latch.update(pinned, th.lcf_pin_iters)
+    }
+}
+
+/// Streaming anomaly detector over [`IterationStats`] rows.
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    th: AnomalyThresholds,
+    kl: Ewma,
+    value_loss: Ewma,
+    phi_pins: Vec<PinTracker>,
+    chi_pins: Vec<PinTracker>,
+    dead: Vec<Latch>,
+}
+
+impl AnomalyDetector {
+    /// A detector for a fleet of `num_agents` UVs.
+    pub fn new(num_agents: usize, thresholds: AnomalyThresholds) -> Self {
+        Self {
+            th: thresholds,
+            kl: Ewma::default(),
+            value_loss: Ewma::default(),
+            phi_pins: vec![PinTracker::default(); num_agents],
+            chi_pins: vec![PinTracker::default(); num_agents],
+            dead: vec![Latch::default(); num_agents],
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn thresholds(&self) -> &AnomalyThresholds {
+        &self.th
+    }
+
+    /// Inspect one iteration. Rolled-back iterations (`update_skipped`) are
+    /// ignored entirely: no checks run and no baseline absorbs their values.
+    pub fn observe(&mut self, stats: &IterationStats) -> Vec<Anomaly> {
+        if stats.update_skipped {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+
+        // Entropy collapse: absolute floor, fires immediately.
+        let entropy = stats.ppo.entropy;
+        if entropy.is_finite() && entropy < self.th.entropy_floor {
+            out.push(Anomaly {
+                kind: AnomalyKind::EntropyCollapse,
+                signal: "entropy",
+                agent: None,
+                value: entropy,
+                threshold: self.th.entropy_floor,
+                zscore: 0.0,
+            });
+        }
+
+        // Approx-KL: absolute ceiling or EWMA spike.
+        let kl = stats.ppo.approx_kl;
+        if kl.is_finite() {
+            let z = self.kl.observe(kl as f64, self.th.ewma_alpha);
+            let spiking = self.kl.n > self.th.warmup && z > self.th.z_threshold as f64;
+            if kl > self.th.kl_ceiling || spiking {
+                out.push(Anomaly {
+                    kind: AnomalyKind::KlSpike,
+                    signal: "approx_kl",
+                    agent: None,
+                    value: kl,
+                    threshold: if kl > self.th.kl_ceiling {
+                        self.th.kl_ceiling
+                    } else {
+                        self.th.z_threshold
+                    },
+                    zscore: z as f32,
+                });
+            }
+        }
+
+        // Value loss: absolute ceiling or EWMA spike.
+        let vl = stats.value_loss;
+        if vl.is_finite() {
+            let z = self.value_loss.observe(vl as f64, self.th.ewma_alpha);
+            let spiking = self.value_loss.n > self.th.warmup && z > self.th.z_threshold as f64;
+            if vl > self.th.value_loss_ceiling || spiking {
+                out.push(Anomaly {
+                    kind: AnomalyKind::ValueLossBlowup,
+                    signal: "value_loss",
+                    agent: None,
+                    value: vl,
+                    threshold: if vl > self.th.value_loss_ceiling {
+                        self.th.value_loss_ceiling
+                    } else {
+                        self.th.z_threshold
+                    },
+                    zscore: z as f32,
+                });
+            }
+        }
+
+        // LCF pinning, per UV and per angle.
+        for (k, &(phi, chi)) in stats.lcf_degrees.iter().enumerate() {
+            if k < self.phi_pins.len() && self.phi_pins[k].update(phi, &self.th) {
+                out.push(Anomaly {
+                    kind: AnomalyKind::LcfPinned,
+                    signal: "lcf_phi",
+                    agent: Some(k),
+                    value: phi,
+                    threshold: self.th.lcf_pin_margin_deg,
+                    zscore: 0.0,
+                });
+            }
+            if k < self.chi_pins.len() && self.chi_pins[k].update(chi, &self.th) {
+                out.push(Anomaly {
+                    kind: AnomalyKind::LcfPinned,
+                    signal: "lcf_chi",
+                    agent: Some(k),
+                    value: chi,
+                    threshold: self.th.lcf_pin_margin_deg,
+                    zscore: 0.0,
+                });
+            }
+        }
+
+        // Dead agents: near-zero collection share while the fleet as a
+        // whole collected something.
+        let total: f32 = stats.collection_share.iter().sum();
+        if total > 0.0 {
+            for (k, &share) in stats.collection_share.iter().enumerate() {
+                if k < self.dead.len()
+                    && self.dead[k].update(share < self.th.dead_share_floor, self.th.dead_iters)
+                {
+                    out.push(Anomaly {
+                        kind: AnomalyKind::DeadAgent,
+                        signal: "collection_share",
+                        agent: Some(k),
+                        value: share,
+                        threshold: self.th.dead_share_floor,
+                        zscore: 0.0,
+                    });
+                }
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> IterationStats {
+        IterationStats {
+            ppo: crate::agent::PpoStats { entropy: 1.5, approx_kl: 0.01, ..Default::default() },
+            value_loss: 1.0,
+            lcf_degrees: vec![(10.0, 45.0); 2],
+            collection_share: vec![0.5, 0.5],
+            intrinsic_share: vec![0.5, 0.5],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stream_raises_nothing() {
+        let mut d = AnomalyDetector::new(2, AnomalyThresholds::default());
+        for _ in 0..50 {
+            assert!(d.observe(&stats()).is_empty());
+        }
+    }
+
+    #[test]
+    fn entropy_collapse_fires_immediately() {
+        let mut d = AnomalyDetector::new(2, AnomalyThresholds::default());
+        let mut s = stats();
+        s.ppo.entropy = -3.1;
+        let a = d.observe(&s);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, AnomalyKind::EntropyCollapse);
+        assert_eq!(a[0].signal, "entropy");
+    }
+
+    #[test]
+    fn kl_spike_fires_on_ceiling_and_on_zscore() {
+        let mut d = AnomalyDetector::new(2, AnomalyThresholds::default());
+        // Absolute ceiling, no warmup needed.
+        let mut s = stats();
+        s.ppo.approx_kl = 0.9;
+        assert_eq!(d.observe(&s).len(), 1, "ceiling breach must fire");
+
+        // z-score: stable baseline then a 100× spike below the ceiling.
+        let mut d = AnomalyDetector::new(2, AnomalyThresholds::default());
+        for i in 0..20 {
+            let mut s = stats();
+            s.ppo.approx_kl = 0.002 + 0.0002 * (i % 3) as f32;
+            assert!(d.observe(&s).is_empty(), "baseline must be quiet");
+        }
+        let mut s = stats();
+        s.ppo.approx_kl = 0.2;
+        let a = d.observe(&s);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, AnomalyKind::KlSpike);
+        assert!(a[0].zscore > 6.0);
+    }
+
+    #[test]
+    fn value_loss_blowup_fires_on_spike() {
+        let mut d = AnomalyDetector::new(2, AnomalyThresholds::default());
+        for i in 0..20 {
+            let mut s = stats();
+            s.value_loss = 1.0 + 0.05 * (i % 4) as f32;
+            assert!(d.observe(&s).is_empty());
+        }
+        let mut s = stats();
+        s.value_loss = 50.0;
+        let a = d.observe(&s);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, AnomalyKind::ValueLossBlowup);
+    }
+
+    #[test]
+    fn skipped_rows_do_not_pollute_baselines() {
+        let th = AnomalyThresholds::default();
+        let mut poisoned = AnomalyDetector::new(2, th.clone());
+        let mut clean = AnomalyDetector::new(2, th);
+        for i in 0..20 {
+            let mut s = stats();
+            s.value_loss = 1.0 + 0.05 * (i % 4) as f32;
+            assert!(clean.observe(&s).is_empty());
+            assert!(poisoned.observe(&s).is_empty());
+            // Interleave huge-but-skipped rows into one detector only.
+            let mut skipped = s.clone();
+            skipped.value_loss = 1e6;
+            skipped.ppo.approx_kl = 10.0;
+            skipped.update_skipped = true;
+            assert!(poisoned.observe(&skipped).is_empty(), "skipped rows never fire");
+        }
+        // If the skipped rows had widened the EWMA envelope, this genuine
+        // spike would pass unnoticed. Both detectors must still catch it.
+        let mut s = stats();
+        s.value_loss = 50.0;
+        assert_eq!(clean.observe(&s).len(), 1);
+        assert_eq!(poisoned.observe(&s).len(), 1, "baseline was polluted by skipped rows");
+    }
+
+    #[test]
+    fn lcf_pinning_requires_arming_and_persistence() {
+        let th = AnomalyThresholds { lcf_pin_iters: 5, ..Default::default() };
+        let mut d = AnomalyDetector::new(1, th);
+        // φ sits at its initial 0° forever: never armed, never fires.
+        let mut s = stats();
+        s.lcf_degrees = vec![(0.0, 45.0)];
+        s.collection_share = vec![1.0];
+        s.intrinsic_share = vec![1.0];
+        for _ in 0..30 {
+            assert!(d.observe(&s).is_empty(), "unarmed pin must stay silent");
+        }
+        // φ learns away, then saturates at 90°: fires once after 5 iters.
+        s.lcf_degrees = vec![(40.0, 45.0)];
+        assert!(d.observe(&s).is_empty());
+        s.lcf_degrees = vec![(90.0, 45.0)];
+        let mut fired = 0;
+        for _ in 0..12 {
+            fired += d.observe(&s).len();
+        }
+        assert_eq!(fired, 1, "pin fires exactly once while it persists");
+    }
+
+    #[test]
+    fn dead_agent_fires_once_after_persistent_zero_share() {
+        let th = AnomalyThresholds { dead_iters: 4, ..Default::default() };
+        let mut d = AnomalyDetector::new(2, th);
+        let mut s = stats();
+        s.collection_share = vec![1.0, 0.0];
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            seen.extend(d.observe(&s));
+        }
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].kind, AnomalyKind::DeadAgent);
+        assert_eq!(seen[0].agent, Some(1));
+        // Recovery resets the latch; a later death fires again.
+        s.collection_share = vec![0.5, 0.5];
+        for _ in 0..3 {
+            assert!(d.observe(&s).is_empty());
+        }
+        s.collection_share = vec![1.0, 0.0];
+        let refired: usize = (0..10).map(|_| d.observe(&s).len()).sum();
+        assert_eq!(refired, 1);
+    }
+
+    #[test]
+    fn all_zero_shares_mean_no_data_not_dead_fleet() {
+        let th = AnomalyThresholds { dead_iters: 2, ..Default::default() };
+        let mut d = AnomalyDetector::new(2, th);
+        let mut s = stats();
+        s.collection_share = vec![0.0, 0.0];
+        for _ in 0..10 {
+            assert!(d.observe(&s).is_empty(), "no-data episodes are not per-agent deaths");
+        }
+    }
+}

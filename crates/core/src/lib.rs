@@ -17,6 +17,7 @@ pub mod agent;
 pub mod checkpoint;
 pub mod config;
 pub mod copo;
+pub mod diagnostics;
 pub mod eoi;
 pub mod error;
 pub mod eval;
@@ -25,10 +26,13 @@ pub mod maddpg;
 pub mod rollout;
 pub mod trainer;
 
-pub use agent::{CriticKind, PpoAgent, PpoStats};
+pub use agent::{CriticKind, CriticStats, PpoAgent, PpoStats};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use config::{Ablation, IntrinsicSchedule, TrainConfig};
 pub use copo::Lcf;
+pub use diagnostics::{
+    Anomaly, AnomalyDetector, AnomalyKind, AnomalyThresholds, Diagnostics, DiagnosticsConfig,
+};
 pub use eoi::EoiClassifier;
 pub use error::{CheckpointError, TrainError};
 pub use eval::{evaluate, Policy};

@@ -23,6 +23,10 @@ pub struct Rollout {
     pub het_neighbors: Vec<Vec<Vec<usize>>>,
     /// `hom_neighbors[t][k]` — homogeneous nearby neighbours of `k` at `t`.
     pub hom_neighbors: Vec<Vec<Vec<usize>>>,
+    /// `collected_per_uv[k]` — bits collected by UV `k` over the episode
+    /// (accumulated via [`add_collected`](Self::add_collected)); feeds the
+    /// dead-agent diagnostic's per-UV collection shares.
+    pub collected_per_uv: Vec<f64>,
 }
 
 impl Rollout {
@@ -36,6 +40,7 @@ impl Rollout {
             rewards_ext: vec![Vec::new(); num_agents],
             het_neighbors: Vec::new(),
             hom_neighbors: Vec::new(),
+            collected_per_uv: vec![0.0; num_agents],
         }
     }
 
@@ -85,6 +90,27 @@ impl Rollout {
         self.states.push(state);
         self.het_neighbors.push(het_neighbors);
         self.hom_neighbors.push(hom_neighbors);
+    }
+
+    /// Accumulate one slot's per-UV collected data volumes.
+    ///
+    /// # Panics
+    /// Panics if `per_uv` does not have one entry per agent.
+    pub fn add_collected(&mut self, per_uv: &[f64]) {
+        assert_eq!(per_uv.len(), self.num_agents(), "collected count mismatch");
+        for (acc, &c) in self.collected_per_uv.iter_mut().zip(per_uv) {
+            *acc += c;
+        }
+    }
+
+    /// Each UV's fraction of the episode's total collected data (all zeros
+    /// when nothing was collected).
+    pub fn collection_shares(&self) -> Vec<f32> {
+        let total: f64 = self.collected_per_uv.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.num_agents()];
+        }
+        self.collected_per_uv.iter().map(|&c| (c / total) as f32).collect()
     }
 
     /// Agent `k`'s observations as a `T × obs_dim` matrix.
@@ -180,6 +206,17 @@ mod tests {
         assert_eq!(r.state_matrix().shape(), (3, 4));
         assert_eq!(r.action_matrix(1).shape(), (3, 2));
         assert_eq!(r.action_matrix(1).row(0), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn collection_shares_normalise_and_handle_empty() {
+        let mut r = sample_rollout();
+        assert_eq!(r.collection_shares(), vec![0.0, 0.0], "no data ⇒ all-zero shares");
+        r.add_collected(&[3.0, 1.0]);
+        r.add_collected(&[3.0, 1.0]);
+        let shares = r.collection_shares();
+        assert!((shares[0] - 0.75).abs() < 1e-6);
+        assert!((shares[1] - 0.25).abs() < 1e-6);
     }
 
     #[test]

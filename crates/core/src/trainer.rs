@@ -33,6 +33,24 @@ pub struct IterationStats {
     pub train_metrics: Metrics,
     /// Mean PPO stats over agents in the final policy epoch.
     pub ppo: PpoStats,
+    /// Mean own-critic MSE loss over agents in the final policy epoch.
+    pub value_loss: f32,
+    /// Explained variance of the own critic over the final epoch's pooled
+    /// returns: `1 − Var(ret − v)/Var(ret)` (1 is perfect, ≤ 0 is useless).
+    pub explained_variance: f32,
+    /// Mean raw cooperation-aware advantage in the final policy epoch
+    /// (before per-batch normalisation).
+    pub advantage_mean: f32,
+    /// Standard deviation of the raw cooperation-aware advantage.
+    pub advantage_std: f32,
+    /// Mean pre-clip own-critic gradient L2 norm in the final policy epoch.
+    pub critic_grad_norm: f32,
+    /// Each agent's fraction of the total i-EOI intrinsic reward paid this
+    /// iteration (all zeros when i-EOI is off or nothing was paid).
+    pub intrinsic_share: Vec<f32>,
+    /// Each UV's fraction of the training episode's collected data (all
+    /// zeros when nothing was collected) — near-zero entries flag dead agents.
+    pub collection_share: Vec<f32>,
     /// Current LCFs per UV, degrees.
     pub lcf_degrees: Vec<(f32, f32)>,
     /// `true` when the NaN guard detected non-finite quantities and rolled
@@ -41,6 +59,10 @@ pub struct IterationStats {
     /// Number of non-finite detections this iteration (rewards, advantages,
     /// or post-update parameters).
     pub nan_events: usize,
+    /// Anomalies the streaming detector raised for this iteration (filled by
+    /// [`HiMadrlTrainer::train`] when diagnostics are enabled; always empty
+    /// otherwise).
+    pub anomalies: Vec<crate::diagnostics::Anomaly>,
 }
 
 /// Everything the optimisers touch, captured for NaN-guard rollback.
@@ -242,6 +264,7 @@ impl HiMadrlTrainer {
                 log_probs.push(lp);
             }
             let step = env.step(&actions_env);
+            rollout.add_collected(&step.collection.collected_per_uv);
             let rewards: Vec<f32> = step.rewards.iter().map(|&r| r as f32).collect();
             // Heterogeneous neighbours: this slot's relay pairs.
             let mut het = vec![Vec::new(); self.num_agents];
@@ -256,10 +279,15 @@ impl HiMadrlTrainer {
     }
 
     /// Compound rewards (Eqn 19): extrinsic plus weighted identity
-    /// probability; also returns the mean intrinsic term actually paid.
-    fn compound_rewards(&self, rollout: &Rollout, obs_mats: &[Matrix]) -> (Vec<Vec<f32>>, f32) {
+    /// probability; also returns the mean intrinsic term actually paid and
+    /// each agent's share of the total intrinsic reward.
+    fn compound_rewards(
+        &self,
+        rollout: &Rollout,
+        obs_mats: &[Matrix],
+    ) -> (Vec<Vec<f32>>, f32, Vec<f32>) {
         let w = self.intrinsic_weight();
-        let mut mean_intrinsic = 0.0f32;
+        let mut per_agent = vec![0.0f32; self.num_agents];
         let mut count = 0usize;
         let rewards: Vec<Vec<f32>> = (0..self.num_agents)
             .map(|k| {
@@ -270,7 +298,7 @@ impl HiMadrlTrainer {
                         ext.iter()
                             .zip(p.iter())
                             .map(|(&e, &pk)| {
-                                mean_intrinsic += w * pk;
+                                per_agent[k] += w * pk;
                                 count += 1;
                                 e + w * pk
                             })
@@ -280,10 +308,14 @@ impl HiMadrlTrainer {
                 }
             })
             .collect();
-        if count > 0 {
-            mean_intrinsic /= count as f32;
-        }
-        (rewards, mean_intrinsic)
+        let total: f32 = per_agent.iter().sum();
+        let mean_intrinsic = if count > 0 { total / count as f32 } else { 0.0 };
+        let share: Vec<f32> = if total > 0.0 {
+            per_agent.iter().map(|&s| s / total).collect()
+        } else {
+            vec![0.0; self.num_agents]
+        };
+        (rewards, mean_intrinsic, share)
     }
 
     /// Current ω_in under the schedule.
@@ -317,8 +349,15 @@ impl HiMadrlTrainer {
         let mut update_skipped = false;
 
         let (mut classifier_loss, mut classifier_accuracy) = (0.0f32, 0.0f32);
-        let mean_intrinsic;
+        let mut mean_intrinsic = 0.0f32;
+        let mut intrinsic_share = vec![0.0f32; self.num_agents];
+        let collection_share = rollout.collection_shares();
         let mut final_ppo = PpoStats::default();
+        let mut value_loss = 0.0f32;
+        let mut critic_grad_norm = 0.0f32;
+        let mut explained_variance = 0.0f32;
+        let mut advantage_mean = 0.0f32;
+        let mut advantage_std = 0.0f32;
 
         'update: {
             // --- Line 12: classifier update ---------------------------------
@@ -334,8 +373,9 @@ impl HiMadrlTrainer {
             }
 
             // --- Line 16: compound rewards (Eqn 19) --------------------------
-            let (rewards, intrinsic) = self.compound_rewards(&rollout, &obs_mats);
+            let (rewards, intrinsic, ishare) = self.compound_rewards(&rollout, &obs_mats);
             mean_intrinsic = intrinsic;
+            intrinsic_share = ishare;
             if self.cfg.nan_guard && rewards.iter().any(|r| !all_finite(r)) {
                 nan_events += 1;
                 update_skipped = true;
@@ -357,8 +397,17 @@ impl HiMadrlTrainer {
             let mut last_adv_ho: Vec<Vec<f32>> = vec![Vec::new(); self.num_agents];
 
             // --- Lines 14-20: M1 policy epochs -------------------------------
+            // Final-epoch learning-health aggregates, pooled over agents
+            // (f64 accumulators; observation-only — nothing feeds back).
+            let mut ppo_sums = [0.0f64; 5]; // ratio, clip, entropy, kl, grad
+            let mut own_loss_sum = 0.0f64;
+            let mut own_grad_sum = 0.0f64;
+            let mut adv_sums = (0.0f64, 0.0f64, 0usize); // Σa, Σa², n
+            let mut ret_sums = (0.0f64, 0.0f64); // Σret, Σret²
+            let mut res_sums = (0.0f64, 0.0f64); // Σ(ret−v), Σ(ret−v)²
             let _ppo_span = tlm::span("ppo_epochs");
-            for _epoch in 0..self.cfg.policy_epochs {
+            for epoch in 0..self.cfg.policy_epochs {
+                let is_final = epoch + 1 == self.cfg.policy_epochs;
                 for k in 0..self.num_agents {
                     let ai = self.agent_idx(k);
                     let critic_input =
@@ -432,6 +481,20 @@ impl HiMadrlTrainer {
                         update_skipped = true;
                         break 'update;
                     }
+                    if is_final {
+                        for t in 0..t_len {
+                            let a = a_co[t] as f64;
+                            adv_sums.0 += a;
+                            adv_sums.1 += a * a;
+                            adv_sums.2 += 1;
+                            let r = ret[t] as f64;
+                            let e = (ret[t] - v[t]) as f64;
+                            ret_sums.0 += r;
+                            ret_sums.1 += r * r;
+                            res_sums.0 += e;
+                            res_sums.1 += e * e;
+                        }
+                    }
                     normalize_advantages(&mut a_co);
 
                     last_adv[k] = adv;
@@ -439,7 +502,7 @@ impl HiMadrlTrainer {
                     last_adv_ho[k] = adv_ho;
 
                     // Policy step (Eqn 28).
-                    final_ppo = self.agents[ai].ppo_update(
+                    let ppo = self.agents[ai].ppo_update(
                         &obs_mats[k],
                         &act_mats[k],
                         &rollout.log_probs[k],
@@ -448,6 +511,13 @@ impl HiMadrlTrainer {
                         self.cfg.entropy_coef,
                         self.cfg.max_grad_norm,
                     );
+                    if is_final {
+                        ppo_sums[0] += ppo.mean_ratio as f64;
+                        ppo_sums[1] += ppo.clip_fraction as f64;
+                        ppo_sums[2] += ppo.entropy as f64;
+                        ppo_sums[3] += ppo.approx_kl as f64;
+                        ppo_sums[4] += ppo.grad_norm as f64;
+                    }
 
                     // Critic regression (Eqn 26).
                     let own_targets: Vec<f32> = if self.cfg.value_norm {
@@ -456,12 +526,16 @@ impl HiMadrlTrainer {
                     } else {
                         ret
                     };
-                    self.agents[ai].critic_update(
+                    let own_stats = self.agents[ai].critic_update(
                         critic_input,
                         &own_targets,
                         CriticKind::Own,
                         self.cfg.max_grad_norm,
                     );
+                    if is_final {
+                        own_loss_sum += own_stats.loss as f64;
+                        own_grad_sum += own_stats.grad_norm as f64;
+                    }
                     if self.cfg.ablation.use_copo {
                         self.agents[ai].critic_update(
                             &obs_mats[k],
@@ -480,6 +554,28 @@ impl HiMadrlTrainer {
             }
 
             drop(_ppo_span);
+
+            // Reduce the final-epoch aggregates to fleet means.
+            let n_agents = self.num_agents as f64;
+            final_ppo = PpoStats {
+                mean_ratio: (ppo_sums[0] / n_agents) as f32,
+                clip_fraction: (ppo_sums[1] / n_agents) as f32,
+                entropy: (ppo_sums[2] / n_agents) as f32,
+                approx_kl: (ppo_sums[3] / n_agents) as f32,
+                grad_norm: (ppo_sums[4] / n_agents) as f32,
+            };
+            value_loss = (own_loss_sum / n_agents) as f32;
+            critic_grad_norm = (own_grad_sum / n_agents) as f32;
+            if adv_sums.2 > 0 {
+                let n = adv_sums.2 as f64;
+                let mean = adv_sums.0 / n;
+                advantage_mean = mean as f32;
+                advantage_std = (adv_sums.1 / n - mean * mean).max(0.0).sqrt() as f32;
+                let var = |(s, sq): (f64, f64)| (sq / n - (s / n) * (s / n)).max(0.0);
+                let var_ret = var(ret_sums);
+                explained_variance =
+                    if var_ret > 1e-12 { (1.0 - var(res_sums) / var_ret) as f32 } else { 0.0 };
+            }
 
             // --- Line 20: overall value network on r_all ---------------------
             let mut adv_all = {
@@ -600,9 +696,17 @@ impl HiMadrlTrainer {
             classifier_accuracy,
             train_metrics,
             ppo: final_ppo,
+            value_loss,
+            explained_variance,
+            advantage_mean,
+            advantage_std,
+            critic_grad_norm,
+            intrinsic_share,
+            collection_share,
             lcf_degrees: self.lcfs.iter().map(|l| l.degrees()).collect(),
             update_skipped,
             nan_events,
+            anomalies: Vec::new(),
         };
         self.emit_iteration_telemetry(&stats);
         stats
@@ -645,19 +749,53 @@ impl HiMadrlTrainer {
                 .f64("ppo_ratio", stats.ppo.mean_ratio as f64)
                 .f64("clip_fraction", stats.ppo.clip_fraction as f64)
                 .f64("entropy", stats.ppo.entropy as f64)
+                .f64("approx_kl", stats.ppo.approx_kl as f64)
+                .f64("policy_grad_norm", stats.ppo.grad_norm as f64)
+                .f64("value_loss", stats.value_loss as f64)
+                .f64("critic_grad_norm", stats.critic_grad_norm as f64)
+                .f64("explained_variance", stats.explained_variance as f64)
+                .f64("advantage_mean", stats.advantage_mean as f64)
+                .f64("advantage_std", stats.advantage_std as f64)
                 .f64("uav_phi_deg", uav_phi as f64)
                 .f64("uav_chi_deg", uav_chi as f64)
                 .f64("ugv_phi_deg", ugv_phi as f64)
                 .f64("ugv_chi_deg", ugv_chi as f64)
+                .raw_json("lcf_deg", json_pair_array(&stats.lcf_degrees))
+                .raw_json("intrinsic_share", json_f32_array(&stats.intrinsic_share))
+                .raw_json("collection_share", json_f32_array(&stats.collection_share))
                 .u64("nan_events", stats.nan_events as u64)
                 .bool("update_skipped", stats.update_skipped)
         });
         tlm::gauge_set("lambda", m.efficiency);
+        tlm::histogram_record("approx_kl", stats.ppo.approx_kl as f64);
+        tlm::histogram_record("entropy", stats.ppo.entropy as f64);
+        tlm::histogram_record("policy_grad_norm", stats.ppo.grad_norm as f64);
+        tlm::histogram_record("critic_grad_norm", stats.critic_grad_norm as f64);
+        tlm::histogram_record("value_loss", stats.value_loss as f64);
     }
 
     /// Train for `iterations` full iterations; returns the per-iteration stats.
+    ///
+    /// When telemetry is enabled this also drives the learning-diagnostics
+    /// layer: per-iteration rows into `training_curves.csv`/`.jsonl` (when
+    /// `AGSC_TELEMETRY_DIR` is set), streaming anomaly detection (surfaced in
+    /// each [`IterationStats::anomalies`]), and a periodic terminal health
+    /// report. All of it is observation-only — the trained parameters are
+    /// bit-identical with diagnostics on or off.
     pub fn train(&mut self, env: &mut AirGroundEnv, iterations: usize) -> Vec<IterationStats> {
-        (0..iterations).map(|_| self.train_iteration(env)).collect()
+        let mut diag = crate::diagnostics::Diagnostics::from_env(self.num_agents, self.num_uavs);
+        let mut out = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let mut stats = self.train_iteration(env);
+            if let Some(d) = diag.as_mut() {
+                d.observe(self.iterations_done, &mut stats);
+            }
+            out.push(stats);
+        }
+        if let Some(d) = diag.as_mut() {
+            d.finish();
+        }
+        out
     }
 
     /// Observation dimensionality the trainer was built for.
@@ -732,6 +870,34 @@ impl HiMadrlTrainer {
     pub fn num_agents(&self) -> usize {
         self.num_agents
     }
+
+    /// Number of UAVs (UVs `0..num_uavs` are aerial, the rest are ground).
+    pub fn num_uavs(&self) -> usize {
+        self.num_uavs
+    }
+}
+
+/// `[[phi, chi], ...]` as raw JSON; non-finite entries become `null`.
+fn json_pair_array(pairs: &[(f32, f32)]) -> String {
+    let fmt = |v: f32| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let items: Vec<String> =
+        pairs.iter().map(|&(a, b)| format!("[{},{}]", fmt(a), fmt(b))).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `[x, ...]` as raw JSON; non-finite entries become `null`.
+fn json_f32_array(xs: &[f32]) -> String {
+    let items: Vec<String> = xs
+        .iter()
+        .map(|&v| if v.is_finite() { format!("{v}") } else { "null".to_string() })
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 #[cfg(test)]
@@ -777,6 +943,20 @@ mod tests {
         assert!(stats.mean_intrinsic >= 0.0);
         assert_eq!(stats.lcf_degrees.len(), 4);
         assert_eq!(t.iterations_done(), 1);
+        // Learning-health signals: present, finite, correctly shaped.
+        assert!(stats.ppo.approx_kl.is_finite());
+        assert!(stats.ppo.grad_norm >= 0.0);
+        assert!(stats.value_loss >= 0.0);
+        assert!(stats.critic_grad_norm >= 0.0);
+        assert!(stats.explained_variance.is_finite());
+        assert!(stats.advantage_std >= 0.0);
+        assert_eq!(stats.intrinsic_share.len(), 4);
+        assert_eq!(stats.collection_share.len(), 4);
+        let ishare: f32 = stats.intrinsic_share.iter().sum();
+        assert!(ishare == 0.0 || (ishare - 1.0).abs() < 1e-4, "shares must sum to 1: {ishare}");
+        let cshare: f32 = stats.collection_share.iter().sum();
+        assert!(cshare == 0.0 || (cshare - 1.0).abs() < 1e-4, "shares must sum to 1: {cshare}");
+        assert!(stats.anomalies.is_empty(), "train_iteration itself never fills anomalies");
         // LCFs stay in the quadrant.
         for &(phi, chi) in &stats.lcf_degrees {
             assert!((0.0..=90.0).contains(&phi));

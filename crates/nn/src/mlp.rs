@@ -189,9 +189,15 @@ impl Mlp {
         out
     }
 
+    /// Global L2 norm of the accumulated gradients (a key learning-health
+    /// signal: explosions show up here before they show up in the loss).
+    pub fn grad_norm(&self) -> f32 {
+        self.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt()
+    }
+
     /// Global L2 gradient-norm clip; returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
-        let total: f32 = self.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        let total = self.grad_norm();
         if total > max_norm && total > 0.0 {
             let scale = max_norm / total;
             for p in self.params_mut() {
@@ -299,8 +305,24 @@ mod tests {
         }
         let pre = net.clip_grad_norm(1.0);
         assert!(pre > 1.0);
-        let post: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        let post = net.grad_norm();
         assert!((post - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_norm_reports_preclip_magnitude() {
+        let mut net = Mlp::tanh(&[2, 2], &mut rng());
+        // 2*2 weights + 2 biases = 6 entries of 2.0 → norm = 2*sqrt(6).
+        for p in net.params_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g = 2.0;
+            }
+        }
+        assert!((net.grad_norm() - 2.0 * 6.0f32.sqrt()).abs() < 1e-5);
+        let pre = net.clip_grad_norm(100.0);
+        assert!((pre - net.grad_norm()).abs() < 1e-6, "clip above norm must not rescale");
+        net.zero_grad();
+        assert_eq!(net.grad_norm(), 0.0);
     }
 
     #[test]

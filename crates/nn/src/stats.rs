@@ -79,6 +79,26 @@ impl RunningStat {
             z * s + self.mean()
         }
     }
+
+    /// Fold another set of running statistics into this one, as if every
+    /// sample `other` saw had been pushed here too (Chan et al.'s parallel
+    /// variance combination). Used to aggregate per-shard statistics.
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_a = self.count as f64;
+        let n_b = other.count as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n_b / n;
+        self.m2 += other.m2 + delta * delta * n_a * n_b / n;
+        self.count += other.count;
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +135,55 @@ mod tests {
         one.push(5.0);
         assert_eq!(one.variance(), 0.0);
         assert!(one.normalize(5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_sequential_pushes() {
+        let xs: Vec<f32> = (0..40).map(|i| (i as f32 * 0.37).sin() * 5.0 + 2.0).collect();
+        let mut whole = RunningStat::new();
+        whole.push_slice(&xs);
+
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        a.push_slice(&xs[..13]);
+        b.push_slice(&xs[13..]);
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-5);
+        assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = RunningStat::new();
+        a.push_slice(&[1.0, 2.0, 3.0]);
+        let snapshot = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStat::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), snapshot);
+
+        let mut empty = RunningStat::new();
+        empty.merge(&a);
+        assert_eq!((empty.count(), empty.mean(), empty.variance()), snapshot);
+    }
+
+    #[test]
+    fn merge_of_constant_streams_keeps_near_zero_variance() {
+        // Two shards that each saw the same constant: the merged variance
+        // must stay (near) zero rather than picking up cancellation noise.
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        for _ in 0..500 {
+            a.push(3.25);
+            b.push(3.25);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert!((a.mean() - 3.25).abs() < 1e-6);
+        assert!(a.variance() >= 0.0);
+        assert!(a.variance() < 1e-9, "{}", a.variance());
+        // Normalising a sample of the constant stays finite and ~0.
+        assert!(a.normalize(3.25).abs() < 1e-6);
     }
 
     #[test]

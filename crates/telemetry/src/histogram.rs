@@ -1,0 +1,268 @@
+//! Bounded streaming histograms: distribution summaries for learning
+//! diagnostics (approx-KL, gradient norms, entropies, ...).
+//!
+//! A [`Histogram`] keeps exact running aggregates (count, sum, min, max)
+//! over everything it has seen, plus a bounded ring of the most recent
+//! samples from which quantiles are estimated. Memory is therefore fixed
+//! regardless of run length, and recent-window quantiles are exactly what a
+//! drift detector wants anyway.
+
+/// A bounded-memory histogram/quantile estimator.
+///
+/// Non-finite samples are counted separately and never stored, so one NaN
+/// cannot poison every quantile.
+///
+/// ```
+/// use agsc_telemetry::Histogram;
+/// let mut h = Histogram::with_capacity(128);
+/// for i in 0..100 {
+///     h.record(i as f64);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 100);
+/// assert_eq!(s.min, 0.0);
+/// assert_eq!(s.max, 99.0);
+/// assert!((s.p50 - 49.5).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Ring buffer of the most recent finite samples.
+    samples: Vec<f64>,
+    /// Next write position in the ring.
+    next: usize,
+    /// Ring capacity.
+    cap: usize,
+    count: u64,
+    non_finite: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Finite samples observed over the histogram's lifetime.
+    pub count: u64,
+    /// Non-finite samples rejected.
+    pub non_finite: u64,
+    /// Lifetime minimum.
+    pub min: f64,
+    /// Lifetime maximum.
+    pub max: f64,
+    /// Lifetime mean.
+    pub mean: f64,
+    /// Median of the retained window.
+    pub p50: f64,
+    /// 90th percentile of the retained window.
+    pub p90: f64,
+    /// 99th percentile of the retained window.
+    pub p99: f64,
+}
+
+/// Default ring capacity: enough to cover any realistic anomaly window
+/// while keeping a registry of dozens of histograms under a megabyte.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Histogram {
+    /// A histogram retaining at most `cap` recent samples (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            samples: Vec::with_capacity(cap.min(64)),
+            next: 0,
+            cap,
+            count: 0,
+            non_finite: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observe one value. Non-finite values are tallied but not stored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Finite samples observed over the histogram's lifetime.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-finite samples rejected so far.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Lifetime mean (0 before any finite sample).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` of the retained window (linear interpolation
+    /// between order statistics). Returns 0 before any finite sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ring holds only finite values"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Snapshot every summary statistic at once (one sort).
+    pub fn summary(&self) -> HistogramSummary {
+        let (p50, p90, p99) = if self.samples.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("ring holds only finite values"));
+            let at = |q: f64| {
+                let pos = q * (sorted.len() - 1) as f64;
+                let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            };
+            (at(0.5), at(0.9), at(0.99))
+        };
+        HistogramSummary {
+            count: self.count,
+            non_finite: self.non_finite,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            mean: self.mean(),
+            p50,
+            p90,
+            p99,
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Render as one JSON object (used by the end-of-run profile record).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"non_finite\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count,
+            self.non_finite,
+            self.min,
+            self.max,
+            self.mean,
+            self.p50,
+            self.p90,
+            self.p99
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_known_sequence() {
+        let mut h = Histogram::with_capacity(1000);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert!((h.quantile(0.5) - 50.5).abs() < 1e-9);
+        let s = h.summary();
+        assert!((s.p90 - 90.1).abs() < 0.2, "{}", s.p90);
+    }
+
+    #[test]
+    fn ring_keeps_only_recent_samples_but_lifetime_aggregates() {
+        let mut h = Histogram::with_capacity(10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        // Lifetime aggregates span everything...
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.summary().min, 0.0);
+        assert_eq!(h.summary().max, 99.0);
+        // ...while quantiles reflect the last 10 samples (90..=99).
+        assert!(h.quantile(0.0) >= 90.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_stored() {
+        let mut h = Histogram::with_capacity(8);
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.non_finite(), 2);
+        assert!((h.mean() - 2.0).abs() < 1e-9);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped() {
+        let mut h = Histogram::with_capacity(0);
+        h.record(5.0);
+        h.record(7.0);
+        assert_eq!(h.count(), 2);
+        // Ring of one: quantiles see only the latest sample.
+        assert_eq!(h.quantile(0.5), 7.0);
+    }
+
+    #[test]
+    fn summary_json_is_parseable_shape() {
+        let mut h = Histogram::default();
+        h.record(1.5);
+        let j = h.summary().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"count\":1"), "{j}");
+        assert!(j.contains("\"p50\":1.5"), "{j}");
+    }
+}

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod histogram;
 pub mod manifest;
 pub mod profile;
 pub mod sink;
 pub mod span;
 
 pub use event::{Event, Level, Value};
+pub use histogram::{Histogram, HistogramSummary};
 pub use manifest::RunManifest;
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
 pub use span::{Span, SpanStat};
@@ -67,6 +69,7 @@ struct Inner {
     spans: Mutex<BTreeMap<String, SpanStat>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Inner {
@@ -76,6 +79,7 @@ impl Inner {
             spans: Mutex::new(BTreeMap::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -199,6 +203,19 @@ pub fn gauge_set(name: &'static str, value: f64) {
     }
 }
 
+/// Record `value` into the named bounded histogram (created on first use
+/// with [`histogram::DEFAULT_CAPACITY`]). No-op when disabled.
+pub fn histogram_record(name: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let guard = read_inner();
+    if let Some(inner) = guard.as_ref() {
+        let mut hists = inner.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        hists.entry(name).or_default().record(value);
+    }
+}
+
 /// Snapshot of every span path and its accumulated statistics
 /// (alphabetical; see [`profile_table`] for the ranked view).
 pub fn spans_snapshot() -> Vec<(String, SpanStat)> {
@@ -236,6 +253,18 @@ pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
     }
 }
 
+/// Snapshot of every histogram as summary statistics.
+pub fn histograms_snapshot() -> Vec<(&'static str, HistogramSummary)> {
+    let guard = read_inner();
+    match guard.as_ref() {
+        Some(inner) => {
+            let hists = inner.histograms.lock().unwrap_or_else(|p| p.into_inner());
+            hists.iter().map(|(&k, v)| (k, v.summary())).collect()
+        }
+        None => Vec::new(),
+    }
+}
+
 /// The end-of-run span profile as an aligned table ranked by total time,
 /// or `None` when disabled or nothing was timed.
 pub fn profile_table() -> Option<String> {
@@ -263,11 +292,35 @@ pub fn emit_profile() {
         counters_json.push_str(&format!(":{v}"));
     }
     counters_json.push('}');
+    let mut hists_json = String::from("{");
+    for (i, (k, s)) in histograms_snapshot().iter().enumerate() {
+        if i > 0 {
+            hists_json.push(',');
+        }
+        event::push_json_str(&mut hists_json, k);
+        hists_json.push(':');
+        hists_json.push_str(&s.to_json());
+    }
+    hists_json.push('}');
     emit(
         Event::new(Level::Info, "profile")
             .raw_json("spans", profile::render_json(&spans))
-            .raw_json("counters", counters_json),
+            .raw_json("counters", counters_json)
+            .raw_json("histograms", hists_json),
     );
+}
+
+/// The run output directory from `AGSC_TELEMETRY_DIR`, if set and non-empty.
+///
+/// This is the directory the JSONL event log goes to; diagnostics layers use
+/// it to place their exports (`training_curves.csv`, experiment tables,
+/// `BENCH_results.json`) next to the manifest-carrying log.
+pub fn run_dir() -> Option<PathBuf> {
+    std::env::var("AGSC_TELEMETRY_DIR")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
 }
 
 /// Flush every sink (e.g. before reading a JSONL log back).
@@ -489,6 +542,32 @@ mod tests {
             assert!(spans_snapshot().is_empty());
             shutdown();
             assert!(!is_enabled());
+        });
+    }
+
+    #[test]
+    fn histograms_record_when_enabled_and_are_inert_when_disabled() {
+        with_global(|| {
+            histogram_record("approx_kl", 1.0);
+            assert!(histograms_snapshot().is_empty(), "must be a no-op while disabled");
+            let mem = Arc::new(MemorySink::new());
+            install(vec![mem.clone()], Level::Info);
+            histogram_record("approx_kl", 0.01);
+            histogram_record("approx_kl", 0.03);
+            histogram_record("grad_norm", 2.0);
+            {
+                let _s = span("update");
+            }
+            let snap = histograms_snapshot();
+            assert_eq!(snap.len(), 2);
+            let (_, kl) = snap.iter().find(|(k, _)| *k == "approx_kl").unwrap();
+            assert_eq!(kl.count, 2);
+            assert!((kl.mean - 0.02).abs() < 1e-12);
+            emit_profile();
+            let events = mem.events();
+            let profile = events.iter().find(|e| e.kind == "profile").expect("profile record");
+            let json = profile.to_json();
+            assert!(json.contains("\"approx_kl\":{\"count\":2"), "{json}");
         });
     }
 

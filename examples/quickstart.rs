@@ -6,11 +6,13 @@
 //!
 //! Environment variables: `AGSC_ITERS` (default 30) scales training;
 //! `AGSC_LOG` sets the telemetry severity filter (`off` silences it);
-//! `AGSC_TELEMETRY_DIR` additionally writes a JSONL event log there.
+//! `AGSC_TELEMETRY_DIR` additionally writes a JSONL event log plus
+//! `training_curves.csv`/`.jsonl` learning curves there; `AGSC_DIAG=off`
+//! disables the diagnostics layer while keeping the event log.
 
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
-use agsc::madrl::{evaluate, HiMadrlTrainer, TrainConfig};
+use agsc::madrl::{evaluate, Diagnostics, HiMadrlTrainer, TrainConfig};
 use agsc::telemetry as tlm;
 
 fn main() {
@@ -46,12 +48,18 @@ fn main() {
     // 3. Train full h/i-MADRL (i-EOI + h-CoPO over an IPPO base). With
     //    telemetry on, the trainer itself emits one `iteration` record per
     //    iteration (λ, ψ, classifier accuracy, NaN-guard state, ...) through
-    //    the stderr/JSONL sinks.
+    //    the stderr/JSONL sinks, and the diagnostics layer watches the run
+    //    for entropy collapse, KL spikes, value blowups, pinned LCFs, and
+    //    dead agents while exporting `training_curves.csv`.
     let mut trainer = HiMadrlTrainer::new(&env, train_cfg, iters, 42)
         .expect("default training config must be valid");
+    let mut diag = Diagnostics::from_env(env.num_uvs(), trainer.num_uavs());
     println!("training {iters} iterations...");
     for i in 0..iters {
-        let s = trainer.train_iteration(&mut env);
+        let mut s = trainer.train_iteration(&mut env);
+        if let Some(d) = diag.as_mut() {
+            d.observe(i + 1, &mut s);
+        }
         if !tlm::is_enabled() && ((i + 1) % 10 == 0 || i == 0) {
             println!(
                 "  iter {:>3}: mean extrinsic reward {:>8.5}, intrinsic {:>8.5}, \
@@ -62,6 +70,12 @@ fn main() {
                 s.classifier_accuracy,
                 s.train_metrics.efficiency
             );
+        }
+    }
+    if let Some(d) = diag.as_mut() {
+        d.finish();
+        if let Some(path) = d.csv_path() {
+            println!("training curves: {}", path.display());
         }
     }
 

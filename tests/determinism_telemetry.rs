@@ -53,5 +53,20 @@ fn telemetry_on_and_off_are_bit_identical() {
         assert_eq!(a.train_metrics.efficiency.to_bits(), b.train_metrics.efficiency.to_bits());
         assert_eq!(a.lcf_degrees, b.lcf_degrees);
         assert_eq!(a.update_skipped, b.update_skipped);
+        // The widened diagnostics signals are observation-only too.
+        assert_eq!(a.ppo.approx_kl.to_bits(), b.ppo.approx_kl.to_bits());
+        assert_eq!(a.ppo.grad_norm.to_bits(), b.ppo.grad_norm.to_bits());
+        assert_eq!(a.ppo.entropy.to_bits(), b.ppo.entropy.to_bits());
+        assert_eq!(a.value_loss.to_bits(), b.value_loss.to_bits());
+        assert_eq!(a.critic_grad_norm.to_bits(), b.critic_grad_norm.to_bits());
+        assert_eq!(a.explained_variance.to_bits(), b.explained_variance.to_bits());
+        assert_eq!(a.advantage_mean.to_bits(), b.advantage_mean.to_bits());
+        assert_eq!(a.advantage_std.to_bits(), b.advantage_std.to_bits());
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.intrinsic_share), bits(&b.intrinsic_share));
+        assert_eq!(bits(&a.collection_share), bits(&b.collection_share));
+        // Anomaly stamps come from the diagnostics layer, which only runs
+        // on the instrumented pass — the baseline run must stay clean.
+        assert!(a.anomalies.is_empty(), "diagnostics must be inert when telemetry is off");
     }
 }

@@ -167,3 +167,41 @@ fn profile_table_ranks_training_spans() {
         }
     });
 }
+
+#[test]
+fn profile_table_is_absent_when_disabled_and_aligned_when_present() {
+    with_telemetry(|| {
+        assert!(
+            tlm::profile_table().is_none(),
+            "no table before telemetry is installed — the span registry starts empty"
+        );
+        let mem = Arc::new(tlm::MemorySink::new());
+        tlm::install(vec![mem], tlm::Level::Info);
+        assert!(tlm::profile_table().is_none(), "enabled but nothing timed yet");
+
+        let mut env = fast_env(13);
+        let mut trainer = HiMadrlTrainer::new(&env, fast_train_cfg(), 1, 13).unwrap();
+        trainer.train(&mut env, 1);
+
+        let table = tlm::profile_table().expect("spans were recorded");
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines.len() >= 2, "header plus at least one span row:\n{table}");
+        for (needle, right_aligned) in
+            [("span", false), ("calls", true), ("total ms", true), ("mean us", true)]
+        {
+            assert!(lines[0].contains(needle), "header lacks {needle:?}: {table}");
+            if right_aligned {
+                assert!(
+                    !lines[0].ends_with(&format!("{needle} ")),
+                    "numeric columns are right-aligned"
+                );
+            }
+        }
+        // Fixed column widths: every line (header included) is the same
+        // length, so the table stays grid-aligned in a terminal.
+        let width = lines[0].chars().count();
+        for line in &lines {
+            assert_eq!(line.chars().count(), width, "misaligned row {line:?} in:\n{table}");
+        }
+    });
+}
