@@ -1,0 +1,6 @@
+//! Rollout-throughput benchmark: serial vs vectorized collection.
+
+fn main() {
+    let h = agsc_bench::HarnessConfig::from_env();
+    agsc_bench::experiments::rollout_throughput(&h);
+}

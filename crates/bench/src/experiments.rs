@@ -585,6 +585,91 @@ pub fn abl_access(h: &HarnessConfig) {
     w.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Rollout throughput — parallel engine scaling
+// ---------------------------------------------------------------------------
+
+/// Measure rollout-collection throughput of the parallel engine: a serial
+/// `collect_rollout` baseline vs vectorized collection at
+/// `num_envs ∈ {1, 2, 4}` with auto worker sizing. Reports environment
+/// samples (steps × agents) per second and the speedup over serial; each
+/// point lands in `BENCH_results.json` with its `samples_per_sec`.
+pub fn rollout_throughput(h: &HarnessConfig) {
+    use agsc_env::VecEnv;
+
+    let mut w = ExperimentWriter::for_experiment("rollout_throughput");
+    let mut res = BenchResults::new("rollout_throughput");
+    w.line(banner("Rollout throughput: parallel vectorized collection"));
+    let dataset = presets::purdue(h.seed);
+    let env = AirGroundEnv::new(base_env(), &dataset, h.seed);
+    // Episodes per measured point: enough repeats to smooth scheduler noise
+    // on the default budget without dominating the suite's wall-clock.
+    let repeats = h.iters.clamp(1, 16);
+
+    let trainer = |seed: u64| {
+        HiMadrlTrainer::new(&env, TrainConfig::default(), repeats, seed)
+            .expect("default train config is valid")
+    };
+
+    w.line(format!("{:<26} {:>10} {:>16} {:>9}", "config", "episodes", "samples/sec", "speedup"));
+    w.line(rule());
+
+    // Serial baseline: the legacy single-env path.
+    let mut t = trainer(h.seed);
+    let mut serial_env = env.clone();
+    let t0 = Instant::now();
+    let mut samples = 0usize;
+    for _ in 0..repeats {
+        let r = t.collect_rollout(&mut serial_env);
+        samples += r.len() * r.num_agents();
+    }
+    let serial_sps = samples as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    w.line(format!("{:<26} {:>10} {:>16.1} {:>8.2}x", "serial", repeats, serial_sps, 1.0));
+    let point = crate::results::ResultPoint::new(
+        "rollout_throughput",
+        &dataset.name,
+        "serial",
+        h,
+        &Metrics::default(),
+        t0.elapsed().as_secs_f64(),
+    )
+    .with_samples_per_sec(serial_sps);
+    res.record_point(point);
+
+    for num_envs in [1usize, 2, 4] {
+        let mut t = trainer(h.seed);
+        let mut venv = VecEnv::new(&env, num_envs);
+        let t0 = Instant::now();
+        let mut samples = 0usize;
+        for _ in 0..repeats {
+            for r in t.collect_rollout_vec(&mut venv) {
+                samples += r.len() * r.num_agents();
+            }
+        }
+        let sps = samples as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let label = format!("vec num_envs={num_envs}");
+        w.line(format!(
+            "{:<26} {:>10} {:>16.1} {:>8.2}x",
+            label,
+            repeats,
+            sps,
+            sps / serial_sps.max(1e-9)
+        ));
+        let point = crate::results::ResultPoint::new(
+            "rollout_throughput",
+            &dataset.name,
+            &label,
+            h,
+            &Metrics::default(),
+            t0.elapsed().as_secs_f64(),
+        )
+        .with_samples_per_sec(sps);
+        res.record_point(point);
+    }
+    res.finish();
+    w.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

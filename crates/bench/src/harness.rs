@@ -18,8 +18,14 @@ use agsc_baselines::{
 };
 use agsc_datasets::CampusDataset;
 use agsc_env::{AirGroundEnv, EnvConfig, Metrics, UvAction};
+use agsc_madrl::parallel::panic_message;
 use agsc_madrl::{HiMadrlTrainer, Policy, TrainConfig, TrainError};
 use agsc_telemetry as tlm;
+
+// The worker-pool machinery was promoted to `agsc-madrl::parallel` so the
+// trainer's parallel rollout engine can share it; re-exported here to keep
+// the bench-facing API unchanged.
+pub use agsc_madrl::parallel::{parallel_map, parallel_try_map, JobPanic};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -221,17 +227,6 @@ pub fn run_method(
     Ok(metrics)
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 /// Like [`run_method`], but never fails the campaign: errors and panics are
 /// contained, the point is retried once on a bumped seed, and a zero-metrics
 /// sentinel row (`Metrics::default()`) is recorded if the retry also fails.
@@ -293,93 +288,6 @@ pub fn run_method_robust_timed(
     let t0 = Instant::now();
     let metrics = run_method_robust(method, env_cfg, dataset, h, train_override);
     (metrics, t0.elapsed().as_secs_f64())
-}
-
-/// A parallel job that panicked instead of returning.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobPanic {
-    /// Index of the item whose job died.
-    pub index: usize,
-    /// The panic payload's message, when it was a string.
-    pub message: String,
-}
-
-impl std::fmt::Display for JobPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parallel job {} panicked: {}", self.index, self.message)
-    }
-}
-
-impl std::error::Error for JobPanic {}
-
-/// Map `f` over `items` in parallel, preserving order; a panicking job
-/// yields an `Err` slot instead of aborting its worker thread, so sibling
-/// results survive.
-///
-/// Worker count is `available_parallelism()` clamped to the item count.
-pub fn parallel_try_map<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, JobPanic>>
-where
-    T: Send + Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = match std::thread::available_parallelism() {
-        Ok(v) => v.get(),
-        Err(_) => 1,
-    }
-    .min(n);
-    // Per-slot locks: each worker writes only its claimed index, so there is
-    // no whole-vector contention point.
-    let slots: Vec<parking_lot::Mutex<Option<Result<U, JobPanic>>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let out = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
-                    Ok(value) => Ok(value),
-                    Err(payload) => Err(JobPanic { index: i, message: panic_message(&payload) }),
-                };
-                *slots[i].lock() = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| match slot.into_inner() {
-            Some(result) => result,
-            None => Err(JobPanic { index: i, message: "job never ran".into() }),
-        })
-        .collect()
-}
-
-/// Map `f` over `items` in parallel, preserving order.
-///
-/// # Panics
-/// Re-raises the first worker panic; use [`parallel_try_map`] when sibling
-/// results must survive a dying job.
-pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
-where
-    T: Send + Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    parallel_try_map(items, f)
-        .into_iter()
-        .map(|result| match result {
-            Ok(value) => value,
-            Err(p) => panic!("{p}"),
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -45,6 +45,11 @@ pub struct ResultPoint {
     pub lambda: f64,
     /// Wall-clock seconds spent producing this point (train + eval).
     pub wall_secs: f64,
+    /// Rollout throughput in environment samples (steps × agents) per
+    /// second; `0.0` for experiments that don't measure throughput (also
+    /// the value deserialized from rows written before the field existed).
+    #[serde(default)]
+    pub samples_per_sec: f64,
 }
 
 impl ResultPoint {
@@ -70,7 +75,14 @@ impl ResultPoint {
             kappa: metrics.fairness,
             lambda: metrics.efficiency,
             wall_secs,
+            samples_per_sec: 0.0,
         }
+    }
+
+    /// Builder: attach a rollout-throughput measurement to this point.
+    pub fn with_samples_per_sec(mut self, samples_per_sec: f64) -> Self {
+        self.samples_per_sec = samples_per_sec;
+        self
     }
 
     /// The identity under which re-runs replace older points.
@@ -103,6 +115,11 @@ impl BenchResults {
         wall_secs: f64,
     ) {
         self.points.push(ResultPoint::new(&self.experiment, dataset, label, h, metrics, wall_secs));
+    }
+
+    /// Record a fully built point (e.g. one carrying a throughput figure).
+    pub fn record_point(&mut self, point: ResultPoint) {
+        self.points.push(point);
     }
 
     /// Points recorded so far.
@@ -216,6 +233,27 @@ mod tests {
         assert_eq!(t6.lambda, 8.0);
         assert!(loaded.iter().any(|p| p.experiment == "abl_gae"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rows_without_samples_per_sec_deserialize_to_zero() {
+        // Back-compat: BENCH_results.json files written before the
+        // throughput experiment existed must still load.
+        let mut v = serde_json::to_value(ResultPoint::new(
+            "x",
+            "purdue",
+            "a",
+            &harness(),
+            &metrics(1.0),
+            0.5,
+        ))
+        .unwrap();
+        v.as_object_mut().unwrap().remove("samples_per_sec");
+        let back: ResultPoint = serde_json::from_value(v).unwrap();
+        assert_eq!(back.samples_per_sec, 0.0);
+        let p = ResultPoint::new("x", "purdue", "a", &harness(), &metrics(1.0), 0.5)
+            .with_samples_per_sec(123.0);
+        assert_eq!(p.samples_per_sec, 123.0);
     }
 
     #[test]

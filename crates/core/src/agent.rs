@@ -120,6 +120,17 @@ impl PpoAgent {
         (a.as_slice().to_vec(), lp)
     }
 
+    /// Policy means for a whole batch of observations (one row per replica)
+    /// in a single GEMM.
+    ///
+    /// Row `i` of the result is bit-identical to the mean [`act`](Self::act)
+    /// computes for row `i` alone — `Mlp::forward_batch` documents why — so
+    /// the parallel rollout engine can batch inference across replicas
+    /// without perturbing the serial action stream.
+    pub fn action_means(&self, obs: &Matrix) -> Matrix {
+        self.actor.forward_batch(obs)
+    }
+
     /// Deterministic (mean) action for evaluation.
     pub fn act_deterministic(&self, obs: &[f32]) -> Vec<f32> {
         let o = Matrix::row_vector(obs);

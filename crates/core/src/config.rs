@@ -127,10 +127,26 @@ pub struct TrainConfig {
     /// restored (reported via `IterationStats::update_skipped`).
     #[serde(default = "default_nan_guard")]
     pub nan_guard: bool,
+    /// Number of environment replicas stepped per rollout collection. `1`
+    /// reproduces the legacy serial path bit-for-bit (the golden test suite
+    /// enforces this); larger values concatenate per-replica episodes in
+    /// fixed env order before GAE/PPO.
+    #[serde(default = "default_num_envs")]
+    pub num_envs: usize,
+    /// Worker threads for parallel rollout collection. `0` (the default)
+    /// auto-sizes from `AGSC_TEST_THREADS` / `available_parallelism`; any
+    /// positive value is used as-is (clamped to `num_envs`). The worker
+    /// count never affects results — only wall-clock.
+    #[serde(default)]
+    pub rollout_workers: usize,
 }
 
 fn default_nan_guard() -> bool {
     true
+}
+
+fn default_num_envs() -> usize {
+    1
 }
 
 impl Default for TrainConfig {
@@ -161,6 +177,8 @@ impl Default for TrainConfig {
             init_log_std: -0.5,
             value_norm: true,
             nan_guard: true,
+            num_envs: 1,
+            rollout_workers: 0,
         }
     }
 }
@@ -185,6 +203,9 @@ impl TrainConfig {
         }
         if !(0.0..=1.0).contains(&self.neighbor_range_frac) {
             return Err("neighbor_range_frac must be a fraction".into());
+        }
+        if self.num_envs == 0 {
+            return Err("num_envs must be at least 1".into());
         }
         Ok(())
     }
@@ -234,6 +255,18 @@ mod tests {
         v.as_object_mut().unwrap().remove("nan_guard");
         let back: TrainConfig = serde_json::from_value(v).unwrap();
         assert!(back.nan_guard);
+    }
+
+    #[test]
+    fn config_without_parallel_fields_defaults_to_serial() {
+        // Checkpoints saved before the parallel rollout engine existed must
+        // restore onto the serial path: one replica, auto worker sizing.
+        let mut v = serde_json::to_value(TrainConfig::default()).unwrap();
+        v.as_object_mut().unwrap().remove("num_envs");
+        v.as_object_mut().unwrap().remove("rollout_workers");
+        let back: TrainConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back.num_envs, 1);
+        assert_eq!(back.rollout_workers, 0);
     }
 
     #[test]

@@ -33,6 +33,48 @@ pub fn gae(
     (adv, rets)
 }
 
+/// [`gae`] over a concatenation of independent episodes.
+///
+/// `segments[i]` is the length of episode `i`; they must sum to
+/// `rewards.len()`. Each segment is processed with its own backward carry
+/// (reset to zero at every episode boundary) and the same `last_value`
+/// bootstrap, so advantages never bleed across episodes that merely sit
+/// next to each other in a concatenated parallel-rollout batch.
+///
+/// With a single segment covering the whole slice this is bitwise
+/// identical to [`gae`] — the serial-equivalence golden tests rely on it.
+pub fn gae_segmented(
+    rewards: &[f32],
+    values: &[f32],
+    segments: &[usize],
+    last_value: f32,
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(rewards.len(), values.len(), "rewards/values length mismatch");
+    assert_eq!(
+        segments.iter().sum::<usize>(),
+        rewards.len(),
+        "segment lengths must sum to the rollout length"
+    );
+    let mut adv = Vec::with_capacity(rewards.len());
+    let mut rets = Vec::with_capacity(rewards.len());
+    let mut start = 0;
+    for &len in segments {
+        let (a, r) = gae(
+            &rewards[start..start + len],
+            &values[start..start + len],
+            last_value,
+            gamma,
+            lambda,
+        );
+        adv.extend(a);
+        rets.extend(r);
+        start += len;
+    }
+    (adv, rets)
+}
+
 /// Normalise advantages to zero mean / unit std (standard PPO trick).
 /// Leaves the slice untouched when the std is degenerate.
 pub fn normalize_advantages(adv: &mut [f32]) {
@@ -122,5 +164,42 @@ mod tests {
     fn empty_inputs() {
         let (adv, rets) = gae(&[], &[], 0.0, 0.99, 0.95);
         assert!(adv.is_empty() && rets.is_empty());
+    }
+
+    #[test]
+    fn segmented_single_segment_is_bitwise_plain_gae() {
+        let rewards = [0.3, -0.2, 0.5, 0.1, 0.7];
+        let values = [1.0, 0.8, 0.2, -0.1, 0.4];
+        let (adv_p, ret_p) = gae(&rewards, &values, 0.4, 0.99, 0.95);
+        let (adv_s, ret_s) = gae_segmented(&rewards, &values, &[5], 0.4, 0.99, 0.95);
+        for t in 0..5 {
+            assert_eq!(adv_p[t].to_bits(), adv_s[t].to_bits());
+            assert_eq!(ret_p[t].to_bits(), ret_s[t].to_bits());
+        }
+    }
+
+    #[test]
+    fn segmented_episodes_do_not_bleed() {
+        // Two concatenated episodes: each segment must equal the plain gae of
+        // that episode alone — the backward carry resets at the boundary.
+        let r1 = [1.0, 2.0, 3.0];
+        let r2 = [-1.0, 0.5];
+        let v1 = [0.5, 0.6, 0.7];
+        let v2 = [0.1, 0.2];
+        let rewards: Vec<f32> = r1.iter().chain(r2.iter()).copied().collect();
+        let values: Vec<f32> = v1.iter().chain(v2.iter()).copied().collect();
+        let (adv, rets) = gae_segmented(&rewards, &values, &[3, 2], 0.0, 0.99, 0.95);
+        let (adv1, ret1) = gae(&r1, &v1, 0.0, 0.99, 0.95);
+        let (adv2, ret2) = gae(&r2, &v2, 0.0, 0.99, 0.95);
+        assert_eq!(&adv[..3], &adv1[..]);
+        assert_eq!(&adv[3..], &adv2[..]);
+        assert_eq!(&rets[..3], &ret1[..]);
+        assert_eq!(&rets[3..], &ret2[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment lengths must sum")]
+    fn segmented_rejects_mismatched_lengths() {
+        let _ = gae_segmented(&[1.0, 2.0], &[0.0, 0.0], &[3], 0.0, 0.99, 0.95);
     }
 }

@@ -23,6 +23,7 @@ pub mod error;
 pub mod eval;
 pub mod gae;
 pub mod maddpg;
+pub mod parallel;
 pub mod rollout;
 pub mod trainer;
 
@@ -36,7 +37,8 @@ pub use diagnostics::{
 pub use eoi::EoiClassifier;
 pub use error::{CheckpointError, TrainError};
 pub use eval::{evaluate, Policy};
-pub use gae::{gae, normalize_advantages};
+pub use gae::{gae, gae_segmented, normalize_advantages};
 pub use maddpg::{Maddpg, MaddpgConfig};
+pub use parallel::{parallel_map, parallel_try_map, resolve_workers, JobPanic};
 pub use rollout::{NeighborKind, Rollout};
 pub use trainer::{HiMadrlTrainer, IterationStats};

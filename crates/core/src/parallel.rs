@@ -1,0 +1,184 @@
+//! Scoped worker-pool primitives shared by the parallel rollout engine and
+//! the bench harness.
+//!
+//! This is the robustness-PR `parallel_try_map` machinery, promoted from
+//! `agsc-bench` so the trainer's hot path can use it without a dependency
+//! cycle (bench re-exports it for its callers). Worker counts resolve
+//! through [`resolve_workers`], which honours the `AGSC_TEST_THREADS`
+//! override so CI can pin scheduling-sensitive suites to one thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A parallel job that panicked instead of returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the item whose job died.
+    pub index: usize,
+    /// The panic payload's message, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Resolve how many worker threads to run for `jobs` independent jobs.
+///
+/// Precedence: an explicit `requested > 0` wins; otherwise the
+/// `AGSC_TEST_THREADS` environment variable (when set to a positive
+/// integer); otherwise `std::thread::available_parallelism()`. The result
+/// is always clamped to `1..=jobs.max(1)` — more workers than jobs would
+/// only idle.
+pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let auto = || {
+        std::env::var("AGSC_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get()))
+    };
+    let workers = if requested > 0 { requested } else { auto() };
+    workers.clamp(1, jobs.max(1))
+}
+
+/// Map `f` over `items` in parallel, preserving order; a panicking job
+/// yields an `Err` slot instead of aborting its worker thread, so sibling
+/// results survive.
+///
+/// Worker count comes from [`resolve_workers`] (auto mode) clamped to the
+/// item count.
+pub fn parallel_try_map<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, JobPanic>>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_workers(0, n);
+    // Per-slot locks: each worker writes only its claimed index, so there is
+    // no whole-vector contention point.
+    let slots: Vec<Mutex<Option<Result<U, JobPanic>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(value) => Ok(value),
+                    Err(payload) => Err(JobPanic { index: i, message: panic_message(&payload) }),
+                };
+                // The closure ran outside the lock, so the lock cannot be
+                // poisoned while held.
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot.into_inner().expect("result slot poisoned") {
+            Some(result) => result,
+            None => Err(JobPanic { index: i, message: "job never ran".into() }),
+        })
+        .collect()
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// # Panics
+/// Re-raises the first worker panic; use [`parallel_try_map`] when sibling
+/// results must survive a dying job.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_try_map(items, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(value) => value,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..20).collect(), |&x: &i32| x * x);
+        assert_eq!(out, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_try_map_contains_panicking_jobs() {
+        let results = parallel_try_map((0..8).collect(), |&x: &i32| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            x * 2
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("boom"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel job 1 panicked")]
+    fn parallel_map_repanics_worker_failures() {
+        parallel_map(vec![0, 1], |&x: &i32| {
+            if x == 1 {
+                panic!("die");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn resolve_workers_explicit_request_wins_and_clamps() {
+        assert_eq!(resolve_workers(3, 8), 3);
+        assert_eq!(resolve_workers(16, 4), 4, "never more workers than jobs");
+        assert_eq!(resolve_workers(1, 1), 1);
+        assert!(resolve_workers(0, 8) >= 1, "auto mode always yields a worker");
+        assert_eq!(resolve_workers(0, 0), 1, "zero jobs still resolves sanely");
+    }
+}

@@ -6,8 +6,9 @@
 
 use agsc_nn::Matrix;
 
-/// Everything sampled during one episode, laid out per agent.
-#[derive(Debug, Clone, Default)]
+/// Everything sampled during one episode (or a concatenation of episodes
+/// from parallel replicas), laid out per agent.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Rollout {
     /// `obs[k][t]` — local observation of agent `k` at slot `t`.
     pub obs: Vec<Vec<Vec<f32>>>,
@@ -27,6 +28,11 @@ pub struct Rollout {
     /// (accumulated via [`add_collected`](Self::add_collected)); feeds the
     /// dead-agent diagnostic's per-UV collection shares.
     pub collected_per_uv: Vec<f64>,
+    /// Episode boundaries when this rollout concatenates several episodes
+    /// (one length per concatenated part, in env-index order). Empty means
+    /// the legacy single-episode layout — [`segments`](Self::segments)
+    /// normalises both cases.
+    pub episode_lens: Vec<usize>,
 }
 
 impl Rollout {
@@ -41,7 +47,45 @@ impl Rollout {
             het_neighbors: Vec::new(),
             hom_neighbors: Vec::new(),
             collected_per_uv: vec![0.0; num_agents],
+            episode_lens: Vec::new(),
         }
+    }
+
+    /// Episode segment lengths for segmented advantage estimation: the
+    /// recorded [`episode_lens`](Self::episode_lens), or `[len()]` for a
+    /// single-episode rollout.
+    pub fn segments(&self) -> Vec<usize> {
+        if self.episode_lens.is_empty() {
+            vec![self.len()]
+        } else {
+            self.episode_lens.clone()
+        }
+    }
+
+    /// Concatenate per-replica rollouts in the given (fixed env-index)
+    /// order into one batch, recording each part's length in
+    /// [`episode_lens`](Self::episode_lens).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the agent counts disagree.
+    pub fn concat(parts: Vec<Rollout>) -> Rollout {
+        let k = parts.first().expect("cannot concat zero rollouts").num_agents();
+        let mut out = Rollout::new(k);
+        for part in parts {
+            assert_eq!(part.num_agents(), k, "agent count mismatch between rollouts");
+            out.episode_lens.push(part.len());
+            for a in 0..k {
+                out.obs[a].extend(part.obs[a].iter().cloned());
+                out.actions[a].extend_from_slice(&part.actions[a]);
+                out.log_probs[a].extend_from_slice(&part.log_probs[a]);
+                out.rewards_ext[a].extend_from_slice(&part.rewards_ext[a]);
+                out.collected_per_uv[a] += part.collected_per_uv[a];
+            }
+            out.states.extend(part.states);
+            out.het_neighbors.extend(part.het_neighbors);
+            out.hom_neighbors.extend(part.hom_neighbors);
+        }
+        out
     }
 
     /// Number of agents.
@@ -227,6 +271,51 @@ mod tests {
         assert_eq!(he0, vec![2.0, 2.0, 2.0], "agent 0's HE neighbour is agent 1");
         let ho0 = r.neighbor_reward(&rewards, 0, NeighborKind::Homogeneous);
         assert_eq!(ho0, vec![0.0, 0.0, 0.0], "empty set contributes zero");
+    }
+
+    #[test]
+    fn segments_default_to_single_episode() {
+        let r = sample_rollout();
+        assert!(r.episode_lens.is_empty());
+        assert_eq!(r.segments(), vec![3]);
+    }
+
+    #[test]
+    fn concat_stacks_parts_in_order() {
+        let a = sample_rollout();
+        let mut b = sample_rollout();
+        b.add_collected(&[1.0, 3.0]);
+        let joined = Rollout::concat(vec![a.clone(), b.clone()]);
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.num_agents(), 2);
+        assert_eq!(joined.episode_lens, vec![3, 3]);
+        assert_eq!(joined.segments(), vec![3, 3]);
+        // Part A occupies slots 0..3, part B slots 3..6, per agent.
+        assert_eq!(&joined.obs[0][..3], &a.obs[0][..]);
+        assert_eq!(&joined.obs[0][3..], &b.obs[0][..]);
+        assert_eq!(&joined.states[..3], &a.states[..]);
+        assert_eq!(&joined.states[3..], &b.states[..]);
+        assert_eq!(&joined.log_probs[1][3..], &b.log_probs[1][..]);
+        assert_eq!(&joined.het_neighbors[3..], &b.het_neighbors[..]);
+        // Collected volumes sum across parts.
+        assert!((joined.collected_per_uv[0] - 1.0).abs() < 1e-12);
+        assert!((joined.collected_per_uv[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_of_one_matches_part_except_episode_lens() {
+        let a = sample_rollout();
+        let mut joined = Rollout::concat(vec![a.clone()]);
+        assert_eq!(joined.episode_lens, vec![3]);
+        // Modulo the recorded boundary, a singleton concat is the identity.
+        joined.episode_lens.clear();
+        assert_eq!(joined, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "agent count mismatch")]
+    fn concat_rejects_mixed_agent_counts() {
+        let _ = Rollout::concat(vec![Rollout::new(2), Rollout::new(3)]);
     }
 
     #[test]

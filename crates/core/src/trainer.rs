@@ -10,10 +10,11 @@ use crate::config::TrainConfig;
 use crate::copo::{neighbor_range_m, Lcf};
 use crate::eoi::EoiClassifier;
 use crate::error::{CheckpointError, TrainError};
-use crate::gae::{gae, normalize_advantages};
+use crate::gae::{gae_segmented, normalize_advantages};
+use crate::parallel::resolve_workers;
 use crate::rollout::{NeighborKind, Rollout};
-use agsc_env::{AirGroundEnv, Metrics, UvAction};
-use agsc_nn::{Adam, Matrix, Mlp, RunningStat};
+use agsc_env::{derive_env_seed, derive_sampler_seed, AirGroundEnv, Metrics, UvAction, VecEnv};
+use agsc_nn::{Adam, DiagGaussian, Matrix, Mlp, RunningStat};
 use agsc_telemetry as tlm;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -246,10 +247,32 @@ impl HiMadrlTrainer {
     }
 
     /// Sample one episode with the current (stochastic) policies.
+    ///
+    /// Draws exactly one batch seed from the trainer RNG — the same single
+    /// draw the parallel path makes regardless of replica count — and
+    /// delegates to the seeded serial reference path, so `num_envs = 1`
+    /// vectorized collection is bit-identical to this.
     pub fn collect_rollout(&mut self, env: &mut AirGroundEnv) -> Rollout {
         let _span = tlm::span("collect_rollout");
-        let seed = self.rng.gen::<u64>();
-        env.reset(seed);
+        let batch_seed = self.rng.gen::<u64>();
+        self.collect_rollout_indexed(env, batch_seed, 0)
+    }
+
+    /// Serial reference path: one episode from replica `env_index` of the
+    /// batch seeded by `batch_seed`.
+    ///
+    /// Resets `env` with [`derive_env_seed`] and samples actions from a
+    /// dedicated RNG seeded by [`derive_sampler_seed`], so the result is a
+    /// pure function of the trainer parameters and `(batch_seed, env_index)`
+    /// — the contract the serial-equivalence golden tests pin down.
+    pub fn collect_rollout_indexed(
+        &self,
+        env: &mut AirGroundEnv,
+        batch_seed: u64,
+        env_index: usize,
+    ) -> Rollout {
+        env.reset(derive_env_seed(batch_seed, env_index));
+        let mut sampler = ChaCha8Rng::seed_from_u64(derive_sampler_seed(batch_seed, env_index));
         let mut rollout = Rollout::new(self.num_agents);
         while !env.is_done() {
             let obs = env.observations();
@@ -258,9 +281,9 @@ impl HiMadrlTrainer {
             let mut actions = Vec::with_capacity(self.num_agents);
             let mut log_probs = Vec::with_capacity(self.num_agents);
             for k in 0..self.num_agents {
-                let (ua, raw, lp) = self.sample_action(k, &obs[k]);
-                actions_env.push(ua);
-                actions.push(raw);
+                let (a, lp) = self.agents[self.agent_idx(k)].act(&obs[k], &mut sampler);
+                actions_env.push(UvAction { heading: a[0] as f64, speed: a[1] as f64 });
+                actions.push([a[0], a[1]]);
                 log_probs.push(lp);
             }
             let step = env.step(&actions_env);
@@ -276,6 +299,140 @@ impl HiMadrlTrainer {
             rollout.push_step(&obs, state, &actions, &log_probs, &rewards, het, hom);
         }
         rollout
+    }
+
+    /// Collect one episode per replica of `venv`, in parallel, drawing one
+    /// batch seed from the trainer RNG (the same single draw
+    /// [`collect_rollout`](Self::collect_rollout) makes).
+    pub fn collect_rollout_vec(&mut self, venv: &mut VecEnv) -> Vec<Rollout> {
+        let batch_seed = self.rng.gen::<u64>();
+        self.collect_rollout_vec_seeded(venv, batch_seed)
+    }
+
+    /// Seeded parallel collection: one rollout per replica, in fixed env
+    /// order, independent of the worker count.
+    ///
+    /// Replicas are sharded contiguously over
+    /// [`resolve_workers`]`(cfg.rollout_workers, venv.len())` scoped worker
+    /// threads; each shard resets and steps its replicas in lockstep with
+    /// batched policy inference. Because every replica owns its derived
+    /// sampler RNG and shards are joined in spawn order, the returned
+    /// rollouts are a pure function of `(parameters, batch_seed)` — worker
+    /// count only changes wall-clock.
+    pub fn collect_rollout_vec_seeded(&self, venv: &mut VecEnv, batch_seed: u64) -> Vec<Rollout> {
+        let _span = tlm::span("collect_rollout_vec");
+        let num_envs = venv.len();
+        let workers = resolve_workers(self.cfg.rollout_workers, num_envs);
+        let started = tlm::is_enabled().then(std::time::Instant::now);
+        let rollouts = if workers <= 1 {
+            self.collect_shard(venv.envs_mut(), batch_seed, 0)
+        } else {
+            let shard_size = num_envs.div_ceil(workers);
+            let this = &*self;
+            let mut shards: Vec<Vec<Rollout>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = venv
+                    .envs_mut()
+                    .chunks_mut(shard_size)
+                    .enumerate()
+                    .map(|(s, chunk)| {
+                        let base = s * shard_size;
+                        scope.spawn(move || this.collect_shard(chunk, batch_seed, base))
+                    })
+                    .collect();
+                // Join in spawn order: results stay in fixed env order and
+                // the first shard panic propagates deterministically.
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => shards.push(part),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            shards.into_iter().flatten().collect()
+        };
+        if let Some(t0) = started {
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let steps: usize = rollouts.iter().map(Rollout::len).sum();
+            tlm::gauge_set("rollout_envs_per_sec", num_envs as f64 / secs);
+            tlm::gauge_set("rollout_samples_per_sec", (steps * self.num_agents) as f64 / secs);
+        }
+        rollouts
+    }
+
+    /// Collect one episode from each replica of a contiguous shard
+    /// (`base_index` is the first replica's global env index), stepping the
+    /// replicas in lockstep so each policy forward covers the whole shard in
+    /// one GEMM.
+    fn collect_shard(
+        &self,
+        envs: &mut [AirGroundEnv],
+        batch_seed: u64,
+        base_index: usize,
+    ) -> Vec<Rollout> {
+        let _span = tlm::span("rollout_shard");
+        let n = envs.len();
+        let mut samplers: Vec<ChaCha8Rng> = (0..n)
+            .map(|j| ChaCha8Rng::seed_from_u64(derive_sampler_seed(batch_seed, base_index + j)))
+            .collect();
+        for (j, env) in envs.iter_mut().enumerate() {
+            env.reset(derive_env_seed(batch_seed, base_index + j));
+        }
+        let mut rollouts: Vec<Rollout> = (0..n).map(|_| Rollout::new(self.num_agents)).collect();
+        while envs.iter().any(|e| !e.is_done()) {
+            // Replicas are clones sharing one horizon, so they finish
+            // together; lockstep is what lets one GEMM serve the shard.
+            debug_assert!(envs.iter().all(|e| !e.is_done()), "replicas must step in lockstep");
+            let all_obs: Vec<Vec<Vec<f32>>> = envs.iter().map(|e| e.observations()).collect();
+            let mut actions_env: Vec<Vec<UvAction>> = vec![Vec::with_capacity(self.num_agents); n];
+            let mut actions: Vec<Vec<[f32; 2]>> = vec![Vec::with_capacity(self.num_agents); n];
+            let mut log_probs: Vec<Vec<f32>> = vec![Vec::with_capacity(self.num_agents); n];
+            for k in 0..self.num_agents {
+                let ai = self.agent_idx(k);
+                let mut data = Vec::with_capacity(n * self.obs_dim);
+                for o in &all_obs {
+                    data.extend_from_slice(&o[k]);
+                }
+                let batch = Matrix::from_vec(n, self.obs_dim, data);
+                // Row j of the batched means is bit-identical to the mean a
+                // single-row forward computes for replica j (see
+                // `Mlp::forward_batch`), so sampling per replica from its own
+                // derived RNG reproduces the serial action stream exactly.
+                let means = self.agents[ai].action_means(&batch);
+                for j in 0..n {
+                    let mean = Matrix::row_vector(means.row(j));
+                    let dist = DiagGaussian::new(&mean, self.agents[ai].log_std());
+                    let a = dist.sample(&mut samplers[j]);
+                    let lp = dist.log_prob(&a)[0];
+                    let a = a.as_slice();
+                    actions_env[j].push(UvAction { heading: a[0] as f64, speed: a[1] as f64 });
+                    actions[j].push([a[0], a[1]]);
+                    log_probs[j].push(lp);
+                }
+            }
+            for (j, env) in envs.iter_mut().enumerate() {
+                let state = env.global_state();
+                let step = env.step(&actions_env[j]);
+                rollouts[j].add_collected(&step.collection.collected_per_uv);
+                let rewards: Vec<f32> = step.rewards.iter().map(|&r| r as f32).collect();
+                let mut het = vec![Vec::new(); self.num_agents];
+                for &(u, g) in env.relay_pairs() {
+                    het[u].push(g);
+                    het[g].push(u);
+                }
+                let hom = env.homogeneous_neighbors(self.neighbor_range);
+                rollouts[j].push_step(
+                    &all_obs[j],
+                    state,
+                    &actions[j],
+                    &log_probs[j],
+                    &rewards,
+                    het,
+                    hom,
+                );
+            }
+        }
+        rollouts
     }
 
     /// Compound rewards (Eqn 19): extrinsic plus weighted identity
@@ -327,12 +484,46 @@ impl HiMadrlTrainer {
         self.cfg.intrinsic.weight_at(frac)
     }
 
-    /// Run one full training iteration (Algorithm 1 body).
+    /// Run one full training iteration (Algorithm 1 body) on a single
+    /// environment — the serial reference path.
     pub fn train_iteration(&mut self, env: &mut AirGroundEnv) -> IterationStats {
         let _span = tlm::span("train_iteration");
         let rollout = self.collect_rollout(env);
-        let t_len = rollout.len();
         let train_metrics = env.metrics();
+        self.update_from_rollouts(vec![rollout], train_metrics)
+    }
+
+    /// Run one full training iteration on a vectorized environment: parallel
+    /// rollout collection, then one update on the episodes concatenated in
+    /// fixed env order.
+    ///
+    /// With one replica this is bit-identical to
+    /// [`train_iteration`](Self::train_iteration); `train_metrics` averages
+    /// the per-replica task metrics.
+    pub fn train_iteration_vec(&mut self, venv: &mut VecEnv) -> IterationStats {
+        let _span = tlm::span("train_iteration");
+        let rollouts = self.collect_rollout_vec(venv);
+        let train_metrics = Metrics::mean(&venv.metrics());
+        self.update_from_rollouts(rollouts, train_metrics)
+    }
+
+    /// The update half of one training iteration: classifier, `M1` PPO
+    /// epochs, overall value network, and `M2` LCF meta epochs, on the given
+    /// per-replica rollouts concatenated in order. Episode boundaries are
+    /// respected everywhere advantages are estimated ([`gae_segmented`]).
+    pub fn update_from_rollouts(
+        &mut self,
+        mut rollouts: Vec<Rollout>,
+        train_metrics: Metrics,
+    ) -> IterationStats {
+        assert!(!rollouts.is_empty(), "need at least one rollout to update from");
+        // A singleton batch keeps the legacy single-episode layout (empty
+        // `episode_lens`), so the golden num_envs=1 path stays bit-identical
+        // to the historical serial iteration.
+        let rollout =
+            if rollouts.len() == 1 { rollouts.pop().unwrap() } else { Rollout::concat(rollouts) };
+        let segments = rollout.segments();
+        let t_len = rollout.len();
 
         let obs_mats: Vec<Matrix> = (0..self.num_agents).map(|k| rollout.obs_matrix(k)).collect();
         let act_mats: Vec<Matrix> =
@@ -420,7 +611,14 @@ impl HiMadrlTrainer {
                     } else {
                         raw_v
                     };
-                    let (adv, ret) = gae(&rewards[k], &v, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                    let (adv, ret) = gae_segmented(
+                        &rewards[k],
+                        &v,
+                        &segments,
+                        0.0,
+                        self.cfg.gamma,
+                        self.cfg.gae_lambda,
+                    );
 
                     // Neighbourhood advantages.
                     let (adv_he, ret_he, adv_ho, ret_ho) = if self.cfg.ablation.use_copo {
@@ -454,10 +652,22 @@ impl HiMadrlTrainer {
                         };
                         let v_he = self.agents[ai].values(&obs_mats[k], CriticKind::Heterogeneous);
                         let v_ho = self.agents[ai].values(&obs_mats[k], CriticKind::Homogeneous);
-                        let (a_he, r_he_ret) =
-                            gae(&r_he, &v_he, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
-                        let (a_ho, r_ho_ret) =
-                            gae(&r_ho, &v_ho, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                        let (a_he, r_he_ret) = gae_segmented(
+                            &r_he,
+                            &v_he,
+                            &segments,
+                            0.0,
+                            self.cfg.gamma,
+                            self.cfg.gae_lambda,
+                        );
+                        let (a_ho, r_ho_ret) = gae_segmented(
+                            &r_ho,
+                            &v_ho,
+                            &segments,
+                            0.0,
+                            self.cfg.gamma,
+                            self.cfg.gae_lambda,
+                        );
                         (a_he, r_he_ret, a_ho, r_ho_ret)
                     } else {
                         (vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len], vec![0.0; t_len])
@@ -588,8 +798,14 @@ impl HiMadrlTrainer {
                 } else {
                     v_all_raw
                 };
-                let (adv_all, ret_all) =
-                    gae(&r_all, &v_all_vals, 0.0, self.cfg.gamma, self.cfg.gae_lambda);
+                let (adv_all, ret_all) = gae_segmented(
+                    &r_all,
+                    &v_all_vals,
+                    &segments,
+                    0.0,
+                    self.cfg.gamma,
+                    self.cfg.gae_lambda,
+                );
                 if self.cfg.nan_guard && !(all_finite(&adv_all) && all_finite(&ret_all)) {
                     nan_events += 1;
                     update_skipped = true;
@@ -782,11 +998,37 @@ impl HiMadrlTrainer {
     /// each [`IterationStats::anomalies`]), and a periodic terminal health
     /// report. All of it is observation-only — the trained parameters are
     /// bit-identical with diagnostics on or off.
+    /// With `cfg.num_envs > 1` the iterations run on a [`VecEnv`] cloned
+    /// from `env` (parallel rollout collection); `env` itself is then only
+    /// the prototype and is left untouched.
     pub fn train(&mut self, env: &mut AirGroundEnv, iterations: usize) -> Vec<IterationStats> {
+        if self.cfg.num_envs > 1 {
+            let mut venv = VecEnv::new(env, self.cfg.num_envs);
+            return self.train_vec(&mut venv, iterations);
+        }
         let mut diag = crate::diagnostics::Diagnostics::from_env(self.num_agents, self.num_uavs);
         let mut out = Vec::with_capacity(iterations);
         for _ in 0..iterations {
             let mut stats = self.train_iteration(env);
+            if let Some(d) = diag.as_mut() {
+                d.observe(self.iterations_done, &mut stats);
+            }
+            out.push(stats);
+        }
+        if let Some(d) = diag.as_mut() {
+            d.finish();
+        }
+        out
+    }
+
+    /// [`train`](Self::train) on a vectorized environment: every iteration
+    /// collects one episode per replica in parallel and updates on the
+    /// concatenated batch. Drives the same diagnostics layer.
+    pub fn train_vec(&mut self, venv: &mut VecEnv, iterations: usize) -> Vec<IterationStats> {
+        let mut diag = crate::diagnostics::Diagnostics::from_env(self.num_agents, self.num_uavs);
+        let mut out = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let mut stats = self.train_iteration_vec(venv);
             if let Some(d) = diag.as_mut() {
                 d.observe(self.iterations_done, &mut stats);
             }
@@ -1084,6 +1326,62 @@ mod tests {
         let stats2 = t.train_iteration(&mut env);
         assert!(stats2.update_skipped);
         assert_eq!(t.iterations_done(), 2);
+    }
+
+    #[test]
+    fn vec_iteration_with_one_replica_matches_serial_bitwise() {
+        let mut env = small_env();
+        let mut serial = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
+        let mut vectored = HiMadrlTrainer::new(&env, small_train_cfg(), 10, 3).unwrap();
+        let mut venv = VecEnv::new(&env, 1);
+        let a = serial.train_iteration(&mut env);
+        let b = vectored.train_iteration_vec(&mut venv);
+        assert_eq!(a.mean_ext_reward.to_bits(), b.mean_ext_reward.to_bits());
+        assert_eq!(a.value_loss.to_bits(), b.value_loss.to_bits());
+        assert_eq!(a.ppo.approx_kl.to_bits(), b.ppo.approx_kl.to_bits());
+        assert_eq!(a.lcf_degrees, b.lcf_degrees);
+    }
+
+    #[test]
+    fn vec_training_with_multiple_replicas_runs() {
+        let env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.num_envs = 2;
+        cfg.rollout_workers = 2;
+        let mut t = HiMadrlTrainer::new(&env, cfg, 5, 3).unwrap();
+        let mut venv = VecEnv::new(&env, 2);
+        let stats = t.train_iteration_vec(&mut venv);
+        assert!(stats.mean_ext_reward.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert_eq!(t.iterations_done(), 1);
+    }
+
+    #[test]
+    fn train_dispatches_to_vec_path_when_configured() {
+        let mut env = small_env();
+        let mut cfg = small_train_cfg();
+        cfg.num_envs = 3;
+        let mut t = HiMadrlTrainer::new(&env, cfg, 4, 9).unwrap();
+        let stats = t.train(&mut env, 2);
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.mean_ext_reward.is_finite()));
+        assert_eq!(t.iterations_done(), 2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_collected_rollouts() {
+        let env = small_env();
+        let mut cfg1 = small_train_cfg();
+        cfg1.rollout_workers = 1;
+        let mut cfg4 = small_train_cfg();
+        cfg4.rollout_workers = 4;
+        let t1 = HiMadrlTrainer::new(&env, cfg1, 5, 3).unwrap();
+        let t4 = HiMadrlTrainer::new(&env, cfg4, 5, 3).unwrap();
+        let mut v1 = VecEnv::new(&env, 4);
+        let mut v4 = VecEnv::new(&env, 4);
+        let r1 = t1.collect_rollout_vec_seeded(&mut v1, 0x5EED);
+        let r4 = t4.collect_rollout_vec_seeded(&mut v4, 0x5EED);
+        assert_eq!(r1, r4);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod obs;
 pub mod recorder;
 pub mod render;
 pub mod types;
+pub mod vec_env;
 
 pub use collect::{
     run_collection, run_collection_masked, CollectionMask, ScheduledEvent, SlotCollection,
@@ -31,3 +32,4 @@ pub use obs::{global_state, local_observation, obs_dim};
 pub use recorder::{EpisodeRecorder, SlotRecord};
 pub use render::{render_ascii, trajectories_csv};
 pub use types::{UvAction, UvKind, UvState};
+pub use vec_env::{derive_env_seed, derive_sampler_seed, VecEnv};

@@ -124,6 +124,20 @@ impl Mlp {
         h
     }
 
+    /// Batched inference over a row-major `B × in_dim` matrix: each layer
+    /// evaluates the whole batch in one GEMM instead of per-row calls.
+    ///
+    /// Row `i` of the result is **bit-identical** to running
+    /// [`forward_inference`](Self::forward_inference) on row `i` alone:
+    /// `Matrix::matmul` accumulates every output row independently (and in
+    /// the same flop order) of all other rows, bias broadcast and the
+    /// activations are elementwise. The parallel rollout engine's
+    /// serial-equivalence guarantee rests on this contract, which the unit
+    /// tests pin to the last ulp.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        self.forward_inference(x)
+    }
+
     /// Backward pass from `dL/dy`; accumulates parameter gradients and returns
     /// `dL/dx`.
     ///
@@ -332,6 +346,69 @@ mod tests {
         a.copy_values_from(&b);
         let x = Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.1]);
         assert_eq!(a.forward_inference(&x), b.forward_inference(&x));
+    }
+
+    #[test]
+    fn forward_batch_of_one_matches_forward() {
+        let mut net = Mlp::tanh(&[4, 12, 3], &mut rng());
+        let x = Matrix::from_vec(1, 4, vec![0.3, -0.8, 0.05, 1.2]);
+        let trained = net.forward(&x);
+        let batched = net.forward_batch(&x);
+        for (a, b) in trained.as_slice().iter().zip(batched.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "batch-of-1 must equal forward: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_stacked_single_rows_to_the_last_ulp() {
+        let net = Mlp::tanh(&[3, 16, 16, 2], &mut rng());
+        let rows: Vec<Vec<f32>> =
+            (0..7).map(|r| (0..3).map(|c| ((r * 3 + c) as f32).sin() * 0.9).collect()).collect();
+        let batched = net.forward_batch(&Matrix::from_rows(&rows));
+        for (r, row) in rows.iter().enumerate() {
+            let single = net.forward_inference(&Matrix::row_vector(row));
+            for c in 0..2 {
+                assert_eq!(
+                    batched[(r, c)].to_bits(),
+                    single[(0, c)].to_bits(),
+                    "row {r} col {c}: batched {} vs single {}",
+                    batched[(r, c)],
+                    single[(0, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_through_batched_path_match_per_row_loop() {
+        // One batched forward/backward must accumulate the same parameter
+        // gradients as looping row-by-row (gradient contributions are sums
+        // over batch rows either way).
+        let rows: Vec<Vec<f32>> =
+            (0..5).map(|r| (0..3).map(|c| ((r + 2 * c) as f32).cos() * 0.7).collect()).collect();
+
+        let mut batched_net = Mlp::tanh(&[3, 8, 2], &mut rng());
+        let mut looped_net = batched_net.clone();
+
+        batched_net.zero_grad();
+        let y = batched_net.forward(&Matrix::from_rows(&rows));
+        batched_net.backward(&Matrix::full(y.rows(), y.cols(), 1.0));
+        let batched_grads = batched_net.flat_grads();
+
+        looped_net.zero_grad();
+        for row in &rows {
+            let y = looped_net.forward(&Matrix::row_vector(row));
+            looped_net.backward(&Matrix::full(1, y.cols(), 1.0));
+        }
+        let looped_grads = looped_net.flat_grads();
+
+        assert_eq!(batched_grads.len(), looped_grads.len());
+        for (i, (b, l)) in batched_grads.iter().zip(looped_grads.iter()).enumerate() {
+            assert!(
+                (b - l).abs() <= 1e-5 * l.abs().max(1.0),
+                "grad {i} diverged: batched {b} vs looped {l}"
+            );
+        }
     }
 
     #[test]
