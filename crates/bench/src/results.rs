@@ -50,6 +50,17 @@ pub struct ResultPoint {
     /// the value deserialized from rows written before the field existed).
     #[serde(default)]
     pub samples_per_sec: f64,
+    /// Median request latency in microseconds; `0.0` for experiments that
+    /// don't measure serving latency (and for rows written before the
+    /// serving bench existed).
+    #[serde(default)]
+    pub latency_p50_us: f64,
+    /// 95th-percentile request latency in microseconds (`0.0` when unmeasured).
+    #[serde(default)]
+    pub latency_p95_us: f64,
+    /// 99th-percentile request latency in microseconds (`0.0` when unmeasured).
+    #[serde(default)]
+    pub latency_p99_us: f64,
 }
 
 impl ResultPoint {
@@ -76,12 +87,24 @@ impl ResultPoint {
             lambda: metrics.efficiency,
             wall_secs,
             samples_per_sec: 0.0,
+            latency_p50_us: 0.0,
+            latency_p95_us: 0.0,
+            latency_p99_us: 0.0,
         }
     }
 
     /// Builder: attach a rollout-throughput measurement to this point.
     pub fn with_samples_per_sec(mut self, samples_per_sec: f64) -> Self {
         self.samples_per_sec = samples_per_sec;
+        self
+    }
+
+    /// Builder: attach serving-latency percentiles (microseconds) to this
+    /// point — the load generator's headline numbers.
+    pub fn with_latency_us(mut self, p50: f64, p95: f64, p99: f64) -> Self {
+        self.latency_p50_us = p50;
+        self.latency_p95_us = p95;
+        self.latency_p99_us = p99;
         self
     }
 
@@ -249,11 +272,17 @@ mod tests {
         ))
         .unwrap();
         v.as_object_mut().unwrap().remove("samples_per_sec");
+        v.as_object_mut().unwrap().remove("latency_p50_us");
+        v.as_object_mut().unwrap().remove("latency_p95_us");
+        v.as_object_mut().unwrap().remove("latency_p99_us");
         let back: ResultPoint = serde_json::from_value(v).unwrap();
         assert_eq!(back.samples_per_sec, 0.0);
+        assert_eq!(back.latency_p99_us, 0.0);
         let p = ResultPoint::new("x", "purdue", "a", &harness(), &metrics(1.0), 0.5)
-            .with_samples_per_sec(123.0);
+            .with_samples_per_sec(123.0)
+            .with_latency_us(10.0, 20.0, 30.0);
         assert_eq!(p.samples_per_sec, 123.0);
+        assert_eq!((p.latency_p50_us, p.latency_p95_us, p.latency_p99_us), (10.0, 20.0, 30.0));
     }
 
     #[test]

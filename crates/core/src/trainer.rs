@@ -9,7 +9,7 @@ use crate::agent::{CriticKind, PpoAgent, PpoStats};
 use crate::config::TrainConfig;
 use crate::copo::{neighbor_range_m, Lcf};
 use crate::eoi::EoiClassifier;
-use crate::error::{CheckpointError, TrainError};
+use crate::error::TrainError;
 use crate::gae::{gae_segmented, normalize_advantages};
 use crate::parallel::resolve_workers;
 use crate::rollout::{NeighborKind, Rollout};
@@ -1069,26 +1069,7 @@ impl HiMadrlTrainer {
     /// Returns a typed [`TrainError`] on version mismatch or internal
     /// inconsistency.
     pub fn restore(ckpt: &crate::checkpoint::Checkpoint, seed: u64) -> Result<Self, TrainError> {
-        if ckpt.version != crate::checkpoint::CHECKPOINT_VERSION {
-            return Err(CheckpointError::Version {
-                found: ckpt.version,
-                supported: crate::checkpoint::CHECKPOINT_VERSION,
-            }
-            .into());
-        }
-        let required_agents = if ckpt.config.shared_params { 1 } else { ckpt.num_agents };
-        if ckpt.agents.len() != required_agents {
-            return Err(CheckpointError::Inconsistent(
-                "agent count inconsistent with config".into(),
-            )
-            .into());
-        }
-        if ckpt.lcfs.len() != ckpt.num_agents {
-            return Err(CheckpointError::Inconsistent(
-                "LCF count inconsistent with fleet size".into(),
-            )
-            .into());
-        }
+        ckpt.validate()?;
         Ok(Self {
             cfg: ckpt.config.clone(),
             num_agents: ckpt.num_agents,

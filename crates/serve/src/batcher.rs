@@ -1,0 +1,361 @@
+//! The micro-batching scheduler at the heart of the server.
+//!
+//! Connection threads push [`Pending`] requests into a bounded
+//! [`SharedQueue`]; one batcher thread pops them, coalesces up to
+//! `max_batch` requests arriving within `max_wait` of the first, runs one
+//! batched forward pass per agent id, and answers each request through its
+//! oneshot reply channel.
+//!
+//! The queue bound is the backpressure mechanism: when it is full,
+//! [`SharedQueue::try_push`] fails immediately and the connection thread
+//! answers `Overloaded` — the client always gets a response, never a
+//! silent drop. Closing the queue starts a graceful drain: queued requests
+//! are still batched and answered, only new arrivals are refused.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use agsc_telemetry as tlm;
+
+use crate::policy::PolicyStore;
+use crate::protocol::Response;
+
+/// One queued action request: who is asking, the observation row, when it
+/// entered the queue (for end-to-end latency), and where to send the answer.
+pub struct Pending {
+    /// Agent id, already validated against the serving shape.
+    pub agent: u32,
+    /// Observation row, already validated to `obs_dim` floats.
+    pub obs: Vec<f32>,
+    /// Enqueue instant; latency is measured from here to reply.
+    pub enqueued: Instant,
+    /// Oneshot reply channel (capacity-1 [`SyncSender`]); the connection
+    /// thread blocks on the paired receiver.
+    pub reply: SyncSender<Response>,
+}
+
+/// Why a push was refused.
+pub enum PushError {
+    /// The queue is at capacity — answer `Overloaded`.
+    Full(Pending),
+    /// The server is draining — answer a shutdown error.
+    Closed(Pending),
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPSC request queue with close-for-drain semantics, built on
+/// `Mutex` + `Condvar` so the batcher can block for work without spinning.
+pub struct SharedQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl SharedQueue {
+    /// A queue refusing pushes beyond `cap` in-flight requests.
+    pub fn new(cap: usize) -> Arc<Self> {
+        assert!(cap > 0, "queue capacity must be positive");
+        Arc::new(Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap,
+        })
+    }
+
+    /// Enqueue without blocking. Fails when full (backpressure) or closed
+    /// (draining); the caller owns the refused request and must answer it.
+    pub fn try_push(&self, p: Pending) -> Result<(), PushError> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed {
+            return Err(PushError::Closed(p));
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full(p));
+        }
+        s.items.push_back(p);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Begin the drain: no new pushes succeed, and once the backlog is
+    /// answered [`pop_batch`](Self::pop_batch) returns `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.closed = true;
+        drop(s);
+        self.ready.notify_all();
+    }
+
+    /// Current backlog (for the queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until at least one request is available, then coalesce up to
+    /// `max_batch` requests arriving within `max_wait` of the first.
+    /// Returns `None` only when the queue is closed *and* drained — the
+    /// batcher's exit condition.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Pending>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(first) = s.items.pop_front() {
+                let mut batch = Vec::with_capacity(max_batch.min(16));
+                batch.push(first);
+                let deadline = Instant::now() + max_wait;
+                loop {
+                    while batch.len() < max_batch {
+                        match s.items.pop_front() {
+                            Some(p) => batch.push(p),
+                            None => break,
+                        }
+                    }
+                    if batch.len() >= max_batch || s.closed {
+                        return Some(batch);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Some(batch);
+                    }
+                    let (guard, timeout) = self
+                        .ready
+                        .wait_timeout(s, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    s = guard;
+                    if timeout.timed_out() && s.items.is_empty() {
+                        return Some(batch);
+                    }
+                }
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Batcher tuning knobs (subset of the server config the scheduler needs).
+pub struct BatcherOpts {
+    /// Largest coalesced batch per forward pass.
+    pub max_batch: usize,
+    /// How long to hold an under-full batch open for stragglers.
+    pub max_wait: Duration,
+    /// Test hook: artificial delay per batch, to make the queue overflow
+    /// deterministically in the backpressure tests. Zero in production.
+    pub batch_delay: Duration,
+}
+
+/// The batcher loop: runs until the queue is closed and drained. Every
+/// popped request is answered exactly once, even during the drain.
+pub fn run_batcher(queue: &SharedQueue, store: &PolicyStore, opts: &BatcherOpts) {
+    while let Some(batch) = queue.pop_batch(opts.max_batch, opts.max_wait) {
+        let _span = tlm::span("serve/batch");
+        if !opts.batch_delay.is_zero() {
+            std::thread::sleep(opts.batch_delay);
+        }
+        let policy = store.current();
+        tlm::gauge_set("serve.queue_depth", queue.len() as f64);
+        tlm::histogram_record("serve.batch_size", batch.len() as f64);
+        tlm::counter_add("serve.batches", 1);
+        tlm::counter_add("serve.requests", batch.len() as u64);
+        answer_batch(batch, policy.as_ref());
+    }
+}
+
+/// Group a popped batch by agent id, run one forward pass per group, and
+/// reply to every request. Rows keep queue order within each group, so
+/// reply `i` is the forward pass's row `i` — the bit-identity contract.
+fn answer_batch(batch: Vec<Pending>, policy: &dyn crate::policy::ServePolicy) {
+    let obs_dim = policy.obs_dim();
+    let mut groups: BTreeMap<u32, Vec<Pending>> = BTreeMap::new();
+    for p in batch {
+        groups.entry(p.agent).or_default().push(p);
+    }
+    for (agent, group) in groups {
+        let mut rows = Vec::with_capacity(group.len() * obs_dim);
+        for p in &group {
+            debug_assert_eq!(p.obs.len(), obs_dim, "validated at the protocol boundary");
+            rows.extend_from_slice(&p.obs);
+        }
+        let actions = policy.actions(agent as usize, &rows, group.len());
+        debug_assert_eq!(actions.len(), group.len());
+        for (p, act) in group.into_iter().zip(actions) {
+            let latency_us = p.enqueued.elapsed().as_secs_f64() * 1e6;
+            tlm::histogram_record("serve.latency_us", latency_us);
+            // A send error means the client hung up before its answer
+            // arrived; the work is done either way.
+            let _ = p.reply.send(Response::Action { heading: act[0], speed: act[1] });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::FakePolicy;
+    use crate::policy::ServePolicy;
+    use std::sync::mpsc::{sync_channel, Receiver};
+
+    fn pending(agent: u32, obs: Vec<f32>) -> (Pending, Receiver<Response>) {
+        let (tx, rx) = sync_channel(1);
+        (Pending { agent, obs, enqueued: Instant::now(), reply: tx }, rx)
+    }
+
+    #[test]
+    fn try_push_refuses_when_full_and_when_closed() {
+        let q = SharedQueue::new(2);
+        let (p1, _r1) = pending(0, vec![0.0]);
+        let (p2, _r2) = pending(0, vec![0.0]);
+        let (p3, _r3) = pending(0, vec![0.0]);
+        assert!(q.try_push(p1).is_ok());
+        assert!(q.try_push(p2).is_ok());
+        match q.try_push(p3) {
+            Err(PushError::Full(_)) => {}
+            _ => panic!("third push into a cap-2 queue must fail Full"),
+        }
+        q.close();
+        let (p4, _r4) = pending(0, vec![0.0]);
+        match q.try_push(p4) {
+            Err(PushError::Closed(_)) => {}
+            _ => panic!("push after close must fail Closed"),
+        }
+        assert_eq!(q.len(), 2, "close must keep the backlog for draining");
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max_batch() {
+        let q = SharedQueue::new(16);
+        let mut rxs = Vec::new();
+        for i in 0..5 {
+            let (p, rx) = pending(i, vec![i as f32]);
+            q.try_push(p).map_err(|_| ()).unwrap();
+            rxs.push(rx);
+        }
+        let batch = q.pop_batch(3, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch.len(), 3, "batch must stop at max_batch");
+        let batch = q.pop_batch(3, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch.len(), 2, "remainder comes in the next batch");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_returns_none_only_when_closed_and_drained() {
+        let q = SharedQueue::new(4);
+        let (p, _rx) = pending(0, vec![1.0]);
+        q.try_push(p).map_err(|_| ()).unwrap();
+        q.close();
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 1, "backlog must drain after close");
+        assert!(q.pop_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_late_arrivals_within_the_wait_window() {
+        let q = SharedQueue::new(16);
+        let (p, _rx) = pending(0, vec![1.0]);
+        q.try_push(p).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            let (p, rx) = pending(1, vec![2.0]);
+            q2.try_push(p).map_err(|_| ()).unwrap();
+            rx
+        });
+        let batch = q.pop_batch(2, Duration::from_millis(500)).unwrap();
+        assert_eq!(batch.len(), 2, "a straggler within max_wait must join the batch");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn answer_batch_groups_by_agent_and_replies_to_everyone() {
+        let policy = FakePolicy { obs_dim: 2, num_agents: 3, bias: 10.0, iterations: 0 };
+        let mut batch = Vec::new();
+        let mut expect = Vec::new();
+        for (agent, obs) in
+            [(2u32, vec![1.0, 2.0]), (0, vec![3.0, 4.0]), (2, vec![5.0, 6.0]), (1, vec![0.5, 0.5])]
+        {
+            let (p, rx) = pending(agent, obs.clone());
+            batch.push(p);
+            expect.push((rx, policy.expected(agent as usize, &obs)));
+        }
+        answer_batch(batch, &policy);
+        for (rx, want) in expect {
+            match rx.recv().unwrap() {
+                Response::Action { heading, speed } => {
+                    assert_eq!([heading, speed], want);
+                }
+                other => panic!("expected an action, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_batcher_drains_then_exits() {
+        let q = SharedQueue::new(64);
+        let store = PolicyStore::new(Arc::new(FakePolicy {
+            obs_dim: 1,
+            num_agents: 1,
+            bias: 0.0,
+            iterations: 0,
+        }));
+        let mut rxs = Vec::new();
+        for i in 0..20 {
+            let (p, rx) = pending(0, vec![i as f32]);
+            q.try_push(p).map_err(|_| ()).unwrap();
+            rxs.push((i as f32, rx));
+        }
+        q.close();
+        let opts = BatcherOpts {
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+            batch_delay: Duration::ZERO,
+        };
+        run_batcher(&q, &store, &opts);
+        for (i, rx) in rxs {
+            match rx.recv().unwrap() {
+                Response::Action { heading, speed } => {
+                    assert_eq!([heading, speed], [i, -i], "request {i} answered during drain");
+                }
+                other => panic!("expected an action, got {other:?}"),
+            }
+        }
+        assert!(q.pop_batch(1, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn batched_replies_match_single_row_queries_bitwise() {
+        let policy = FakePolicy { obs_dim: 3, num_agents: 2, bias: 0.25, iterations: 0 };
+        let obs_rows: Vec<Vec<f32>> =
+            (0..7).map(|i| vec![i as f32 * 0.1, -(i as f32), 1.0 / (i as f32 + 1.0)]).collect();
+        let mut batch = Vec::new();
+        let mut rxs = Vec::new();
+        for (i, obs) in obs_rows.iter().enumerate() {
+            let (p, rx) = pending((i % 2) as u32, obs.clone());
+            batch.push(p);
+            rxs.push(rx);
+        }
+        answer_batch(batch, &policy);
+        for (i, (rx, obs)) in rxs.into_iter().zip(&obs_rows).enumerate() {
+            let single = policy.actions(i % 2, obs, 1)[0];
+            match rx.recv().unwrap() {
+                Response::Action { heading, speed } => {
+                    assert_eq!(heading.to_bits(), single[0].to_bits());
+                    assert_eq!(speed.to_bits(), single[1].to_bits());
+                }
+                other => panic!("expected an action, got {other:?}"),
+            }
+        }
+    }
+}

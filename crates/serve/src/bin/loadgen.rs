@@ -1,0 +1,200 @@
+//! Closed-loop load generator for the policy server.
+//!
+//! Loads the checkpoint named by `AGSC_SERVE_CKPT`, self-hosts a server on
+//! `AGSC_SERVE_ADDR` (default: an OS-assigned port), then hammers it with
+//! `AGSC_LOADGEN_CLIENTS` (default 8) closed-loop client threads for
+//! `AGSC_LOADGEN_SECS` (default 5) seconds. Each client issues action
+//! queries back-to-back with deterministic pseudo-random observations and
+//! records every request's wall-clock latency.
+//!
+//! At the end it prints throughput and exact p50/p95/p99 latency
+//! percentiles, merges a `serve_loadgen` row into `BENCH_results.json`
+//! (via the standard merge-on-rewrite machinery), and exits non-zero if
+//! any request failed at the protocol level — `Overloaded` is counted
+//! separately as healthy backpressure, not failure.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use agsc_bench::{BenchResults, ResultPoint};
+use agsc_serve::{checkpoint_loader, ActionOutcome, Client, ServeConfig, Server};
+use agsc_telemetry as tlm;
+
+/// Per-client tally: one latency sample per served request.
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    overloaded: u64,
+    errors: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Deterministic observation stream (splitmix-style LCG), values in [-1, 1].
+struct ObsGen {
+    state: u64,
+}
+
+impl ObsGen {
+    fn next_f32(&mut self) -> f32 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let bits = (self.state >> 40) as u32; // top 24 bits
+        (bits as f32 / (1u32 << 23) as f32) - 1.0
+    }
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+fn main() -> ExitCode {
+    tlm::init_run();
+    let ckpt = match std::env::var("AGSC_SERVE_CKPT") {
+        Ok(p) if !p.trim().is_empty() => p,
+        _ => {
+            eprintln!("loadgen: set AGSC_SERVE_CKPT to a checkpoint produced by HiMadrlTrainer::checkpoint() (see examples/serve_quickstart.rs)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = match agsc_madrl::InferencePolicy::load(ckpt.as_ref()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: cannot load {ckpt}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (num_agents, obs_dim) = (policy.num_agents(), policy.obs_dim());
+    let config = ServeConfig::from_env();
+    let (max_batch, queue_cap) = (config.max_batch, config.queue_cap);
+    let server = match Server::start(config, Arc::new(policy), checkpoint_loader()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    let clients = env_u64("AGSC_LOADGEN_CLIENTS", 8).max(1) as usize;
+    let secs = env_u64("AGSC_LOADGEN_SECS", 5).max(1);
+    println!(
+        "loadgen: {clients} clients × {secs}s against {addr} \
+         (agents={num_agents}, obs_dim={obs_dim}, max_batch={max_batch}, queue_cap={queue_cap})"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut stats = ClientStats {
+                    latencies_us: Vec::with_capacity(1 << 16),
+                    overloaded: 0,
+                    errors: 0,
+                };
+                let mut client = match Client::connect(addr) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        eprintln!("loadgen client {c}: connect failed: {e}");
+                        stats.errors += 1;
+                        return stats;
+                    }
+                };
+                let mut gen = ObsGen { state: 0x9E3779B97F4A7C15u64.wrapping_mul(c as u64 + 1) };
+                let mut obs = vec![0.0f32; obs_dim];
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for v in obs.iter_mut() {
+                        *v = gen.next_f32();
+                    }
+                    let agent = (i % num_agents as u64) as u32;
+                    let t0 = Instant::now();
+                    match client.action(agent, &obs) {
+                        Ok(ActionOutcome::Action(_)) => {
+                            stats.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok(ActionOutcome::Overloaded) => stats.overloaded += 1,
+                        Err(e) => {
+                            eprintln!("loadgen client {c}: {e}");
+                            stats.errors += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                stats
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(secs));
+    stop.store(true, Ordering::Relaxed);
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let (mut overloaded, mut errors) = (0u64, 0u64);
+    for w in workers {
+        let stats = w.join().expect("loadgen client panicked");
+        all_latencies.extend_from_slice(&stats.latencies_us);
+        overloaded += stats.overloaded;
+        errors += stats.errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let served = all_latencies.len() as u64;
+    all_latencies.sort_unstable();
+    let throughput = served as f64 / elapsed;
+    let (p50, p95, p99) = (
+        percentile_us(&all_latencies, 0.50),
+        percentile_us(&all_latencies, 0.95),
+        percentile_us(&all_latencies, 0.99),
+    );
+    println!(
+        "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
+         ({overloaded} overloaded, {errors} errors)"
+    );
+    println!("loadgen: latency p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us");
+    if let Some(table) = tlm::profile_table() {
+        eprintln!("{table}");
+    }
+    tlm::emit_profile();
+    tlm::flush();
+
+    let mut results = BenchResults::new("serve_loadgen");
+    results.record_point(
+        ResultPoint {
+            experiment: "serve_loadgen".to_string(),
+            dataset: String::new(),
+            label: format!("clients={clients},max_batch={max_batch}"),
+            seed: 0,
+            iters: 0,
+            eval_episodes: 0,
+            psi: 0.0,
+            sigma: 0.0,
+            xi: 0.0,
+            kappa: 0.0,
+            lambda: 0.0,
+            wall_secs: elapsed,
+            samples_per_sec: throughput,
+            latency_p50_us: 0.0,
+            latency_p95_us: 0.0,
+            latency_p99_us: 0.0,
+        }
+        .with_latency_us(p50, p95, p99),
+    );
+    if let Some(path) = results.finish() {
+        println!("loadgen: results merged into {}", path.display());
+    }
+
+    if errors > 0 {
+        eprintln!("loadgen: FAILED — {errors} protocol-level errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,152 @@
+//! A blocking client for the serving protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for parallelism — that is exactly what the load generator
+//! does).
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_request, ProtocolError, Request, Response};
+
+/// What a well-formed action query can come back as: the server either
+/// answers or tells the client to back off. Everything else is an error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActionOutcome {
+    /// The greedy action `[heading, speed]`.
+    Action([f32; 2]),
+    /// Explicit backpressure — the request was not processed; retry later.
+    Overloaded,
+}
+
+/// The served policy's shape and generation, from [`Client::info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Fleet size: valid agent ids are `0..num_agents`.
+    pub num_agents: u32,
+    /// Observation length every query must match.
+    pub obs_dim: u32,
+    /// Monotonic policy generation (bumps on every reload).
+    pub generation: u64,
+}
+
+/// A successful hot reload, from [`Client::reload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadInfo {
+    /// Policy generation after the swap.
+    pub generation: u64,
+    /// Training iterations behind the newly loaded checkpoint.
+    pub iterations_done: u64,
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (includes the server closing mid-request).
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response.
+    Protocol(ProtocolError),
+    /// The server answered with an explicit `Error` response.
+    Server(String),
+    /// The server answered with the wrong response variant.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "malformed response: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a policy server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server. `TCP_NODELAY` is set: frames are tiny and the
+    /// latency budget is microseconds, so Nagle buffering is pure harm here.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.writer, req)?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))
+        })?;
+        let resp = Response::decode(&payload)?;
+        if let Response::Error { message } = resp {
+            return Err(ClientError::Server(message));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// The served policy's shape and generation.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.round_trip(&Request::Info)? {
+            Response::Info { num_agents, obs_dim, generation } => {
+                Ok(ServerInfo { num_agents, obs_dim, generation })
+            }
+            _ => Err(ClientError::Unexpected("wanted Info")),
+        }
+    }
+
+    /// Query the greedy action for `agent`'s observation. `Overloaded` is a
+    /// normal outcome under load, not an error — callers decide whether to
+    /// retry, and the request was *not* processed.
+    pub fn action(&mut self, agent: u32, obs: &[f32]) -> Result<ActionOutcome, ClientError> {
+        match self.round_trip(&Request::Action { agent, obs: obs.to_vec() })? {
+            Response::Action { heading, speed } => Ok(ActionOutcome::Action([heading, speed])),
+            Response::Overloaded => Ok(ActionOutcome::Overloaded),
+            _ => Err(ClientError::Unexpected("wanted Action or Overloaded")),
+        }
+    }
+
+    /// Ask the server to hot-reload its policy from `path` (a checkpoint on
+    /// the **server's** filesystem).
+    pub fn reload(&mut self, path: &str) -> Result<ReloadInfo, ClientError> {
+        match self.round_trip(&Request::Reload { path: path.to_string() })? {
+            Response::ReloadOk { generation, iterations_done } => {
+                Ok(ReloadInfo { generation, iterations_done })
+            }
+            _ => Err(ClientError::Unexpected("wanted ReloadOk")),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # agsc-serve — batched low-latency policy serving
+//!
+//! Serves trained h/i-MADRL checkpoints over TCP: many concurrent clients
+//! query per-agent greedy actions; a micro-batching scheduler coalesces
+//! them into batched forward passes that are **bit-identical** to direct
+//! single-observation inference.
+//!
+//! Std-only by design — the wire protocol, the scheduler, and the server
+//! are hand-rolled on `std::net`/`std::sync`, so serving adds zero
+//! external dependencies.
+//!
+//! ## Anatomy
+//!
+//! * [`protocol`] — length-prefixed binary frames (a client in any
+//!   language is a few dozen lines).
+//! * [`policy`] — the [`policy::ServePolicy`] trait over
+//!   `agsc_madrl::InferencePolicy`, plus the hot-reloadable
+//!   [`policy::PolicyStore`].
+//! * [`batcher`] — the bounded request queue and the coalescing scheduler;
+//!   backpressure is an explicit `Overloaded` response, never a drop.
+//! * [`server`] — accept loop, per-connection handling, graceful drain.
+//! * [`client`] — a blocking client (also the load generator's engine;
+//!   see `src/bin/loadgen.rs`).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use agsc_serve::{checkpoint_loader, Client, Server, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let policy = agsc_madrl::InferencePolicy::load("policy.json".as_ref()).unwrap();
+//! let server =
+//!     Server::start(ServeConfig::from_env(), Arc::new(policy), checkpoint_loader()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let obs_dim = client.info().unwrap().obs_dim as usize;
+//! let outcome = client.action(0, &vec![0.0; obs_dim]);
+//! println!("{outcome:?}");
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod policy;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ActionOutcome, Client, ClientError, ReloadInfo, ServerInfo};
+pub use policy::{checkpoint_loader, PolicyLoader, PolicyStore, ServePolicy};
+pub use protocol::{ProtocolError, Request, Response};
+pub use server::{ServeConfig, Server, ServerHandle};

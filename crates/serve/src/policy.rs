@@ -1,0 +1,186 @@
+//! The serving-side policy abstraction.
+//!
+//! The server is generic over [`ServePolicy`] so the scheduler, protocol,
+//! and lifecycle machinery can be exercised against a deterministic fake in
+//! unit tests; production servers plug in
+//! [`agsc_madrl::InferencePolicy`] (the checkpoint read-only load path),
+//! which implements the trait with bit-identical batched inference.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use agsc_madrl::InferencePolicy;
+
+/// What the batcher needs from a policy: its shape, and greedy actions for
+/// a batch of same-agent observations.
+pub trait ServePolicy: Send + Sync + 'static {
+    /// Observation length every query must match.
+    fn obs_dim(&self) -> usize;
+    /// Fleet size: valid agent ids are `0..num_agents`.
+    fn num_agents(&self) -> usize;
+    /// Training iterations behind this policy (provenance; surfaces in
+    /// [`crate::protocol::Response::ReloadOk`]).
+    fn iterations_done(&self) -> u64;
+    /// Greedy actions `[heading, speed]` for `rows` concatenated
+    /// observations of agent `agent`. Row `i` of the result must equal what
+    /// a single-row query for row `i` would produce — the bit-identity
+    /// contract the serving tests pin down.
+    fn actions(&self, agent: usize, obs_rows: &[f32], rows: usize) -> Vec<[f32; 2]>;
+}
+
+impl ServePolicy for InferencePolicy {
+    fn obs_dim(&self) -> usize {
+        InferencePolicy::obs_dim(self)
+    }
+
+    fn num_agents(&self) -> usize {
+        InferencePolicy::num_agents(self)
+    }
+
+    fn iterations_done(&self) -> u64 {
+        InferencePolicy::iterations_done(self) as u64
+    }
+
+    fn actions(&self, agent: usize, obs_rows: &[f32], rows: usize) -> Vec<[f32; 2]> {
+        InferencePolicy::actions(self, agent, obs_rows, rows)
+    }
+}
+
+/// How a server turns a reload path into a fresh policy. Injectable so
+/// tests can hand out fakes; production uses [`checkpoint_loader`].
+pub type PolicyLoader =
+    Box<dyn Fn(&Path) -> Result<Arc<dyn ServePolicy>, String> + Send + Sync + 'static>;
+
+/// The production loader: [`InferencePolicy::load`], with the checkpoint
+/// layer's typed errors rendered into the reload error string.
+pub fn checkpoint_loader() -> PolicyLoader {
+    Box::new(|path| match InferencePolicy::load(path) {
+        Ok(p) => Ok(Arc::new(p) as Arc<dyn ServePolicy>),
+        Err(e) => Err(e.to_string()),
+    })
+}
+
+/// The atomically swappable current policy plus its generation counter.
+///
+/// Readers (the batcher, per-connection validators) take a cheap read lock
+/// and clone the `Arc`; a hot reload takes the write lock only for the
+/// pointer swap, so in-flight batches keep the generation they started
+/// with and are never torn.
+pub struct PolicyStore {
+    current: RwLock<(Arc<dyn ServePolicy>, u64)>,
+}
+
+impl PolicyStore {
+    /// A store serving `policy` as generation 1.
+    pub fn new(policy: Arc<dyn ServePolicy>) -> Self {
+        Self { current: RwLock::new((policy, 1)) }
+    }
+
+    /// The current policy.
+    pub fn current(&self) -> Arc<dyn ServePolicy> {
+        self.current.read().unwrap_or_else(|p| p.into_inner()).0.clone()
+    }
+
+    /// The current policy together with its generation.
+    pub fn current_with_generation(&self) -> (Arc<dyn ServePolicy>, u64) {
+        let g = self.current.read().unwrap_or_else(|p| p.into_inner());
+        (g.0.clone(), g.1)
+    }
+
+    /// The current generation (bumps on every successful swap).
+    pub fn generation(&self) -> u64 {
+        self.current.read().unwrap_or_else(|p| p.into_inner()).1
+    }
+
+    /// Swap in a new policy, rejecting shape changes: a reload must not
+    /// invalidate queries already validated against the old shape.
+    /// Returns the new generation.
+    pub fn swap(&self, policy: Arc<dyn ServePolicy>) -> Result<u64, String> {
+        let mut g = self.current.write().unwrap_or_else(|p| p.into_inner());
+        let (old_obs, old_agents) = (g.0.obs_dim(), g.0.num_agents());
+        if policy.obs_dim() != old_obs || policy.num_agents() != old_agents {
+            return Err(format!(
+                "reload shape mismatch: serving (agents={old_agents}, obs_dim={old_obs}), \
+                 new checkpoint (agents={}, obs_dim={})",
+                policy.num_agents(),
+                policy.obs_dim()
+            ));
+        }
+        g.1 += 1;
+        g.0 = policy;
+        Ok(g.1)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Deterministic fake: action = `[bias + Σobs, bias - Σobs]`.
+    /// Distinct `bias` values stand in for distinct checkpoint generations.
+    #[derive(Debug, Clone)]
+    pub struct FakePolicy {
+        pub obs_dim: usize,
+        pub num_agents: usize,
+        pub bias: f32,
+        pub iterations: u64,
+    }
+
+    impl FakePolicy {
+        pub fn expected(&self, agent: usize, obs: &[f32]) -> [f32; 2] {
+            let s: f32 = obs.iter().sum::<f32>() + agent as f32;
+            [self.bias + s, self.bias - s]
+        }
+    }
+
+    impl ServePolicy for FakePolicy {
+        fn obs_dim(&self) -> usize {
+            self.obs_dim
+        }
+
+        fn num_agents(&self) -> usize {
+            self.num_agents
+        }
+
+        fn iterations_done(&self) -> u64 {
+            self.iterations
+        }
+
+        fn actions(&self, agent: usize, obs_rows: &[f32], rows: usize) -> Vec<[f32; 2]> {
+            assert_eq!(obs_rows.len(), rows * self.obs_dim);
+            (0..rows)
+                .map(|i| self.expected(agent, &obs_rows[i * self.obs_dim..(i + 1) * self.obs_dim]))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::FakePolicy;
+    use super::*;
+
+    fn fake(bias: f32) -> Arc<dyn ServePolicy> {
+        Arc::new(FakePolicy { obs_dim: 3, num_agents: 2, bias, iterations: 5 })
+    }
+
+    #[test]
+    fn store_swaps_and_bumps_generation() {
+        let store = PolicyStore::new(fake(1.0));
+        assert_eq!(store.generation(), 1);
+        let g = store.swap(fake(2.0)).unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(store.generation(), 2);
+        let acts = store.current().actions(0, &[1.0, 0.0, 0.0], 1);
+        assert_eq!(acts[0], [3.0, 1.0], "new policy must be live after swap");
+    }
+
+    #[test]
+    fn store_rejects_shape_changes() {
+        let store = PolicyStore::new(fake(1.0));
+        let wrong = Arc::new(FakePolicy { obs_dim: 4, num_agents: 2, bias: 0.0, iterations: 0 });
+        let err = store.swap(wrong).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+        assert_eq!(store.generation(), 1, "failed swap must not bump the generation");
+    }
+}

@@ -1,0 +1,476 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A frame is a `u32` little-endian payload length followed by the payload;
+//! every payload starts with a one-byte opcode. All multi-byte integers and
+//! floats are little-endian. The format is deliberately trivial — a client
+//! in any language is a few dozen lines — and versioned implicitly by the
+//! opcode space: unknown opcodes yield a typed decode error, never a panic.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 LE    | payload (len bytes)       |
+//! +----------------+---------------------------+
+//! payload = opcode: u8, then opcode-specific fields
+//! ```
+//!
+//! Requests:
+//!
+//! | opcode | name   | fields                                            |
+//! |--------|--------|---------------------------------------------------|
+//! | `0x01` | Action | `agent: u32`, `obs_len: u32`, `obs: obs_len × f32`|
+//! | `0x02` | Ping   | —                                                 |
+//! | `0x03` | Reload | `path_len: u32`, `path: path_len × u8` (UTF-8)    |
+//! | `0x04` | Info   | —                                                 |
+//!
+//! Responses:
+//!
+//! | opcode | name       | fields                                        |
+//! |--------|------------|-----------------------------------------------|
+//! | `0x81` | Action     | `heading: f32`, `speed: f32`                  |
+//! | `0x82` | Pong       | —                                             |
+//! | `0x83` | ReloadOk   | `generation: u64`, `iterations_done: u64`     |
+//! | `0x84` | Info       | `num_agents: u32`, `obs_dim: u32`, `generation: u64` |
+//! | `0xEE` | Overloaded | —                                             |
+//! | `0xEF` | Error      | `msg_len: u32`, `msg: msg_len × u8` (UTF-8)   |
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame payload: large enough for any realistic
+/// observation vector, small enough that a corrupt length prefix cannot
+/// trigger a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Greedy-action query for one agent's observation.
+    Action {
+        /// Agent id in `0..num_agents`.
+        agent: u32,
+        /// Observation vector (must be exactly `obs_dim` long).
+        obs: Vec<f32>,
+    },
+    /// Liveness check.
+    Ping,
+    /// Hot-reload the serving policy from a checkpoint file on the server's
+    /// filesystem (the SIGHUP-style control message).
+    Reload {
+        /// Checkpoint path, as the server sees it.
+        path: String,
+    },
+    /// Ask for the served policy's shape and generation.
+    Info,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The greedy action for an [`Request::Action`] query.
+    Action {
+        /// Heading in `[-1, 1]` (policy output, pre environment scaling).
+        heading: f32,
+        /// Speed in `[-1, 1]`.
+        speed: f32,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The reload succeeded; the new policy is live.
+    ReloadOk {
+        /// Monotonic policy generation after the swap.
+        generation: u64,
+        /// Training iterations behind the newly loaded checkpoint.
+        iterations_done: u64,
+    },
+    /// Reply to [`Request::Info`].
+    Info {
+        /// Fleet size: valid agent ids are `0..num_agents`.
+        num_agents: u32,
+        /// Observation length every query must match.
+        obs_dim: u32,
+        /// Monotonic policy generation (bumps on every reload).
+        generation: u64,
+    },
+    /// Explicit backpressure: the request queue was full. The request was
+    /// **not** processed; the client should back off and retry.
+    Overloaded,
+    /// The request was understood but could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload ended before the advertised fields did.
+    Truncated,
+    /// The payload had bytes left over after the last field.
+    TrailingBytes,
+    /// The leading opcode byte is not part of the protocol.
+    UnknownOpcode(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An advertised length exceeds [`MAX_FRAME_BYTES`].
+    Oversize,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "payload truncated"),
+            ProtocolError::TrailingBytes => write!(f, "payload has trailing bytes"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::Oversize => {
+                write!(f, "advertised length exceeds {MAX_FRAME_BYTES} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Cursor-style reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtocolError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes)
+        }
+    }
+}
+
+/// A declared element count, bounds-checked against [`MAX_FRAME_BYTES`] so a
+/// corrupt prefix cannot drive a giant allocation.
+fn checked_len(n: u32, elem_bytes: usize) -> Result<usize, ProtocolError> {
+    let n = n as usize;
+    if n.saturating_mul(elem_bytes) > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversize);
+    }
+    Ok(n)
+}
+
+impl Request {
+    /// Append this request's payload (opcode + fields) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Action { agent, obs } => {
+                buf.push(0x01);
+                buf.extend_from_slice(&agent.to_le_bytes());
+                buf.extend_from_slice(&(obs.len() as u32).to_le_bytes());
+                for v in obs {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Request::Ping => buf.push(0x02),
+            Request::Reload { path } => {
+                buf.push(0x03);
+                buf.extend_from_slice(&(path.len() as u32).to_le_bytes());
+                buf.extend_from_slice(path.as_bytes());
+            }
+            Request::Info => buf.push(0x04),
+        }
+    }
+
+    /// Decode one request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            0x01 => {
+                let agent = c.u32()?;
+                let n = checked_len(c.u32()?, 4)?;
+                let mut obs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    obs.push(c.f32()?);
+                }
+                Request::Action { agent, obs }
+            }
+            0x02 => Request::Ping,
+            0x03 => {
+                let n = checked_len(c.u32()?, 1)?;
+                let bytes = c.take(n)?;
+                let path = String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)?;
+                Request::Reload { path }
+            }
+            0x04 => Request::Info,
+            op => return Err(ProtocolError::UnknownOpcode(op)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Append this response's payload (opcode + fields) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Action { heading, speed } => {
+                buf.push(0x81);
+                buf.extend_from_slice(&heading.to_le_bytes());
+                buf.extend_from_slice(&speed.to_le_bytes());
+            }
+            Response::Pong => buf.push(0x82),
+            Response::ReloadOk { generation, iterations_done } => {
+                buf.push(0x83);
+                buf.extend_from_slice(&generation.to_le_bytes());
+                buf.extend_from_slice(&iterations_done.to_le_bytes());
+            }
+            Response::Info { num_agents, obs_dim, generation } => {
+                buf.push(0x84);
+                buf.extend_from_slice(&num_agents.to_le_bytes());
+                buf.extend_from_slice(&obs_dim.to_le_bytes());
+                buf.extend_from_slice(&generation.to_le_bytes());
+            }
+            Response::Overloaded => buf.push(0xEE),
+            Response::Error { message } => {
+                buf.push(0xEF);
+                buf.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                buf.extend_from_slice(message.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            0x81 => Response::Action { heading: c.f32()?, speed: c.f32()? },
+            0x82 => Response::Pong,
+            0x83 => Response::ReloadOk { generation: c.u64()?, iterations_done: c.u64()? },
+            0x84 => {
+                Response::Info { num_agents: c.u32()?, obs_dim: c.u32()?, generation: c.u64()? }
+            }
+            0xEE => Response::Overloaded,
+            0xEF => {
+                let n = checked_len(c.u32()?, 1)?;
+                let bytes = c.take(n)?;
+                let message =
+                    String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)?;
+                Response::Error { message }
+            }
+            op => return Err(ProtocolError::UnknownOpcode(op)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. A clean EOF before the first length byte
+/// returns `Ok(None)` (the peer hung up between frames); EOF mid-frame is an
+/// [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no next frame" from "torn frame": read the first byte
+    // separately so a clean close is not an error.
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1 byte returned more"),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encode `req` and write it as one frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    req.encode(&mut buf);
+    write_frame(w, &buf)
+}
+
+/// Encode `resp` and write it as one frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(32);
+    resp.encode(&mut buf);
+    write_frame(w, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_round_trip(req: Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(Request::decode(&buf), Ok(req));
+    }
+
+    fn resp_round_trip(resp: Response) {
+        let mut buf = Vec::new();
+        resp.encode(&mut buf);
+        assert_eq!(Response::decode(&buf), Ok(resp));
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        req_round_trip(Request::Action { agent: 3, obs: vec![0.25, -1.5, f32::MIN_POSITIVE] });
+        req_round_trip(Request::Action { agent: 0, obs: vec![] });
+        req_round_trip(Request::Ping);
+        req_round_trip(Request::Reload { path: "/tmp/ckpt — émoji.json".into() });
+        req_round_trip(Request::Info);
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        resp_round_trip(Response::Action { heading: 0.125, speed: -0.75 });
+        resp_round_trip(Response::Pong);
+        resp_round_trip(Response::ReloadOk { generation: u64::MAX, iterations_done: 7 });
+        resp_round_trip(Response::Info { num_agents: 4, obs_dim: 30, generation: 2 });
+        resp_round_trip(Response::Overloaded);
+        resp_round_trip(Response::Error { message: "queue \"closed\"".into() });
+    }
+
+    #[test]
+    fn action_floats_round_trip_bitwise() {
+        // The whole point of the serving layer is bit-identical actions;
+        // the wire must not perturb them.
+        for v in [0.1f32, -0.0, f32::MIN_POSITIVE, 1.0 - f32::EPSILON, f32::NAN] {
+            let mut buf = Vec::new();
+            Response::Action { heading: v, speed: -v }.encode(&mut buf);
+            match Response::decode(&buf).unwrap() {
+                Response::Action { heading, speed } => {
+                    assert_eq!(heading.to_bits(), v.to_bits());
+                    assert_eq!(speed.to_bits(), (-v).to_bits());
+                }
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let mut buf = Vec::new();
+        Request::Action { agent: 1, obs: vec![1.0, 2.0] }.encode(&mut buf);
+        for cut in 1..buf.len() {
+            let err = Request::decode(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated),
+                "cut at {cut}: expected Truncated, got {err:?}"
+            );
+        }
+        assert!(matches!(Request::decode(&[]), Err(ProtocolError::Truncated)));
+        assert!(matches!(Response::decode(&[]), Err(ProtocolError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf);
+        buf.push(0x00);
+        assert_eq!(Request::decode(&buf), Err(ProtocolError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(Request::decode(&[0x7F]), Err(ProtocolError::UnknownOpcode(0x7F)));
+        assert_eq!(Response::decode(&[0x01]), Err(ProtocolError::UnknownOpcode(0x01)));
+    }
+
+    #[test]
+    fn oversize_declared_lengths_are_rejected_without_allocating() {
+        // Action with an absurd obs count.
+        let mut buf = vec![0x01];
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&buf), Err(ProtocolError::Oversize));
+        // Error response with an absurd message length.
+        let mut buf = vec![0xEF];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&buf), Err(ProtocolError::Oversize));
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut buf = vec![0x03];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(Request::decode(&buf), Err(ProtocolError::BadUtf8));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Ping).unwrap();
+        write_request(&mut wire, &Request::Action { agent: 2, obs: vec![0.5; 3] }).unwrap();
+        let mut r = &wire[..];
+        let p1 = read_frame(&mut r).unwrap().expect("first frame");
+        assert_eq!(Request::decode(&p1), Ok(Request::Ping));
+        let p2 = read_frame(&mut r).unwrap().expect("second frame");
+        assert_eq!(Request::decode(&p2), Ok(Request::Action { agent: 2, obs: vec![0.5; 3] }));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn torn_frame_is_an_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Ping).unwrap();
+        let mut r = &wire[..wire.len() - 1];
+        // Length prefix arrives, payload does not: UnexpectedEof, not None.
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversize_frame_length_prefix_is_rejected() {
+        let wire = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -56,6 +56,8 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// 90th percentile of the retained window.
     pub p90: f64,
+    /// 95th percentile of the retained window.
+    pub p95: f64,
     /// 99th percentile of the retained window.
     pub p99: f64,
 }
@@ -104,6 +106,42 @@ impl Histogram {
         }
     }
 
+    /// The retained window in chronological (oldest-first) order.
+    ///
+    /// This is the merge/quantile contract surface: the ring holds the most
+    /// recent `cap` finite samples, and iteration yields them in the order
+    /// they were recorded.
+    pub fn window(&self) -> impl Iterator<Item = f64> + '_ {
+        let split = if self.samples.len() < self.cap { 0 } else { self.next };
+        self.samples[split..].iter().chain(self.samples[..split].iter()).copied()
+    }
+
+    /// Fold another histogram into this one, as if this histogram had
+    /// observed everything it saw followed by everything `other` saw.
+    ///
+    /// Lifetime aggregates (count, non-finite tally, sum, min, max) add
+    /// exactly; the retained window becomes the most recent `cap` samples of
+    /// the chronological concatenation `self ++ other`. For histograms of
+    /// equal capacity the operation is therefore associative — the property
+    /// suite pins this down — which is what lets per-thread histograms (e.g.
+    /// the load generator's per-client latency records) reduce in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.non_finite += other.non_finite;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let window: Vec<f64> = other.window().collect();
+        for v in window {
+            if self.samples.len() < self.cap {
+                self.samples.push(v);
+            } else {
+                self.samples[self.next] = v;
+                self.next = (self.next + 1) % self.cap;
+            }
+        }
+    }
+
     /// Finite samples observed over the histogram's lifetime.
     pub fn count(&self) -> u64 {
         self.count
@@ -145,8 +183,8 @@ impl Histogram {
 
     /// Snapshot every summary statistic at once (one sort).
     pub fn summary(&self) -> HistogramSummary {
-        let (p50, p90, p99) = if self.samples.is_empty() {
-            (0.0, 0.0, 0.0)
+        let (p50, p90, p95, p99) = if self.samples.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
         } else {
             let mut sorted = self.samples.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("ring holds only finite values"));
@@ -156,7 +194,7 @@ impl Histogram {
                 let frac = pos - lo as f64;
                 sorted[lo] * (1.0 - frac) + sorted[hi] * frac
             };
-            (at(0.5), at(0.9), at(0.99))
+            (at(0.5), at(0.9), at(0.95), at(0.99))
         };
         HistogramSummary {
             count: self.count,
@@ -166,6 +204,7 @@ impl Histogram {
             mean: self.mean(),
             p50,
             p90,
+            p95,
             p99,
         }
     }
@@ -176,7 +215,7 @@ impl HistogramSummary {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"count\":{},\"non_finite\":{},\"min\":{},\"max\":{},\"mean\":{},\
-             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+             \"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
             self.count,
             self.non_finite,
             self.min,
@@ -184,6 +223,7 @@ impl HistogramSummary {
             self.mean,
             self.p50,
             self.p90,
+            self.p95,
             self.p99
         )
     }
@@ -254,6 +294,53 @@ mod tests {
         assert_eq!(h.count(), 2);
         // Ring of one: quantiles see only the latest sample.
         assert_eq!(h.quantile(0.5), 7.0);
+    }
+
+    #[test]
+    fn window_is_chronological() {
+        let mut h = Histogram::with_capacity(4);
+        for i in 0..6 {
+            h.record(i as f64);
+        }
+        // Ring of 4 after 0..6: the last four samples, oldest first.
+        assert_eq!(h.window().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_is_record_equivalent() {
+        // Merging b into a must equal recording a's stream then b's stream
+        // into one histogram — including the retained window.
+        let mut a = Histogram::with_capacity(8);
+        let mut b = Histogram::with_capacity(8);
+        let mut direct = Histogram::with_capacity(8);
+        for i in 0..10 {
+            a.record(i as f64);
+            direct.record(i as f64);
+        }
+        for i in 100..112 {
+            b.record(i as f64);
+            direct.record(i as f64);
+        }
+        b.record(f64::NAN);
+        direct.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.non_finite(), direct.non_finite());
+        assert_eq!(a.summary(), direct.summary());
+        assert_eq!(a.window().collect::<Vec<_>>(), direct.window().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::with_capacity(8);
+        a.record(1.0);
+        a.record(2.0);
+        let before = a.summary();
+        a.merge(&Histogram::with_capacity(8));
+        assert_eq!(a.summary(), before);
+        let mut empty = Histogram::with_capacity(8);
+        empty.merge(&a);
+        assert_eq!(empty.summary(), before);
     }
 
     #[test]

@@ -27,10 +27,22 @@ impl Sink for StderrSink {
 }
 
 /// Appends each event as one JSON object per line to a file.
+///
+/// Writes are buffered: [`record`](Sink::record) appends to an in-memory
+/// buffer of [`JSONL_BUFFER_BYTES`] and only crosses into the kernel when
+/// the buffer fills, on an explicit [`flush`](Sink::flush), or on drop —
+/// under serving load (tens of thousands of events per second) one syscall
+/// per event would dominate the sink's cost. Readers of a live log must
+/// call [`crate::flush`] first; [`crate::shutdown`] and drop both flush, so
+/// a finished run never loses tail events.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
     path: PathBuf,
 }
+
+/// In-memory buffer size for [`JsonlSink`]: large enough to amortise write
+/// syscalls across hundreds of typical (~200 byte) events.
+pub const JSONL_BUFFER_BYTES: usize = 128 * 1024;
 
 impl std::fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -48,7 +60,7 @@ impl JsonlSink {
             }
         }
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
-        Ok(Self { writer: Mutex::new(BufWriter::new(file)), path })
+        Ok(Self { writer: Mutex::new(BufWriter::with_capacity(JSONL_BUFFER_BYTES, file)), path })
     }
 
     /// Create a uniquely named `run-<millis>-<pid>.jsonl` inside `dir`
@@ -160,6 +172,27 @@ mod tests {
         assert!(lines[0].contains("\"type\":\"first\""));
         assert!(lines[1].contains("\"s\":\"x\\\"y\""));
         drop(sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_records_are_buffered_until_flush_and_flushed_on_drop() {
+        let dir = std::env::temp_dir().join(format!("agsc_tlm_buf_{}", std::process::id()));
+        let sink = JsonlSink::in_dir(&dir).unwrap();
+        let path = sink.path().to_path_buf();
+        for i in 0..16 {
+            sink.record(&Event::new(Level::Info, "ev").u64("i", i));
+        }
+        // Nothing reaches the file before a flush: records stay in the
+        // in-memory buffer (the per-event-syscall fix this test pins down).
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "records must be buffered");
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 16);
+        sink.record(&Event::new(Level::Info, "tail"));
+        drop(sink); // flush-on-drop picks up the tail event
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 17);
+        assert!(text.contains("\"type\":\"tail\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

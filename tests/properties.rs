@@ -12,6 +12,7 @@ use agsc::env::{
 use agsc::geo::{Aabb, Point, RoadNetwork, SpatialGrid};
 use agsc::madrl::{gae, HiMadrlTrainer, TrainConfig};
 use agsc::nn::{Adam, Matrix, Param};
+use agsc::telemetry::Histogram;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -371,6 +372,116 @@ proptest! {
             prop_assert_eq!(sm.energy_ratio.to_bits(), bm.energy_ratio.to_bits());
             prop_assert_eq!(sm.fairness.to_bits(), bm.fairness.to_bits());
             prop_assert_eq!(sm.efficiency.to_bits(), bm.efficiency.to_bits());
+        }
+    }
+}
+
+// --- telemetry histograms ---------------------------------------------------
+
+/// A histogram holding `values`, at a capacity large enough that nothing
+/// has been evicted (the regime where merge is exactly record-equivalence).
+fn hist_of(values: &[f64], cap: usize) -> Histogram {
+    let mut h = Histogram::with_capacity(cap);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Summary equivalence for merge laws: everything bit-exact except the
+/// mean, whose running sum accumulates in a different order on each side
+/// of the law and so may differ by float rounding.
+fn assert_summaries_equivalent(
+    a: agsc::telemetry::HistogramSummary,
+    b: agsc::telemetry::HistogramSummary,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.count, b.count);
+    prop_assert_eq!(a.non_finite, b.non_finite);
+    prop_assert_eq!(a.min, b.min);
+    prop_assert_eq!(a.max, b.max);
+    prop_assert_eq!(a.p50, b.p50);
+    prop_assert_eq!(a.p90, b.p90);
+    prop_assert_eq!(a.p95, b.p95);
+    prop_assert_eq!(a.p99, b.p99);
+    let slack = 1e-9 * a.mean.abs().max(b.mean.abs()).max(1.0);
+    prop_assert!((a.mean - b.mean).abs() <= slack, "means diverged: {} vs {}", a.mean, b.mean);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(-1e9f64..1e9, 1..300),
+        cap in 1usize..400,
+    ) {
+        let s = hist_of(&values, cap).summary();
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p95, "p90 {} > p95 {}", s.p90, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {} > p99 {}", s.p95, s.p99);
+        // Lifetime min/max bound every windowed percentile, whatever was
+        // evicted from the ring.
+        for q in [s.p50, s.p90, s.p95, s.p99] {
+            prop_assert!((s.min..=s.max).contains(&q), "{q} outside [{}, {}]", s.min, s.max);
+        }
+        // The running sum rounds, so the mean gets an fp-sized allowance.
+        let slack = 1e-9 * s.min.abs().max(s.max.abs()).max(1.0);
+        prop_assert!(s.mean >= s.min - slack && s.mean <= s.max + slack);
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_at_equal_capacity(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..80),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..80),
+        c in proptest::collection::vec(-1e6f64..1e6, 0..80),
+    ) {
+        // Capacity ≥ total samples: merge degenerates to record-equivalence,
+        // where associativity must hold exactly.
+        let cap = a.len() + b.len() + c.len() + 1;
+        let (ha, hb, hc) = (hist_of(&a, cap), hist_of(&b, cap), hist_of(&c, cap));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        assert_summaries_equivalent(left.summary(), right.summary())?;
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..120),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..120),
+    ) {
+        let cap = a.len() + b.len() + 1;
+        let mut merged = hist_of(&a, cap);
+        merged.merge(&hist_of(&b, cap));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        assert_summaries_equivalent(merged.summary(), hist_of(&concat, cap).summary())?;
+    }
+
+    #[test]
+    fn histogram_merge_count_is_additive_even_with_eviction(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        cap in 1usize..32,
+    ) {
+        // Tiny ring: samples are evicted, but lifetime count/min/max must
+        // still aggregate exactly.
+        let mut merged = hist_of(&a, cap);
+        merged.merge(&hist_of(&b, cap));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let s = merged.summary();
+        if !a.is_empty() || !b.is_empty() {
+            let true_min = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
+            let true_max = a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(s.min, true_min);
+            prop_assert_eq!(s.max, true_max);
         }
     }
 }
