@@ -23,6 +23,15 @@ pub enum CheckpointError {
     },
     /// The checkpoint's internal structure contradicts its own config.
     Inconsistent(String),
+    /// The file's CRC32 integrity footer does not match its payload — a
+    /// torn write or bit rot. Restore paths treat this exactly like
+    /// [`Corrupt`](Self::Corrupt) and fall back to an older generation.
+    ChecksumMismatch {
+        /// CRC32 recorded in the footer at save time.
+        expected: u32,
+        /// CRC32 of the payload as read back.
+        found: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -35,6 +44,12 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::Inconsistent(msg) => {
                 write!(f, "inconsistent checkpoint: {msg}")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "corrupt checkpoint: crc32 mismatch (footer {expected:08x}, payload {found:08x})"
+                )
             }
         }
     }

@@ -28,7 +28,9 @@ pub mod rollout;
 pub mod trainer;
 
 pub use agent::{CriticKind, CriticStats, PpoAgent, PpoStats};
-pub use checkpoint::{Checkpoint, InferencePolicy, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    remove_stale_tmp, Checkpoint, CheckpointStore, InferencePolicy, CHECKPOINT_VERSION,
+};
 pub use config::{Ablation, IntrinsicSchedule, TrainConfig};
 pub use copo::Lcf;
 pub use diagnostics::{

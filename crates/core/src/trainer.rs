@@ -1089,6 +1089,19 @@ impl HiMadrlTrainer {
         })
     }
 
+    /// Rebuild a trainer from a checkpoint *file*, cleaning up any stale
+    /// `<path>.tmp` sibling an interrupted save left behind.
+    ///
+    /// This is the crash-safe startup path: the stale temp file is dead
+    /// weight from a killed process — `path` itself always holds the last
+    /// complete checkpoint thanks to the atomic save — so the sibling is
+    /// removed, never recovered.
+    pub fn restore_from_file(path: &std::path::Path, seed: u64) -> Result<Self, TrainError> {
+        let ckpt = crate::checkpoint::Checkpoint::load_json(path)?;
+        crate::checkpoint::remove_stale_tmp(path);
+        Self::restore(&ckpt, seed)
+    }
+
     /// Number of controlled UVs.
     pub fn num_agents(&self) -> usize {
         self.num_agents

@@ -204,8 +204,8 @@ fn answer_batch(batch: Vec<Pending>, policy: &dyn crate::policy::ServePolicy) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::FakePolicy;
     use crate::policy::ServePolicy;
+    use crate::testsupport::FakePolicy;
     use std::sync::mpsc::{sync_channel, Receiver};
 
     fn pending(agent: u32, obs: Vec<f32>) -> (Pending, Receiver<Response>) {

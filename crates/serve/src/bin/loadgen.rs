@@ -12,6 +12,12 @@
 //! (via the standard merge-on-rewrite machinery), and exits non-zero if
 //! any request failed at the protocol level — `Overloaded` is counted
 //! separately as healthy backpressure, not failure.
+//!
+//! Set `AGSC_LOADGEN_RETRY=1` to drive [`agsc_serve::RetryingClient`]s
+//! instead of plain clients: transient failures reconnect with backoff
+//! (tuned by the `AGSC_RETRY_*` knobs), and the summary then separates
+//! **served** / **shed** (still overloaded after retries) / **retried**
+//! (extra attempts) / **failed** (exhausted or semantic errors).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,7 +25,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use agsc_bench::{BenchResults, ResultPoint};
-use agsc_serve::{checkpoint_loader, ActionOutcome, Client, ServeConfig, Server};
+use agsc_serve::{
+    checkpoint_loader, ActionOutcome, Client, ClientConfig, RetryPolicy, RetryingClient,
+    ServeConfig, Server,
+};
 use agsc_telemetry as tlm;
 
 /// Per-client tally: one latency sample per served request.
@@ -27,6 +36,7 @@ struct ClientStats {
     latencies_us: Vec<u64>,
     overloaded: u64,
     errors: u64,
+    retried: u64,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -83,8 +93,10 @@ fn main() -> ExitCode {
     let addr = server.addr();
     let clients = env_u64("AGSC_LOADGEN_CLIENTS", 8).max(1) as usize;
     let secs = env_u64("AGSC_LOADGEN_SECS", 5).max(1);
+    let retry_mode = env_u64("AGSC_LOADGEN_RETRY", 0) != 0;
+    let mode = if retry_mode { "retrying" } else { "plain" };
     println!(
-        "loadgen: {clients} clients × {secs}s against {addr} \
+        "loadgen: {clients} {mode} clients × {secs}s against {addr} \
          (agents={num_agents}, obs_dim={obs_dim}, max_batch={max_batch}, queue_cap={queue_cap})"
     );
 
@@ -98,13 +110,28 @@ fn main() -> ExitCode {
                     latencies_us: Vec::with_capacity(1 << 16),
                     overloaded: 0,
                     errors: 0,
+                    retried: 0,
                 };
-                let mut client = match Client::connect(addr) {
-                    Ok(cl) => cl,
-                    Err(e) => {
-                        eprintln!("loadgen client {c}: connect failed: {e}");
-                        stats.errors += 1;
-                        return stats;
+                enum Driver {
+                    Plain(Client),
+                    Retrying(Box<RetryingClient>),
+                }
+                let mut driver = if retry_mode {
+                    let policy =
+                        RetryPolicy { seed: 0xC11E_4700 ^ c as u64, ..RetryPolicy::from_env() };
+                    Driver::Retrying(Box::new(RetryingClient::new(
+                        addr,
+                        ClientConfig::from_env(),
+                        policy,
+                    )))
+                } else {
+                    match Client::connect(addr) {
+                        Ok(cl) => Driver::Plain(cl),
+                        Err(e) => {
+                            eprintln!("loadgen client {c}: connect failed: {e}");
+                            stats.errors += 1;
+                            return stats;
+                        }
                     }
                 };
                 let mut gen = ObsGen { state: 0x9E3779B97F4A7C15u64.wrapping_mul(c as u64 + 1) };
@@ -116,7 +143,11 @@ fn main() -> ExitCode {
                     }
                     let agent = (i % num_agents as u64) as u32;
                     let t0 = Instant::now();
-                    match client.action(agent, &obs) {
+                    let outcome = match &mut driver {
+                        Driver::Plain(client) => client.action(agent, &obs),
+                        Driver::Retrying(client) => client.action(agent, &obs),
+                    };
+                    match outcome {
                         Ok(ActionOutcome::Action(_)) => {
                             stats.latencies_us.push(t0.elapsed().as_micros() as u64);
                         }
@@ -124,10 +155,15 @@ fn main() -> ExitCode {
                         Err(e) => {
                             eprintln!("loadgen client {c}: {e}");
                             stats.errors += 1;
+                            // A retrying client survives transient failures
+                            // internally; anything escaping it is final.
                             break;
                         }
                     }
                     i += 1;
+                }
+                if let Driver::Retrying(client) = &driver {
+                    stats.retried = client.stats().retries;
                 }
                 stats
             })
@@ -137,12 +173,13 @@ fn main() -> ExitCode {
     std::thread::sleep(Duration::from_secs(secs));
     stop.store(true, Ordering::Relaxed);
     let mut all_latencies: Vec<u64> = Vec::new();
-    let (mut overloaded, mut errors) = (0u64, 0u64);
+    let (mut overloaded, mut errors, mut retried) = (0u64, 0u64, 0u64);
     for w in workers {
         let stats = w.join().expect("loadgen client panicked");
         all_latencies.extend_from_slice(&stats.latencies_us);
         overloaded += stats.overloaded;
         errors += stats.errors;
+        retried += stats.retried;
     }
     let elapsed = started.elapsed().as_secs_f64();
     server.shutdown();
@@ -155,10 +192,17 @@ fn main() -> ExitCode {
         percentile_us(&all_latencies, 0.95),
         percentile_us(&all_latencies, 0.99),
     );
-    println!(
-        "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
-         ({overloaded} overloaded, {errors} errors)"
-    );
+    if retry_mode {
+        println!(
+            "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
+             ({overloaded} shed after retries, {retried} retried, {errors} failed)"
+        );
+    } else {
+        println!(
+            "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
+             ({overloaded} overloaded, {errors} errors)"
+        );
+    }
     println!("loadgen: latency p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us");
     if let Some(table) = tlm::profile_table() {
         eprintln!("{table}");

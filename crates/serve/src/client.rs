@@ -8,8 +8,44 @@
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{read_frame, write_request, ProtocolError, Request, Response};
+
+/// Client-side deadlines. The default is fully blocking (every field
+/// `None`) — the pre-hardening behavior — so deadlines are strictly
+/// opt-in and the happy path is untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on TCP connection establishment. Without it, a black-holed
+    /// address (e.g. a dropped-packets firewall) blocks `connect` for the
+    /// kernel's SYN-retry eternity.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on waiting for a response frame.
+    pub read_timeout: Option<Duration>,
+    /// Bound on blocking request writes.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// Build from the environment: `AGSC_CLIENT_CONNECT_TIMEOUT_MS`,
+    /// `AGSC_CLIENT_READ_TIMEOUT_MS`, `AGSC_CLIENT_WRITE_TIMEOUT_MS`.
+    /// 0, unset, or unparseable all mean "no deadline".
+    pub fn from_env() -> Self {
+        Self {
+            connect_timeout: env_ms("AGSC_CLIENT_CONNECT_TIMEOUT_MS"),
+            read_timeout: env_ms("AGSC_CLIENT_READ_TIMEOUT_MS"),
+            write_timeout: env_ms("AGSC_CLIENT_WRITE_TIMEOUT_MS"),
+        }
+    }
+}
+
+fn env_ms(name: &str) -> Option<Duration> {
+    match std::env::var(name).ok().and_then(|s| s.trim().parse::<u64>().ok()) {
+        None | Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+    }
+}
 
 /// What a well-formed action query can come back as: the server either
 /// answers or tells the client to back off. Everything else is an error.
@@ -46,26 +82,71 @@ pub struct ReloadInfo {
 pub enum ClientError {
     /// The connection broke (includes the server closing mid-request).
     Io(io::Error),
+    /// A client-side deadline fired; the operand names the phase
+    /// (`"connect"`, `"read"`, or `"write"`).
+    Timeout(&'static str),
+    /// The server refused admission at its connection cap. Back off and
+    /// reconnect later.
+    Busy,
     /// The server sent bytes that do not decode as a response.
     Protocol(ProtocolError),
     /// The server answered with an explicit `Error` response.
     Server(String),
     /// The server answered with the wrong response variant.
     Unexpected(&'static str),
+    /// A retry loop ran out of attempts or deadline budget; `last` is the
+    /// final attempt's failure.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error that ended the final attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether a fresh connection and another attempt could plausibly
+    /// succeed. Transport-level failures (broken or garbled streams,
+    /// deadlines, admission refusals) are transient; semantic refusals
+    /// (`Server`, `Unexpected`) and exhausted retry budgets are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Timeout(_)
+                | ClientError::Busy
+                | ClientError::Protocol(_)
+        )
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Timeout(phase) => write!(f, "client {phase} deadline exceeded"),
+            ClientError::Busy => write!(f, "server busy: refused at connection cap"),
             ClientError::Protocol(e) => write!(f, "malformed response: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Unexpected(what) => write!(f, "unexpected response variant: {what}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// Map a deadline-induced io error to the typed [`ClientError::Timeout`],
+/// anything else to [`ClientError::Io`].
+fn timeout_or_io(e: io::Error, phase: &'static str) -> ClientError {
+    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+        ClientError::Timeout(phase)
+    } else {
+        ClientError::Io(e)
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
@@ -90,24 +171,71 @@ impl Client {
     /// latency budget is microseconds, so Nagle buffering is pure harm here.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        Self::from_stream(stream, &ClientConfig::default()).map_err(|e| match e {
+            ClientError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        })
+    }
+
+    /// Connect with client-side deadlines. With a `connect_timeout`, a
+    /// black-holed address fails with a typed [`ClientError::Timeout`]
+    /// instead of blocking through the kernel's SYN retries.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr).map_err(|e| timeout_or_io(e, "connect"))?,
+            Some(limit) => {
+                let mut last: Option<io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs().map_err(ClientError::Io)? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match (stream, last) {
+                    (Some(s), _) => s,
+                    (None, Some(e)) => return Err(timeout_or_io(e, "connect")),
+                    (None, None) => {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )))
+                    }
+                }
+            }
+        };
+        Self::from_stream(stream, config)
+    }
+
+    fn from_stream(stream: TcpStream, config: &ClientConfig) -> Result<Self, ClientError> {
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream.set_read_timeout(config.read_timeout).map_err(ClientError::Io)?;
+        stream.set_write_timeout(config.write_timeout).map_err(ClientError::Io)?;
+        let reader = BufReader::new(stream.try_clone().map_err(ClientError::Io)?);
         Ok(Self { reader, writer: BufWriter::new(stream) })
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_request(&mut self.writer, req)?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection before replying",
-            ))
-        })?;
-        let resp = Response::decode(&payload)?;
-        if let Response::Error { message } = resp {
-            return Err(ClientError::Server(message));
+        write_request(&mut self.writer, req).map_err(|e| timeout_or_io(e, "write"))?;
+        let payload = read_frame(&mut self.reader)
+            .map_err(|e| timeout_or_io(e, "read"))?
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                ))
+            })?;
+        match Response::decode(&payload)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Busy => Err(ClientError::Busy),
+            resp => Ok(resp),
         }
-        Ok(resp)
     }
 
     /// Liveness check.

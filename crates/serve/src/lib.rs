@@ -18,9 +18,17 @@
 //!   [`policy::PolicyStore`].
 //! * [`batcher`] — the bounded request queue and the coalescing scheduler;
 //!   backpressure is an explicit `Overloaded` response, never a drop.
-//! * [`server`] — accept loop, per-connection handling, graceful drain.
+//! * [`server`] — accept loop, per-connection handling, graceful drain,
+//!   plus the hardening knobs (frame timeouts, idle reaping, connection
+//!   caps with typed `Busy` refusal).
 //! * [`client`] — a blocking client (also the load generator's engine;
-//!   see `src/bin/loadgen.rs`).
+//!   see `src/bin/loadgen.rs`), with connect/read/write deadlines.
+//! * [`retry`] — exponential backoff with decorrelated jitter and an
+//!   overall deadline budget, wrapped as [`retry::RetryingClient`].
+//! * [`chaos`] — a seeded TCP fault proxy for chaos tests: delays, abrupt
+//!   resets, mid-frame truncation, byte corruption, black holes.
+//! * [`testsupport`] — the deterministic [`testsupport::FakePolicy`] used
+//!   by the unit, integration, and chaos suites.
 //!
 //! ## Quickstart
 //!
@@ -41,12 +49,18 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
 pub mod policy;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod testsupport;
 
-pub use client::{ActionOutcome, Client, ClientError, ReloadInfo, ServerInfo};
+pub use chaos::{ChaosConfig, ChaosCounts, ChaosPlan, ChaosProxy, ConnFate};
+pub use client::{ActionOutcome, Client, ClientConfig, ClientError, ReloadInfo, ServerInfo};
 pub use policy::{checkpoint_loader, PolicyLoader, PolicyStore, ServePolicy};
 pub use protocol::{ProtocolError, Request, Response};
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use testsupport::FakePolicy;

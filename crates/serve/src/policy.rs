@@ -113,52 +113,9 @@ impl PolicyStore {
 }
 
 #[cfg(test)]
-pub(crate) mod testutil {
-    use super::*;
-
-    /// Deterministic fake: action = `[bias + Σobs, bias - Σobs]`.
-    /// Distinct `bias` values stand in for distinct checkpoint generations.
-    #[derive(Debug, Clone)]
-    pub struct FakePolicy {
-        pub obs_dim: usize,
-        pub num_agents: usize,
-        pub bias: f32,
-        pub iterations: u64,
-    }
-
-    impl FakePolicy {
-        pub fn expected(&self, agent: usize, obs: &[f32]) -> [f32; 2] {
-            let s: f32 = obs.iter().sum::<f32>() + agent as f32;
-            [self.bias + s, self.bias - s]
-        }
-    }
-
-    impl ServePolicy for FakePolicy {
-        fn obs_dim(&self) -> usize {
-            self.obs_dim
-        }
-
-        fn num_agents(&self) -> usize {
-            self.num_agents
-        }
-
-        fn iterations_done(&self) -> u64 {
-            self.iterations
-        }
-
-        fn actions(&self, agent: usize, obs_rows: &[f32], rows: usize) -> Vec<[f32; 2]> {
-            assert_eq!(obs_rows.len(), rows * self.obs_dim);
-            (0..rows)
-                .map(|i| self.expected(agent, &obs_rows[i * self.obs_dim..(i + 1) * self.obs_dim]))
-                .collect()
-        }
-    }
-}
-
-#[cfg(test)]
 mod tests {
-    use super::testutil::FakePolicy;
     use super::*;
+    use crate::testsupport::FakePolicy;
 
     fn fake(bias: f32) -> Arc<dyn ServePolicy> {
         Arc::new(FakePolicy { obs_dim: 3, num_agents: 2, bias, iterations: 5 })

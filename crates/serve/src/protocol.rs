@@ -32,6 +32,7 @@
 //! | `0x82` | Pong       | —                                             |
 //! | `0x83` | ReloadOk   | `generation: u64`, `iterations_done: u64`     |
 //! | `0x84` | Info       | `num_agents: u32`, `obs_dim: u32`, `generation: u64` |
+//! | `0xED` | Busy       | —                                             |
 //! | `0xEE` | Overloaded | —                                             |
 //! | `0xEF` | Error      | `msg_len: u32`, `msg: msg_len × u8` (UTF-8)   |
 
@@ -93,6 +94,10 @@ pub enum Response {
         /// Monotonic policy generation (bumps on every reload).
         generation: u64,
     },
+    /// Admission refusal: the server is at its connection cap. Sent once,
+    /// immediately after accept, before the connection is closed — the
+    /// client should back off and reconnect later.
+    Busy,
     /// Explicit backpressure: the request queue was full. The request was
     /// **not** processed; the client should back off and retry.
     Overloaded,
@@ -260,6 +265,7 @@ impl Response {
                 buf.extend_from_slice(&obs_dim.to_le_bytes());
                 buf.extend_from_slice(&generation.to_le_bytes());
             }
+            Response::Busy => buf.push(0xED),
             Response::Overloaded => buf.push(0xEE),
             Response::Error { message } => {
                 buf.push(0xEF);
@@ -279,6 +285,7 @@ impl Response {
             0x84 => {
                 Response::Info { num_agents: c.u32()?, obs_dim: c.u32()?, generation: c.u64()? }
             }
+            0xED => Response::Busy,
             0xEE => Response::Overloaded,
             0xEF => {
                 let n = checked_len(c.u32()?, 1)?;
@@ -372,6 +379,7 @@ mod tests {
         resp_round_trip(Response::Pong);
         resp_round_trip(Response::ReloadOk { generation: u64::MAX, iterations_done: 7 });
         resp_round_trip(Response::Info { num_agents: 4, obs_dim: 30, generation: 2 });
+        resp_round_trip(Response::Busy);
         resp_round_trip(Response::Overloaded);
         resp_round_trip(Response::Error { message: "queue \"closed\"".into() });
     }

@@ -20,9 +20,9 @@
 //! shuts down every connection socket to unblock blocking reads, and joins
 //! the connection threads. Nothing is dropped on the floor.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -32,7 +32,7 @@ use agsc_telemetry as tlm;
 
 use crate::batcher::{run_batcher, BatcherOpts, Pending, PushError, SharedQueue};
 use crate::policy::{PolicyLoader, PolicyStore, ServePolicy};
-use crate::protocol::{read_frame, write_response, Request, Response};
+use crate::protocol::{write_response, Request, Response, MAX_FRAME_BYTES};
 
 /// Server tuning knobs. [`ServeConfig::from_env`] is the standard way to
 /// build one; every field has a sensible default.
@@ -50,6 +50,23 @@ pub struct ServeConfig {
     /// Test hook: artificial per-batch delay so backpressure tests can
     /// fill the queue deterministically. Zero in production.
     pub batch_delay: Duration,
+    /// Bound on how long a frame may take to finish arriving once its
+    /// first byte has been read. `None` (the default) waits forever — the
+    /// pre-hardening behavior. A partial frame that stalls past this is a
+    /// dead or misbehaving peer; the connection is closed and
+    /// `serve.conn_timeout` bumped.
+    pub read_timeout: Option<Duration>,
+    /// Bound on blocking response writes. `None` (the default) waits
+    /// forever.
+    pub write_timeout: Option<Duration>,
+    /// How long a connection may sit idle *between* frames before the
+    /// reaper closes it (`serve.idle_reaped`). `None` (the default) keeps
+    /// idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Cap on simultaneously served connections; beyond it new arrivals
+    /// get a typed [`Response::Busy`] and an immediate close
+    /// (`serve.busy_refused`). `0` (the default) means unlimited.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +77,10 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(200),
             queue_cap: 1024,
             batch_delay: Duration::ZERO,
+            read_timeout: None,
+            write_timeout: None,
+            idle_timeout: None,
+            max_conns: 0,
         }
     }
 }
@@ -67,8 +88,12 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Build from the environment: `AGSC_SERVE_ADDR`,
     /// `AGSC_SERVE_MAX_BATCH`, `AGSC_SERVE_MAX_WAIT_US`,
-    /// `AGSC_SERVE_QUEUE_CAP`. Unset or unparseable values fall back to the
-    /// defaults (with a warning for unparseable ones).
+    /// `AGSC_SERVE_QUEUE_CAP`, plus the hardening knobs
+    /// `AGSC_SERVE_READ_TIMEOUT_MS`, `AGSC_SERVE_WRITE_TIMEOUT_MS`,
+    /// `AGSC_SERVE_IDLE_TIMEOUT_MS` (0 or unset = no timeout) and
+    /// `AGSC_SERVE_MAX_CONNS` (0 or unset = unlimited). Unset or
+    /// unparseable values fall back to the defaults (with a warning for
+    /// unparseable ones).
     pub fn from_env() -> Self {
         let d = Self::default();
         Self {
@@ -84,7 +109,19 @@ impl ServeConfig {
             )),
             queue_cap: env_parse("AGSC_SERVE_QUEUE_CAP", d.queue_cap).max(1),
             batch_delay: Duration::ZERO,
+            read_timeout: env_timeout_ms("AGSC_SERVE_READ_TIMEOUT_MS"),
+            write_timeout: env_timeout_ms("AGSC_SERVE_WRITE_TIMEOUT_MS"),
+            idle_timeout: env_timeout_ms("AGSC_SERVE_IDLE_TIMEOUT_MS"),
+            max_conns: env_parse("AGSC_SERVE_MAX_CONNS", 0usize),
         }
+    }
+}
+
+/// Millisecond timeout knob: 0 or unset means "no timeout" (`None`).
+fn env_timeout_ms(name: &'static str) -> Option<Duration> {
+    match env_parse(name, 0u64) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
     }
 }
 
@@ -111,6 +148,21 @@ struct Shared {
     loader: PolicyLoader,
     accepting: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    max_conns: usize,
+    active: AtomicUsize,
+}
+
+/// RAII decrement of the live-connection count, so a connection thread
+/// that exits on any path (EOF, timeout, panic unwind) releases its slot.
+struct ConnSlot<'a>(&'a AtomicUsize);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running policy server. Factory: [`Server::start`].
@@ -141,6 +193,11 @@ impl Server {
             loader,
             accepting: AtomicBool::new(true),
             conns: Mutex::new(Vec::new()),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            idle_timeout: config.idle_timeout,
+            max_conns: config.max_conns,
+            active: AtomicUsize::new(0),
         });
         tlm::emit_with(tlm::Level::Info, "serve_start", |e| {
             e.str("addr", addr.to_string())
@@ -261,48 +318,177 @@ fn accept_loop(
             return;
         }
         let _ = stream.set_nodelay(true);
+        if shared.max_conns > 0 && shared.active.load(Ordering::SeqCst) >= shared.max_conns {
+            // Admission control: a typed refusal the client can tell apart
+            // from a crash, then an immediate close. Never silently drop.
+            tlm::counter_add("serve.busy_refused", 1);
+            let _ = stream.set_write_timeout(shared.write_timeout);
+            let mut w = BufWriter::new(&stream);
+            let _ = write_response(&mut w, &Response::Busy);
+            drop(w);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
         }
         tlm::counter_add("serve.connections", 1);
+        shared.active.fetch_add(1, Ordering::SeqCst);
         let shared2 = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name("agsc-serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared2));
+        let spawned = std::thread::Builder::new().name("agsc-serve-conn".into()).spawn(move || {
+            let _slot = ConnSlot(&shared2.active);
+            handle_connection(stream, &shared2)
+        });
         match spawned {
             Ok(handle) => {
                 conn_threads.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
             }
-            Err(_) => tlm::warn("serve_spawn_failed", |e| e.msg("could not spawn conn thread")),
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                tlm::warn("serve_spawn_failed", |e| e.msg("could not spawn conn thread"));
+            }
         }
     }
 }
 
-/// One connection: read frames, answer them, until EOF or socket shutdown.
-/// Validation happens here, at the protocol boundary, so the batcher only
-/// ever sees well-formed work.
+/// Outcome of one hardened frame read.
+enum FrameRead {
+    /// A complete payload arrived.
+    Frame(Vec<u8>),
+    /// Clean EOF, torn stream, or our own shutdown poke — conversation over.
+    Closed,
+    /// No frame started within the idle window.
+    Idle,
+    /// A frame started but stalled past the read timeout.
+    Stalled,
+    /// The length prefix declares more than [`MAX_FRAME_BYTES`].
+    Oversize(u32),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Fill `buf` from `stream`, mapping a socket timeout to [`FrameRead::Stalled`].
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameRead::Closed),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Err(FrameRead::Stalled),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(FrameRead::Closed),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame with phase-split deadlines: while *waiting* for a frame
+/// only `idle` applies; once the first byte lands, `frame` bounds the rest.
+/// With both `None` this degrades to exactly the pre-hardening blocking
+/// read, so default configurations keep their bit-identical happy path.
+fn read_frame_hardened(
+    stream: &mut TcpStream,
+    idle: Option<Duration>,
+    frame: Option<Duration>,
+) -> FrameRead {
+    let mut prefix = [0u8; 4];
+    let _ = stream.set_read_timeout(idle);
+    loop {
+        match stream.read(&mut prefix[..1]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) => return FrameRead::Idle,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let _ = stream.set_read_timeout(frame);
+    if let Err(out) = read_full(stream, &mut prefix[1..]) {
+        return out;
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len as usize > MAX_FRAME_BYTES {
+        return FrameRead::Oversize(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(out) = read_full(stream, &mut payload) {
+        return out;
+    }
+    FrameRead::Frame(payload)
+}
+
+/// One connection: read frames, answer them, until EOF, socket shutdown,
+/// or a hardening deadline fires. Validation happens here, at the protocol
+/// boundary, so the batcher only ever sees well-formed work; a panic in a
+/// handler is contained to a typed error on this connection, never a dead
+/// thread mid-conversation.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    if shared.write_timeout.is_some() {
+        let _ = stream.set_write_timeout(shared.write_timeout);
+    }
     let mut writer = BufWriter::new(stream);
+    conn_loop(&mut reader, &mut writer, shared);
+    // The shutdown registry keeps a clone of this socket alive, so merely
+    // dropping our handles would never send FIN. Shut the socket down
+    // explicitly so server-initiated closes (idle reap, stalled frames,
+    // malformed traffic) are visible to the peer immediately.
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+fn conn_loop(reader: &mut TcpStream, writer: &mut BufWriter<TcpStream>, shared: &Shared) {
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            // Clean EOF, torn frame, or our own shutdown poke — either
-            // way this conversation is over.
-            Ok(None) | Err(_) => return,
+        let payload = match read_frame_hardened(reader, shared.idle_timeout, shared.read_timeout) {
+            FrameRead::Frame(p) => p,
+            FrameRead::Closed => return,
+            FrameRead::Idle => {
+                tlm::counter_add("serve.idle_reaped", 1);
+                return;
+            }
+            FrameRead::Stalled => {
+                tlm::counter_add("serve.conn_timeout", 1);
+                return;
+            }
+            FrameRead::Oversize(len) => {
+                // Malformed-frame policy: answer with a typed error,
+                // then close — never read a stream we cannot reframe.
+                tlm::counter_add("serve.protocol_errors", 1);
+                let message = format!("frame length {len} exceeds {MAX_FRAME_BYTES} byte cap");
+                let _ = write_response(writer, &Response::Error { message });
+                return;
+            }
         };
         let _span = tlm::span("serve/request");
         let resp = match Request::decode(&payload) {
-            Ok(req) => respond(req, shared),
+            Ok(req) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    respond(req, shared)
+                })) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        tlm::counter_add("serve.conn_panic", 1);
+                        tlm::warn("serve_panic", |e| {
+                            e.msg("request handler panicked; answered with a typed error")
+                        });
+                        Response::Error { message: "internal error: handler panicked".to_string() }
+                    }
+                }
+            }
             Err(e) => {
                 tlm::counter_add("serve.protocol_errors", 1);
                 Response::Error { message: format!("bad request: {e}") }
             }
         };
-        if write_response(&mut writer, &resp).is_err() {
+        if let Err(e) = write_response(writer, &resp) {
+            if is_timeout(&e) {
+                tlm::counter_add("serve.conn_timeout", 1);
+            }
             return;
         }
     }
@@ -390,7 +576,7 @@ fn respond_action(agent: u32, obs: Vec<f32>, shared: &Shared) -> Response {
 mod tests {
     use super::*;
     use crate::client::{ActionOutcome, Client};
-    use crate::policy::testutil::FakePolicy;
+    use crate::testsupport::FakePolicy;
 
     fn fake(bias: f32) -> FakePolicy {
         FakePolicy { obs_dim: 4, num_agents: 3, bias, iterations: 9 }
@@ -592,5 +778,115 @@ mod tests {
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.max_batch, ServeConfig::default().max_batch);
         std::env::remove_var("AGSC_SERVE_MAX_BATCH");
+    }
+
+    #[test]
+    fn hardening_knobs_default_off() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.read_timeout, None);
+        assert_eq!(cfg.write_timeout, None);
+        assert_eq!(cfg.idle_timeout, None);
+        assert_eq!(cfg.max_conns, 0);
+    }
+
+    #[test]
+    fn connection_cap_refuses_with_typed_busy_then_frees_the_slot() {
+        use crate::protocol::read_frame;
+
+        let config = ServeConfig { max_conns: 1, ..ServeConfig::default() };
+        let server = start(config, 0.0, refusing_loader());
+        let addr = server.addr();
+        let mut first = Client::connect(addr).unwrap();
+        first.ping().unwrap();
+
+        // Slot taken: a second arrival gets one Busy frame, then EOF.
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let payload = read_frame(&mut raw).unwrap().expect("a refusal frame, not silence");
+        assert_eq!(Response::decode(&payload), Ok(Response::Busy));
+        assert_eq!(read_frame(&mut raw).unwrap(), None, "busy connection is closed after refusal");
+
+        // Releasing the held connection frees the slot for new clients.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(mut c) = Client::connect(addr) {
+                if c.ping().is_ok() {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "slot never freed after client disconnect");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let config =
+            ServeConfig { idle_timeout: Some(Duration::from_millis(50)), ..ServeConfig::default() };
+        let server = start(config, 0.0, refusing_loader());
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(client.ping().is_err(), "idle connection must be reaped, not kept");
+        // Fresh connections are still welcome.
+        let mut fresh = Client::connect(server.addr()).unwrap();
+        fresh.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_mid_frame_connections_are_closed() {
+        use std::io::{Read, Write};
+
+        let config =
+            ServeConfig { read_timeout: Some(Duration::from_millis(50)), ..ServeConfig::default() };
+        let server = start(config, 0.0, refusing_loader());
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Half a length prefix, then silence: the server must cut us off
+        // rather than wait forever on the rest of the frame.
+        raw.write_all(&[0x05, 0x00]).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 16];
+        match raw.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected the server to close the stalled connection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversize_length_prefix_gets_a_typed_error_then_close() {
+        use crate::protocol::read_frame;
+        use std::io::Write;
+
+        let server = start(ServeConfig::default(), 0.0, refusing_loader());
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let payload = read_frame(&mut raw).unwrap().expect("a typed error frame");
+        match Response::decode(&payload) {
+            Ok(Response::Error { message }) => {
+                assert!(message.contains("exceeds"), "{message}")
+            }
+            other => panic!("expected a typed protocol error, got {other:?}"),
+        }
+        assert_eq!(read_frame(&mut raw).unwrap(), None, "unreframeable stream must be closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_is_contained_to_a_typed_error() {
+        let loader: PolicyLoader = Box::new(|_| panic!("loader exploded"));
+        let server = start(ServeConfig::default(), 0.0, loader);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let err = client.reload("whatever").unwrap_err();
+        assert!(format!("{err}").contains("panicked"), "{err}");
+        // The connection — and the server — survive the panic.
+        client.ping().unwrap();
+        let mut fresh = Client::connect(server.addr()).unwrap();
+        fresh.ping().unwrap();
+        server.shutdown();
     }
 }

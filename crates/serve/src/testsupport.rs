@@ -1,0 +1,54 @@
+//! Deterministic test-support pieces shared by this crate's unit tests and
+//! the workspace's integration/chaos suites.
+//!
+//! Nothing here touches the network or the checkpoint format; the point is
+//! a [`ServePolicy`] whose expected output is closed-form, so tests can
+//! assert bit-identical serving without training a real policy first.
+
+use crate::policy::ServePolicy;
+
+/// Deterministic fake policy: action = `[bias + Σobs + agent, bias − (Σobs + agent)]`.
+///
+/// Distinct `bias` values stand in for distinct checkpoint generations, and
+/// [`expected`](Self::expected) gives the closed-form answer any transport
+/// path must reproduce bitwise.
+#[derive(Debug, Clone)]
+pub struct FakePolicy {
+    /// Observation length every query must match.
+    pub obs_dim: usize,
+    /// Fleet size: valid agent ids are `0..num_agents`.
+    pub num_agents: usize,
+    /// Additive bias distinguishing "generations" of this fake.
+    pub bias: f32,
+    /// Reported training-iteration provenance.
+    pub iterations: u64,
+}
+
+impl FakePolicy {
+    /// The closed-form action this fake returns for `(agent, obs)`.
+    pub fn expected(&self, agent: usize, obs: &[f32]) -> [f32; 2] {
+        let s: f32 = obs.iter().sum::<f32>() + agent as f32;
+        [self.bias + s, self.bias - s]
+    }
+}
+
+impl ServePolicy for FakePolicy {
+    fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    fn iterations_done(&self) -> u64 {
+        self.iterations
+    }
+
+    fn actions(&self, agent: usize, obs_rows: &[f32], rows: usize) -> Vec<[f32; 2]> {
+        assert_eq!(obs_rows.len(), rows * self.obs_dim);
+        (0..rows)
+            .map(|i| self.expected(agent, &obs_rows[i * self.obs_dim..(i + 1) * self.obs_dim]))
+            .collect()
+    }
+}

@@ -485,3 +485,92 @@ proptest! {
         }
     }
 }
+
+// --- serve wire protocol: decoding hostile byte streams ---------------------
+//
+// The serving protocol sits on the open network side of the stack; these
+// properties pin the malformed-frame contract: random, truncated, and
+// over-cap byte streams must come back as typed `ProtocolError`s (or a
+// bounded `io` error at the frame layer) — never a panic, never an
+// unbounded allocation. Named `serve_wire` so CI can run exactly this
+// module via `cargo test --test properties serve_wire`.
+
+mod serve_wire {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_payloads_never_panic_the_decoders(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            // Ok or typed Err are both acceptable; reaching this line is the
+            // assertion (no panic, no hang, no giant allocation).
+            let _ = agsc_serve::Request::decode(&bytes);
+            let _ = agsc_serve::Response::decode(&bytes);
+        }
+
+        #[test]
+        fn truncated_requests_yield_typed_errors(
+            agent in 0u32..16,
+            obs in proptest::collection::vec(-1e3f32..1e3, 0..64),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let req = agsc_serve::Request::Action { agent, obs };
+            let mut buf = Vec::new();
+            req.encode(&mut buf);
+            let cut = ((buf.len() - 1) as f64 * cut_frac) as usize; // strict prefix
+            prop_assert!(
+                agsc_serve::Request::decode(&buf[..cut]).is_err(),
+                "a strict prefix of a valid Action must not decode"
+            );
+        }
+
+        #[test]
+        fn over_cap_declared_lengths_are_rejected_without_allocating(
+            declared in (agsc_serve::protocol::MAX_FRAME_BYTES as u32 / 4 + 1)..u32::MAX,
+        ) {
+            // An Action whose obs count advertises more than the frame cap in
+            // bytes: the decoder must refuse before reserving anything.
+            let mut buf = vec![0x01];
+            buf.extend_from_slice(&3u32.to_le_bytes());
+            buf.extend_from_slice(&declared.to_le_bytes());
+            prop_assert_eq!(
+                agsc_serve::Request::decode(&buf),
+                Err(agsc_serve::ProtocolError::Oversize)
+            );
+        }
+
+        #[test]
+        fn random_byte_streams_never_panic_the_frame_reader(
+            wire in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            // Drain the stream through read_frame until EOF or error; every
+            // outcome must be a clean Ok(None)/Ok(frame)/typed io error.
+            let mut r = &wire[..];
+            for _ in 0..64 {
+                match agsc_serve::protocol::read_frame(&mut r) {
+                    Ok(Some(payload)) => {
+                        prop_assert!(payload.len() <= agsc_serve::protocol::MAX_FRAME_BYTES);
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+
+        #[test]
+        fn valid_frames_survive_a_noisy_tail(
+            obs in proptest::collection::vec(-1.0f32..1.0, 0..32),
+            tail in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // A well-formed frame followed by garbage: the first frame must
+            // decode; the garbage must fail typed, not corrupt the good frame.
+            let req = agsc_serve::Request::Action { agent: 1, obs: obs.clone() };
+            let mut wire = Vec::new();
+            agsc_serve::protocol::write_request(&mut wire, &req).unwrap();
+            wire.extend_from_slice(&tail);
+            let mut r = &wire[..];
+            let payload = agsc_serve::protocol::read_frame(&mut r).unwrap().expect("first frame");
+            prop_assert_eq!(agsc_serve::Request::decode(&payload), Ok(req));
+        }
+    }
+}

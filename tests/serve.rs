@@ -16,7 +16,10 @@ use std::time::Duration;
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
 use agsc::madrl::{HiMadrlTrainer, InferencePolicy, TrainConfig};
-use agsc_serve::{checkpoint_loader, ActionOutcome, Client, ServeConfig, Server, ServerHandle};
+use agsc_serve::{
+    checkpoint_loader, ActionOutcome, ChaosConfig, ChaosPlan, ChaosProxy, Client, ClientConfig,
+    ServeConfig, Server, ServerHandle,
+};
 
 fn env() -> AirGroundEnv {
     let dataset = presets::purdue(1);
@@ -222,6 +225,102 @@ fn hot_reload_swaps_policy_without_killing_inflight_requests() {
     assert!(format!("{err}").contains("reload failed"), "{err}");
     assert_eq!(server.generation(), 2, "failed reload must not bump the generation");
     control.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn misbehaving_connections_do_not_degrade_clean_clients() {
+    let ckpt = trained_checkpoint(1, "serve_isolation.json");
+    let reference = Arc::new(InferencePolicy::load(&ckpt).unwrap());
+    let (num_agents, obs_dim) = (reference.num_agents(), reference.obs_dim());
+    // Hardened server: stalled and garbled connections are reclaimed by
+    // deadline, not allowed to pile up.
+    let config = ServeConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        idle_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(1)),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&ckpt, config);
+    let addr = server.addr();
+
+    // A fault proxy in front of the same server: these connections reset,
+    // truncate, corrupt, black-hole, and stall.
+    let chaos = ChaosConfig {
+        seed: 0x150_1A7E,
+        blackhole_prob: 0.15,
+        reset_prob: 0.2,
+        truncate_prob: 0.2,
+        corrupt_prob: 0.2,
+        delay_prob: 0.1,
+        delay: Duration::from_millis(2),
+    };
+    let proxy = ChaosProxy::start(addr, ChaosPlan::new(chaos)).unwrap();
+    let proxy_addr = proxy.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let abusers: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let deadlines = ClientConfig {
+                    connect_timeout: Some(Duration::from_millis(150)),
+                    read_timeout: Some(Duration::from_millis(150)),
+                    write_timeout: Some(Duration::from_millis(150)),
+                };
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // Fresh connection each round so every chaos fate gets
+                    // drawn; every outcome is tolerated.
+                    if let Ok(mut c) = Client::connect_with(proxy_addr, &deadlines) {
+                        let _ = c.action((t % num_agents) as u32, &obs_for(obs_dim, t, i));
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // The contract under test: clean clients connected directly see 100%
+    // success, bit-identical to direct inference, while the abuse runs.
+    let clean: Vec<_> = (0..4)
+        .map(|c| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..30u32 {
+                    let agent = (c + i as usize) % num_agents;
+                    let obs = obs_for(obs_dim, c, i);
+                    let direct = reference.action(agent, &obs);
+                    match client.action(agent as u32, &obs).unwrap() {
+                        ActionOutcome::Action(served) => {
+                            assert_eq!(
+                                (served[0].to_bits(), served[1].to_bits()),
+                                (direct[0].to_bits(), direct[1].to_bits()),
+                                "clean client {c} req {i} diverged while chaos ran next door"
+                            );
+                        }
+                        ActionOutcome::Overloaded => {
+                            panic!("clean client {c} shed at default queue_cap")
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in clean {
+        w.join().expect("clean clients must be untouched by misbehaving neighbours");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for a in abusers {
+        a.join().unwrap();
+    }
+    let stats = proxy.stats();
+    assert!(
+        stats.resets + stats.truncations + stats.corruptions + stats.blackholes > 0,
+        "the abuse traffic must actually have misbehaved: {stats:?}"
+    );
+    proxy.shutdown();
     server.shutdown();
 }
 
