@@ -61,6 +61,20 @@ pub struct ResultPoint {
     /// 99th-percentile request latency in microseconds (`0.0` when unmeasured).
     #[serde(default)]
     pub latency_p99_us: f64,
+    /// Median server-side admission-queue wait in microseconds, echoed via
+    /// the traced wire envelope (`0.0` when the run was not traced).
+    #[serde(default)]
+    pub stage_queue_wait_p50_us: f64,
+    /// Median micro-batch close wait in microseconds (`0.0` when untraced).
+    #[serde(default)]
+    pub stage_batch_wait_p50_us: f64,
+    /// Median batched forward-pass time in microseconds (`0.0` when untraced).
+    #[serde(default)]
+    pub stage_forward_p50_us: f64,
+    /// Median residual wire + client time in microseconds: round-trip minus
+    /// the echoed server stages (`0.0` when untraced).
+    #[serde(default)]
+    pub stage_wire_p50_us: f64,
 }
 
 impl ResultPoint {
@@ -90,6 +104,10 @@ impl ResultPoint {
             latency_p50_us: 0.0,
             latency_p95_us: 0.0,
             latency_p99_us: 0.0,
+            stage_queue_wait_p50_us: 0.0,
+            stage_batch_wait_p50_us: 0.0,
+            stage_forward_p50_us: 0.0,
+            stage_wire_p50_us: 0.0,
         }
     }
 
@@ -105,6 +123,17 @@ impl ResultPoint {
         self.latency_p50_us = p50;
         self.latency_p95_us = p95;
         self.latency_p99_us = p99;
+        self
+    }
+
+    /// Builder: attach traced per-stage median timings (microseconds) —
+    /// admission-queue wait, batch-close wait, batched forward, and the
+    /// residual wire/client time.
+    pub fn with_stage_p50s_us(mut self, queue: f64, batch: f64, forward: f64, wire: f64) -> Self {
+        self.stage_queue_wait_p50_us = queue;
+        self.stage_batch_wait_p50_us = batch;
+        self.stage_forward_p50_us = forward;
+        self.stage_wire_p50_us = wire;
         self
     }
 
@@ -275,14 +304,29 @@ mod tests {
         v.as_object_mut().unwrap().remove("latency_p50_us");
         v.as_object_mut().unwrap().remove("latency_p95_us");
         v.as_object_mut().unwrap().remove("latency_p99_us");
+        v.as_object_mut().unwrap().remove("stage_queue_wait_p50_us");
+        v.as_object_mut().unwrap().remove("stage_batch_wait_p50_us");
+        v.as_object_mut().unwrap().remove("stage_forward_p50_us");
+        v.as_object_mut().unwrap().remove("stage_wire_p50_us");
         let back: ResultPoint = serde_json::from_value(v).unwrap();
         assert_eq!(back.samples_per_sec, 0.0);
         assert_eq!(back.latency_p99_us, 0.0);
+        assert_eq!(back.stage_forward_p50_us, 0.0);
         let p = ResultPoint::new("x", "purdue", "a", &harness(), &metrics(1.0), 0.5)
             .with_samples_per_sec(123.0)
-            .with_latency_us(10.0, 20.0, 30.0);
+            .with_latency_us(10.0, 20.0, 30.0)
+            .with_stage_p50s_us(1.0, 2.0, 3.0, 4.0);
         assert_eq!(p.samples_per_sec, 123.0);
         assert_eq!((p.latency_p50_us, p.latency_p95_us, p.latency_p99_us), (10.0, 20.0, 30.0));
+        assert_eq!(
+            (
+                p.stage_queue_wait_p50_us,
+                p.stage_batch_wait_p50_us,
+                p.stage_forward_p50_us,
+                p.stage_wire_p50_us
+            ),
+            (1.0, 2.0, 3.0, 4.0)
+        );
     }
 
     #[test]

@@ -142,6 +142,9 @@ impl Diagnostics {
     /// onto `stats.anomalies`, export the row, and maybe print a report.
     pub fn observe(&mut self, iter: usize, stats: &mut IterationStats) {
         let anomalies = self.detector.observe(stats);
+        if !anomalies.is_empty() {
+            tlm::counter_add("train.anomalies", anomalies.len() as u64);
+        }
         for a in &anomalies {
             self.anomaly_total += 1;
             tlm::warn("anomaly", |e| {
@@ -159,6 +162,9 @@ impl Diagnostics {
             });
         }
         stats.anomalies = anomalies;
+        // A latch, not a rate: once any anomaly has fired this run, the
+        // gauge stays 1 so a scrape can't miss a transient between windows.
+        tlm::gauge_set("train.anomaly_latch", if self.anomaly_total > 0 { 1.0 } else { 0.0 });
 
         if let Some(rec) = self.recorder.as_mut() {
             if let Err(err) = rec.record(iter, stats, stats.anomalies.len()) {

@@ -488,9 +488,16 @@ impl HiMadrlTrainer {
     /// environment — the serial reference path.
     pub fn train_iteration(&mut self, env: &mut AirGroundEnv) -> IterationStats {
         let _span = tlm::span("train_iteration");
+        let started = tlm::is_enabled().then(std::time::Instant::now);
         let rollout = self.collect_rollout(env);
         let train_metrics = env.metrics();
-        self.update_from_rollouts(vec![rollout], train_metrics)
+        let samples = rollout.len() * self.num_agents;
+        let stats = self.update_from_rollouts(vec![rollout], train_metrics);
+        if let Some(t0) = started {
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            tlm::gauge_set("train.samples_per_sec", samples as f64 / secs);
+        }
+        stats
     }
 
     /// Run one full training iteration on a vectorized environment: parallel
@@ -502,9 +509,16 @@ impl HiMadrlTrainer {
     /// the per-replica task metrics.
     pub fn train_iteration_vec(&mut self, venv: &mut VecEnv) -> IterationStats {
         let _span = tlm::span("train_iteration");
+        let started = tlm::is_enabled().then(std::time::Instant::now);
         let rollouts = self.collect_rollout_vec(venv);
         let train_metrics = Metrics::mean(&venv.metrics());
-        self.update_from_rollouts(rollouts, train_metrics)
+        let samples: usize = rollouts.iter().map(Rollout::len).sum::<usize>() * self.num_agents;
+        let stats = self.update_from_rollouts(rollouts, train_metrics);
+        if let Some(t0) = started {
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            tlm::gauge_set("train.samples_per_sec", samples as f64 / secs);
+        }
+        stats
     }
 
     /// The update half of one training iteration: classifier, `M1` PPO
@@ -983,6 +997,15 @@ impl HiMadrlTrainer {
                 .bool("update_skipped", stats.update_skipped)
         });
         tlm::gauge_set("lambda", m.efficiency);
+        // Per-iteration training gauges: the live observability plane
+        // (`/metrics`, the `Stats` frame) reads the same registry, so a
+        // scrape during training shows the newest iteration's vitals.
+        tlm::gauge_set("train.iteration", iter as f64);
+        tlm::gauge_set("train.value_loss", stats.value_loss as f64);
+        tlm::gauge_set("train.approx_kl", stats.ppo.approx_kl as f64);
+        tlm::gauge_set("train.entropy", stats.ppo.entropy as f64);
+        tlm::gauge_set("train.explained_variance", stats.explained_variance as f64);
+        tlm::gauge_set("train.mean_ext_reward", stats.mean_ext_reward as f64);
         tlm::histogram_record("approx_kl", stats.ppo.approx_kl as f64);
         tlm::histogram_record("entropy", stats.ppo.entropy as f64);
         tlm::histogram_record("policy_grad_norm", stats.ppo.grad_norm as f64);

@@ -1,0 +1,243 @@
+//! The admin plane: a tiny std-only HTTP listener serving `/metrics`
+//! (Prometheus text exposition format 0.0.4) and `/healthz` (readiness).
+//!
+//! This is deliberately not a web framework: one thread, one request per
+//! connection, `Connection: close`, bounded header reads. A Prometheus
+//! scraper or a `curl` in a shell loop is the entire intended client
+//! population. The listener runs its own accept loop so a wedged serving
+//! data plane can still be scraped — observability must outlive the thing
+//! it observes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use agsc_telemetry as tlm;
+
+/// Verdict served on `/healthz`: HTTP 200 when `ready`, 503 otherwise,
+/// with `detail` (a JSON object) as the body either way.
+pub struct Health {
+    /// Whether the server should receive traffic.
+    pub ready: bool,
+    /// JSON detail body explaining the verdict.
+    pub detail: String,
+}
+
+/// Producer of live gauges appended to every `/metrics` scrape, on top of
+/// the global telemetry registry.
+pub type GaugeFn = Box<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
+
+/// Producer of the current `/healthz` verdict.
+pub type HealthFn = Box<dyn Fn() -> Health + Send + Sync>;
+
+/// A running admin listener. Factory: [`AdminServer::start`]; stops on
+/// [`AdminServer::stop`] or drop.
+pub struct AdminServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Bind `addr` (port 0 for an OS-assigned port) and serve scrapes until
+    /// stopped. `gauges` and `health` are called per request.
+    pub fn start(addr: &str, gauges: GaugeFn, health: HealthFn) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stopping);
+        let thread = std::thread::Builder::new()
+            .name("agsc-serve-admin".into())
+            .spawn(move || admin_loop(listener, stop_flag, gauges, health))?;
+        Ok(AdminServer { addr, stopping, thread: Some(thread) })
+    }
+
+    /// The bound address (with the OS-assigned port when asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting scrapes and join the listener thread. Idempotent via
+    /// `Drop`.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        // The listener sits in a blocking accept(); poke it awake.
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn admin_loop(listener: TcpListener, stopping: Arc<AtomicBool>, gauges: GaugeFn, health: HealthFn) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stopping.load(Ordering::SeqCst) {
+            // The shutdown poke (or a late scraper); close it and exit.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        tlm::counter_add("serve.admin_requests", 1);
+        // Scrapes are served inline on the admin thread: they are rare
+        // (seconds apart), bounded, and strictly ordered — no thread
+        // per scraper needed.
+        handle_scrape(stream, &gauges, &health);
+    }
+}
+
+fn handle_scrape(mut stream: TcpStream, gauges: &GaugeFn, health: &HealthFn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            tlm::export::prometheus_text(&gauges()),
+        ),
+        "/healthz" => {
+            let h = health();
+            let status = if h.ready { "200 OK" } else { "503 Service Unavailable" };
+            (status, "application/json; charset=utf-8", h.detail)
+        }
+        _ => ("404 Not Found", "text/plain; charset=utf-8", format!("no such endpoint: {path}\n")),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Read the request head (bounded at 8 KiB) and return the path of its
+/// request line, query string stripped. `None` for anything unparseable —
+/// the caller just closes the socket.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let path = parts.next()?;
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_admin(ready: bool) -> AdminServer {
+        AdminServer::start(
+            "127.0.0.1:0",
+            Box::new(|| vec![("test.gauge".to_string(), 42.5)]),
+            Box::new(move || Health { ready, detail: format!("{{\"ready\":{ready}}}") }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text_with_extra_gauges() {
+        let admin = test_admin(true);
+        let resp = get(admin.addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+        assert!(resp.contains("agsc_test_gauge 42.5"), "{resp}");
+        admin.stop();
+    }
+
+    #[test]
+    fn healthz_flips_status_code_with_readiness() {
+        let ok = test_admin(true);
+        let resp = get(ok.addr(), "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("{\"ready\":true}"), "{resp}");
+        ok.stop();
+
+        let bad = test_admin(false);
+        let resp = get(bad.addr(), "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("{\"ready\":false}"), "{resp}");
+        bad.stop();
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_queries_are_stripped() {
+        let admin = test_admin(true);
+        let resp = get(admin.addr(), "/nope");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = get(admin.addr(), "/metrics?format=x");
+        assert!(resp.starts_with("HTTP/1.1 200"), "query strings must not break routing: {resp}");
+        admin.stop();
+    }
+
+    #[test]
+    fn stop_is_prompt_and_idempotent_via_drop() {
+        let admin = test_admin(true);
+        let addr = admin.addr();
+        drop(admin);
+        // The listener must be gone: either refused outright or closed
+        // without a response.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+            let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 1];
+            assert!(!matches!(s.read(&mut buf), Ok(1)), "stopped admin must not answer");
+        }
+    }
+}

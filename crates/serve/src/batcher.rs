@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use agsc_telemetry as tlm;
 
 use crate::policy::PolicyStore;
-use crate::protocol::Response;
+use crate::protocol::{Response, StageTimings, TraceContext};
 
 /// One queued action request: who is asking, the observation row, when it
 /// entered the queue (for end-to-end latency), and where to send the answer.
@@ -31,6 +31,13 @@ pub struct Pending {
     pub obs: Vec<f32>,
     /// Enqueue instant; latency is measured from here to reply.
     pub enqueued: Instant,
+    /// When the batcher popped this request off the queue (stamped by
+    /// [`SharedQueue::pop_batch`]); `enqueued → popped` is the queue-wait
+    /// stage. `None` until popped.
+    pub popped: Option<Instant>,
+    /// Client trace context when the request arrived as a traced frame;
+    /// `None` requests are answered with the untraced response byte-stream.
+    pub trace: Option<TraceContext>,
     /// Oneshot reply channel (capacity-1 [`SyncSender`]); the connection
     /// thread blocks on the paired receiver.
     pub reply: SyncSender<Response>,
@@ -122,11 +129,11 @@ impl SharedQueue {
                         }
                     }
                     if batch.len() >= max_batch || s.closed {
-                        return Some(batch);
+                        return Some(stamp_popped(batch));
                     }
                     let now = Instant::now();
                     if now >= deadline {
-                        return Some(batch);
+                        return Some(stamp_popped(batch));
                     }
                     let (guard, timeout) = self
                         .ready
@@ -134,7 +141,7 @@ impl SharedQueue {
                         .unwrap_or_else(|e| e.into_inner());
                     s = guard;
                     if timeout.timed_out() && s.items.is_empty() {
-                        return Some(batch);
+                        return Some(stamp_popped(batch));
                     }
                 }
             }
@@ -144,6 +151,16 @@ impl SharedQueue {
             s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
+}
+
+/// Stamp the pop instant on every member of a freshly assembled batch:
+/// `enqueued → popped` is each request's queue-wait stage.
+fn stamp_popped(mut batch: Vec<Pending>) -> Vec<Pending> {
+    let now = Instant::now();
+    for p in &mut batch {
+        p.popped = Some(now);
+    }
+    batch
 }
 
 /// Batcher tuning knobs (subset of the server config the scheduler needs).
@@ -170,6 +187,15 @@ pub fn run_batcher(queue: &SharedQueue, store: &PolicyStore, opts: &BatcherOpts)
         tlm::histogram_record("serve.batch_size", batch.len() as f64);
         tlm::counter_add("serve.batches", 1);
         tlm::counter_add("serve.requests", batch.len() as u64);
+        // Record which traced requests rode this batch, so a slow trace_id
+        // can be joined against its batch-mates when diagnosing stragglers.
+        tlm::emit_with(tlm::Level::Debug, "serve.batch", |e| {
+            let ids: Vec<String> = batch
+                .iter()
+                .filter_map(|p| p.trace.map(|t| format!("{:016x}", t.trace_id)))
+                .collect();
+            e.u64("size", batch.len() as u64).str("trace_ids", ids.join(","))
+        });
         answer_batch(batch, policy.as_ref());
     }
 }
@@ -189,15 +215,40 @@ fn answer_batch(batch: Vec<Pending>, policy: &dyn crate::policy::ServePolicy) {
             debug_assert_eq!(p.obs.len(), obs_dim, "validated at the protocol boundary");
             rows.extend_from_slice(&p.obs);
         }
+        let forward_start = Instant::now();
         let actions = policy.actions(agent as usize, &rows, group.len());
+        let forward = forward_start.elapsed();
         debug_assert_eq!(actions.len(), group.len());
         for (p, act) in group.into_iter().zip(actions) {
             let latency_us = p.enqueued.elapsed().as_secs_f64() * 1e6;
             tlm::histogram_record("serve.latency_us", latency_us);
+            let stages = stage_timings(&p, forward_start, forward);
+            tlm::histogram_record("serve.stage.queue_wait_us", stages.queue_wait_us as f64);
+            tlm::histogram_record("serve.stage.batch_wait_us", stages.batch_wait_us as f64);
+            tlm::histogram_record("serve.stage.forward_us", stages.forward_us as f64);
+            // Traced requests get the same action bits wrapped in the
+            // traced envelope; untraced ones the original byte-stream.
+            let resp = match p.trace {
+                Some(_) => Response::TracedAction { heading: act[0], speed: act[1], stages },
+                None => Response::Action { heading: act[0], speed: act[1] },
+            };
             // A send error means the client hung up before its answer
             // arrived; the work is done either way.
-            let _ = p.reply.send(Response::Action { heading: act[0], speed: act[1] });
+            let _ = p.reply.send(resp);
         }
+    }
+}
+
+/// Attribute one request's life into the three server-side stages the wire
+/// echoes. The whole group shares one forward pass, so its duration is
+/// attributed to every member; microseconds saturate at `u32::MAX`.
+fn stage_timings(p: &Pending, forward_start: Instant, forward: Duration) -> StageTimings {
+    let us = |d: Duration| d.as_micros().min(u32::MAX as u128) as u32;
+    let popped = p.popped.unwrap_or(forward_start);
+    StageTimings {
+        queue_wait_us: us(popped.saturating_duration_since(p.enqueued)),
+        batch_wait_us: us(forward_start.saturating_duration_since(popped)),
+        forward_us: us(forward),
     }
 }
 
@@ -210,7 +261,9 @@ mod tests {
 
     fn pending(agent: u32, obs: Vec<f32>) -> (Pending, Receiver<Response>) {
         let (tx, rx) = sync_channel(1);
-        (Pending { agent, obs, enqueued: Instant::now(), reply: tx }, rx)
+        let p =
+            Pending { agent, obs, enqueued: Instant::now(), popped: None, trace: None, reply: tx };
+        (p, rx)
     }
 
     #[test]
@@ -332,6 +385,45 @@ mod tests {
             }
         }
         assert!(q.pop_batch(1, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn traced_requests_get_traced_replies_with_identical_action_bits() {
+        let policy = FakePolicy { obs_dim: 2, num_agents: 1, bias: 1.5, iterations: 0 };
+        let obs = vec![0.3f32, -0.7];
+        let (plain, plain_rx) = pending(0, obs.clone());
+        let (mut traced, traced_rx) = pending(0, obs.clone());
+        traced.trace = Some(TraceContext { trace_id: 0xABCD, client_send_us: 99 });
+        // Simulate the queue: both were popped together.
+        let batch = stamp_popped(vec![plain, traced]);
+        answer_batch(batch, &policy);
+        let (ph, ps) = match plain_rx.recv().unwrap() {
+            Response::Action { heading, speed } => (heading, speed),
+            other => panic!("plain request must get a plain action, got {other:?}"),
+        };
+        match traced_rx.recv().unwrap() {
+            Response::TracedAction { heading, speed, stages } => {
+                assert_eq!(heading.to_bits(), ph.to_bits(), "tracing must not perturb the action");
+                assert_eq!(speed.to_bits(), ps.to_bits());
+                // Stages are small but real durations; saturation keeps
+                // them finite.
+                assert!(stages.queue_wait_us < 60_000_000);
+                assert!(stages.batch_wait_us < 60_000_000);
+            }
+            other => panic!("traced request must get a traced action, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_batch_stamps_the_popped_instant() {
+        let q = SharedQueue::new(4);
+        let (p, _rx) = pending(0, vec![1.0]);
+        let before = Instant::now();
+        q.try_push(p).map_err(|_| ()).unwrap();
+        let batch = q.pop_batch(1, Duration::from_millis(1)).unwrap();
+        let popped = batch[0].popped.expect("pop_batch must stamp popped");
+        assert!(popped >= before);
+        assert!(popped >= batch[0].enqueued);
     }
 
     #[test]

@@ -16,8 +16,15 @@
 //! Set `AGSC_LOADGEN_RETRY=1` to drive [`agsc_serve::RetryingClient`]s
 //! instead of plain clients: transient failures reconnect with backoff
 //! (tuned by the `AGSC_RETRY_*` knobs), and the summary then separates
-//! **served** / **shed** (still overloaded after retries) / **retried**
-//! (extra attempts) / **failed** (exhausted or semantic errors).
+//! **served** / **shed** (still overloaded after retries) / **busy**
+//! (admission refusals) / **retried** (extra attempts) / **failed**
+//! (exhausted or semantic errors).
+//!
+//! Set `AGSC_LOADGEN_TRACE=1` to send every request over the traced wire
+//! envelope: the server echoes its per-stage timings (queue wait, batch
+//! wait, forward) back in each response, the summary prints stage medians,
+//! and the `BENCH_results.json` row carries `stage_*_p50_us` columns — the
+//! residual `wire` stage is round-trip minus the echoed server time.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,14 +34,20 @@ use std::time::{Duration, Instant};
 use agsc_bench::{BenchResults, ResultPoint};
 use agsc_serve::{
     checkpoint_loader, ActionOutcome, Client, ClientConfig, RetryPolicy, RetryingClient,
-    ServeConfig, Server,
+    ServeConfig, Server, StageTimings, TraceContext, TracedOutcome,
 };
 use agsc_telemetry as tlm;
 
-/// Per-client tally: one latency sample per served request.
+/// Per-client tally: one latency sample per served request; stage vectors
+/// fill only in traced mode.
 struct ClientStats {
     latencies_us: Vec<u64>,
+    stage_queue_us: Vec<u64>,
+    stage_batch_us: Vec<u64>,
+    stage_forward_us: Vec<u64>,
+    stage_wire_us: Vec<u64>,
     overloaded: u64,
+    busy: u64,
     errors: u64,
     retried: u64,
 }
@@ -56,12 +69,12 @@ impl ObsGen {
     }
 }
 
-fn percentile_us(sorted: &[u64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)] as f64
+/// Convert microsecond samples to a sorted `f64` vector, ready for
+/// [`tlm::quantile_sorted`] — the shared workspace percentile definition.
+fn sorted_us(samples: &[u64]) -> Vec<f64> {
+    let mut out: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+    out.sort_unstable_by(f64::total_cmp);
+    out
 }
 
 fn main() -> ExitCode {
@@ -94,7 +107,13 @@ fn main() -> ExitCode {
     let clients = env_u64("AGSC_LOADGEN_CLIENTS", 8).max(1) as usize;
     let secs = env_u64("AGSC_LOADGEN_SECS", 5).max(1);
     let retry_mode = env_u64("AGSC_LOADGEN_RETRY", 0) != 0;
-    let mode = if retry_mode { "retrying" } else { "plain" };
+    let traced = env_u64("AGSC_LOADGEN_TRACE", 0) != 0;
+    let mode = match (retry_mode, traced) {
+        (true, true) => "retrying traced",
+        (true, false) => "retrying",
+        (false, true) => "traced",
+        (false, false) => "plain",
+    };
     println!(
         "loadgen: {clients} {mode} clients × {secs}s against {addr} \
          (agents={num_agents}, obs_dim={obs_dim}, max_batch={max_batch}, queue_cap={queue_cap})"
@@ -108,7 +127,12 @@ fn main() -> ExitCode {
             std::thread::spawn(move || {
                 let mut stats = ClientStats {
                     latencies_us: Vec::with_capacity(1 << 16),
+                    stage_queue_us: Vec::new(),
+                    stage_batch_us: Vec::new(),
+                    stage_forward_us: Vec::new(),
+                    stage_wire_us: Vec::new(),
                     overloaded: 0,
+                    busy: 0,
                     errors: 0,
                     retried: 0,
                 };
@@ -136,6 +160,7 @@ fn main() -> ExitCode {
                 };
                 let mut gen = ObsGen { state: 0x9E3779B97F4A7C15u64.wrapping_mul(c as u64 + 1) };
                 let mut obs = vec![0.0f32; obs_dim];
+                let epoch = Instant::now();
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     for v in obs.iter_mut() {
@@ -143,15 +168,53 @@ fn main() -> ExitCode {
                     }
                     let agent = (i % num_agents as u64) as u32;
                     let t0 = Instant::now();
-                    let outcome = match &mut driver {
-                        Driver::Plain(client) => client.action(agent, &obs),
-                        Driver::Retrying(client) => client.action(agent, &obs),
+                    // `Ok(Some(stages))`: served (stages only in traced
+                    // mode); `Ok(None)`: overloaded.
+                    let outcome: Result<Option<Option<StageTimings>>, _> = if traced {
+                        let trace = TraceContext {
+                            trace_id: ((c as u64) << 32) | i,
+                            client_send_us: epoch.elapsed().as_micros() as u64,
+                        };
+                        match &mut driver {
+                            Driver::Plain(client) => client.action_traced(trace, agent, &obs),
+                            Driver::Retrying(client) => client.action_traced(trace, agent, &obs),
+                        }
+                        .map(|o| match o {
+                            TracedOutcome::Action { stages, .. } => Some(Some(stages)),
+                            TracedOutcome::Overloaded => None,
+                        })
+                    } else {
+                        match &mut driver {
+                            Driver::Plain(client) => client.action(agent, &obs),
+                            Driver::Retrying(client) => client.action(agent, &obs),
+                        }
+                        .map(|o| match o {
+                            ActionOutcome::Action(_) => Some(None),
+                            ActionOutcome::Overloaded => None,
+                        })
                     };
                     match outcome {
-                        Ok(ActionOutcome::Action(_)) => {
-                            stats.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        Ok(Some(stages)) => {
+                            let total = t0.elapsed().as_micros() as u64;
+                            stats.latencies_us.push(total);
+                            if let Some(s) = stages {
+                                let in_server = s.queue_wait_us as u64
+                                    + s.batch_wait_us as u64
+                                    + s.forward_us as u64;
+                                stats.stage_queue_us.push(s.queue_wait_us as u64);
+                                stats.stage_batch_us.push(s.batch_wait_us as u64);
+                                stats.stage_forward_us.push(s.forward_us as u64);
+                                stats.stage_wire_us.push(total.saturating_sub(in_server));
+                            }
                         }
-                        Ok(ActionOutcome::Overloaded) => stats.overloaded += 1,
+                        Ok(None) => stats.overloaded += 1,
+                        Err(agsc_serve::ClientError::Busy) => {
+                            // A plain client refused at admission: the server
+                            // closed the connection, so this client is done —
+                            // but Busy is healthy shedding, not a failure.
+                            stats.busy += 1;
+                            break;
+                        }
                         Err(e) => {
                             eprintln!("loadgen client {c}: {e}");
                             stats.errors += 1;
@@ -163,7 +226,9 @@ fn main() -> ExitCode {
                     i += 1;
                 }
                 if let Driver::Retrying(client) = &driver {
-                    stats.retried = client.stats().retries;
+                    let s = client.stats();
+                    stats.retried = s.retries;
+                    stats.busy += s.busy;
                 }
                 stats
             })
@@ -173,11 +238,18 @@ fn main() -> ExitCode {
     std::thread::sleep(Duration::from_secs(secs));
     stop.store(true, Ordering::Relaxed);
     let mut all_latencies: Vec<u64> = Vec::new();
-    let (mut overloaded, mut errors, mut retried) = (0u64, 0u64, 0u64);
+    let (mut stage_queue, mut stage_batch) = (Vec::new(), Vec::new());
+    let (mut stage_forward, mut stage_wire) = (Vec::new(), Vec::new());
+    let (mut overloaded, mut busy, mut errors, mut retried) = (0u64, 0u64, 0u64, 0u64);
     for w in workers {
         let stats = w.join().expect("loadgen client panicked");
         all_latencies.extend_from_slice(&stats.latencies_us);
+        stage_queue.extend_from_slice(&stats.stage_queue_us);
+        stage_batch.extend_from_slice(&stats.stage_batch_us);
+        stage_forward.extend_from_slice(&stats.stage_forward_us);
+        stage_wire.extend_from_slice(&stats.stage_wire_us);
         overloaded += stats.overloaded;
+        busy += stats.busy;
         errors += stats.errors;
         retried += stats.retried;
     }
@@ -185,25 +257,39 @@ fn main() -> ExitCode {
     server.shutdown();
 
     let served = all_latencies.len() as u64;
-    all_latencies.sort_unstable();
+    let latencies = sorted_us(&all_latencies);
     let throughput = served as f64 / elapsed;
     let (p50, p95, p99) = (
-        percentile_us(&all_latencies, 0.50),
-        percentile_us(&all_latencies, 0.95),
-        percentile_us(&all_latencies, 0.99),
+        tlm::quantile_sorted(&latencies, 0.50),
+        tlm::quantile_sorted(&latencies, 0.95),
+        tlm::quantile_sorted(&latencies, 0.99),
     );
     if retry_mode {
         println!(
             "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
-             ({overloaded} shed after retries, {retried} retried, {errors} failed)"
+             ({overloaded} shed after retries, {busy} busy-refused, {retried} retried, \
+             {errors} failed)"
         );
     } else {
         println!(
             "loadgen: served {served} requests in {elapsed:.2}s = {throughput:.0} req/s \
-             ({overloaded} overloaded, {errors} errors)"
+             ({overloaded} overloaded, {busy} busy-refused, {errors} errors)"
         );
     }
     println!("loadgen: latency p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us");
+    let stage_p50 = |v: &[u64]| tlm::quantile_sorted(&sorted_us(v), 0.50);
+    let (queue_p50, batch_p50, forward_p50, wire_p50) = (
+        stage_p50(&stage_queue),
+        stage_p50(&stage_batch),
+        stage_p50(&stage_forward),
+        stage_p50(&stage_wire),
+    );
+    if traced {
+        println!(
+            "loadgen: stage p50 queue_wait={queue_p50:.0}us batch_wait={batch_p50:.0}us \
+             forward={forward_p50:.0}us wire={wire_p50:.0}us"
+        );
+    }
     if let Some(table) = tlm::profile_table() {
         eprintln!("{table}");
     }
@@ -229,8 +315,13 @@ fn main() -> ExitCode {
             latency_p50_us: 0.0,
             latency_p95_us: 0.0,
             latency_p99_us: 0.0,
+            stage_queue_wait_p50_us: 0.0,
+            stage_batch_wait_p50_us: 0.0,
+            stage_forward_p50_us: 0.0,
+            stage_wire_p50_us: 0.0,
         }
-        .with_latency_us(p50, p95, p99),
+        .with_latency_us(p50, p95, p99)
+        .with_stage_p50s_us(queue_p50, batch_p50, forward_p50, wire_p50),
     );
     if let Some(path) = results.finish() {
         println!("loadgen: results merged into {}", path.display());

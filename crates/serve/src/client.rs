@@ -10,7 +10,9 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_request, ProtocolError, Request, Response};
+use crate::protocol::{
+    read_frame, write_request, ProtocolError, Request, Response, StageTimings, TraceContext,
+};
 
 /// Client-side deadlines. The default is fully blocking (every field
 /// `None`) — the pre-hardening behavior — so deadlines are strictly
@@ -53,6 +55,21 @@ fn env_ms(name: &str) -> Option<Duration> {
 pub enum ActionOutcome {
     /// The greedy action `[heading, speed]`.
     Action([f32; 2]),
+    /// Explicit backpressure — the request was not processed; retry later.
+    Overloaded,
+}
+
+/// A traced action outcome: the action plus the server's echoed stage
+/// breakdown, from [`Client::action_traced`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TracedOutcome {
+    /// The greedy action with the server-side stage timings.
+    Action {
+        /// `[heading, speed]`, bit-identical to an untraced query.
+        action: [f32; 2],
+        /// Where the request spent its time inside the server.
+        stages: StageTimings,
+    },
     /// Explicit backpressure — the request was not processed; retry later.
     Overloaded,
 }
@@ -264,6 +281,34 @@ impl Client {
             Response::Action { heading, speed } => Ok(ActionOutcome::Action([heading, speed])),
             Response::Overloaded => Ok(ActionOutcome::Overloaded),
             _ => Err(ClientError::Unexpected("wanted Action or Overloaded")),
+        }
+    }
+
+    /// [`Client::action`] with a trace envelope: `trace_id` tags this
+    /// request through the server's telemetry (batch membership, retries,
+    /// shed events), and the response echoes the server-side stage
+    /// timings. The action itself is bit-identical to an untraced query.
+    pub fn action_traced(
+        &mut self,
+        trace: TraceContext,
+        agent: u32,
+        obs: &[f32],
+    ) -> Result<TracedOutcome, ClientError> {
+        match self.round_trip(&Request::TracedAction { trace, agent, obs: obs.to_vec() })? {
+            Response::TracedAction { heading, speed, stages } => {
+                Ok(TracedOutcome::Action { action: [heading, speed], stages })
+            }
+            Response::Overloaded => Ok(TracedOutcome::Overloaded),
+            _ => Err(ClientError::Unexpected("wanted TracedAction or Overloaded")),
+        }
+    }
+
+    /// Fetch the server's telemetry registry snapshot as a JSON string
+    /// (the wire-level sibling of the admin plane's `/metrics`).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            _ => Err(ClientError::Unexpected("wanted Stats")),
         }
     }
 

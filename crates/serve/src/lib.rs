@@ -25,6 +25,9 @@
 //!   see `src/bin/loadgen.rs`), with connect/read/write deadlines.
 //! * [`retry`] — exponential backoff with decorrelated jitter and an
 //!   overall deadline budget, wrapped as [`retry::RetryingClient`].
+//! * [`admin`] — the observability plane: a std-only HTTP listener serving
+//!   `/metrics` (Prometheus text) and `/healthz`, fed by the same registry
+//!   as the wire-level `Stats` frame.
 //! * [`chaos`] — a seeded TCP fault proxy for chaos tests: delays, abrupt
 //!   resets, mid-frame truncation, byte corruption, black holes.
 //! * [`testsupport`] — the deterministic [`testsupport::FakePolicy`] used
@@ -48,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod batcher;
 pub mod chaos;
 pub mod client;
@@ -57,10 +61,13 @@ pub mod retry;
 pub mod server;
 pub mod testsupport;
 
+pub use admin::{AdminServer, Health};
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosPlan, ChaosProxy, ConnFate};
-pub use client::{ActionOutcome, Client, ClientConfig, ClientError, ReloadInfo, ServerInfo};
+pub use client::{
+    ActionOutcome, Client, ClientConfig, ClientError, ReloadInfo, ServerInfo, TracedOutcome,
+};
 pub use policy::{checkpoint_loader, PolicyLoader, PolicyStore, ServePolicy};
-pub use protocol::{ProtocolError, Request, Response};
+pub use protocol::{ProtocolError, Request, Response, StageTimings, TraceContext};
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use testsupport::FakePolicy;

@@ -23,6 +23,8 @@
 //! | `0x02` | Ping   | —                                                 |
 //! | `0x03` | Reload | `path_len: u32`, `path: path_len × u8` (UTF-8)    |
 //! | `0x04` | Info   | —                                                 |
+//! | `0x05` | Stats  | —                                                 |
+//! | `0x11` | TracedAction | `version: u8 (=1)`, `trace_id: u64`, `client_send_us: u64`, then the `Action` fields |
 //!
 //! Responses:
 //!
@@ -32,9 +34,16 @@
 //! | `0x82` | Pong       | —                                             |
 //! | `0x83` | ReloadOk   | `generation: u64`, `iterations_done: u64`     |
 //! | `0x84` | Info       | `num_agents: u32`, `obs_dim: u32`, `generation: u64` |
+//! | `0x85` | Stats      | `json_len: u32`, `json: json_len × u8` (UTF-8)|
+//! | `0x91` | TracedAction | `heading: f32`, `speed: f32`, `queue_wait_us: u32`, `batch_wait_us: u32`, `forward_us: u32` |
 //! | `0xED` | Busy       | —                                             |
 //! | `0xEE` | Overloaded | —                                             |
 //! | `0xEF` | Error      | `msg_len: u32`, `msg: msg_len × u8` (UTF-8)   |
+//!
+//! Trace context is **opt-in per request**: a client that never sends
+//! `0x11` speaks the original wire format byte-for-byte, and a server
+//! replies `0x91` only to `0x11`. The leading version byte lets the traced
+//! envelope evolve without burning opcodes; the only version today is 1.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -43,6 +52,39 @@ use std::io::{self, Read, Write};
 /// observation vector, small enough that a corrupt length prefix cannot
 /// trigger a giant allocation.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// The traced-envelope version this build understands.
+pub const TRACE_VERSION: u8 = 1;
+
+/// Client-supplied trace context carried by [`Request::TracedAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen request id; the server echoes it into batch spans and
+    /// stage events so one request's life is greppable end to end.
+    pub trace_id: u64,
+    /// Client send time in microseconds on the *client's* clock (opaque to
+    /// the server — echoed into events so the client can compute true
+    /// round-trip externality without clock sync).
+    pub client_send_us: u64,
+}
+
+/// Server-side stage timings echoed by [`Response::TracedAction`].
+///
+/// The stages partition a request's life inside the server: time spent in
+/// the admission queue, time waiting for its micro-batch to close, and the
+/// batched forward pass. Response write time can only be measured by the
+/// *next* observer, so it lives in the server's histograms rather than the
+/// echo. `u32` microseconds saturate at ~71 minutes, far beyond any
+/// configurable server timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Microseconds from enqueue to being popped by the batcher.
+    pub queue_wait_us: u32,
+    /// Microseconds from pop to the start of this request's group forward.
+    pub batch_wait_us: u32,
+    /// Microseconds of the batched forward pass that produced this action.
+    pub forward_us: u32,
+}
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +106,18 @@ pub enum Request {
     },
     /// Ask for the served policy's shape and generation.
     Info,
+    /// Ask for a JSON snapshot of the server's telemetry registry.
+    Stats,
+    /// An [`Request::Action`] query carrying an optional trace envelope;
+    /// answered with [`Response::TracedAction`].
+    TracedAction {
+        /// Client trace context, echoed through the server's telemetry.
+        trace: TraceContext,
+        /// Agent id in `0..num_agents`.
+        agent: u32,
+        /// Observation vector (must be exactly `obs_dim` long).
+        obs: Vec<f32>,
+    },
 }
 
 /// A server-to-client message.
@@ -106,6 +160,22 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// Reply to [`Request::Stats`]: the registry snapshot as JSON.
+    Stats {
+        /// JSON object (see `agsc_telemetry::export::stats_json`).
+        json: String,
+    },
+    /// The greedy action for a [`Request::TracedAction`] query, with the
+    /// server-side stage breakdown. The action bytes are identical to what
+    /// [`Response::Action`] would have carried.
+    TracedAction {
+        /// Heading in `[-1, 1]`.
+        heading: f32,
+        /// Speed in `[-1, 1]`.
+        speed: f32,
+        /// Where the request spent its time inside the server.
+        stages: StageTimings,
+    },
 }
 
 /// Why a payload failed to decode.
@@ -121,6 +191,8 @@ pub enum ProtocolError {
     BadUtf8,
     /// An advertised length exceeds [`MAX_FRAME_BYTES`].
     Oversize,
+    /// A traced envelope declared a version this build does not speak.
+    BadTraceVersion(u8),
 }
 
 impl fmt::Display for ProtocolError {
@@ -132,6 +204,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             ProtocolError::Oversize => {
                 write!(f, "advertised length exceeds {MAX_FRAME_BYTES} bytes")
+            }
+            ProtocolError::BadTraceVersion(v) => {
+                write!(f, "unsupported trace version {v} (this build speaks {TRACE_VERSION})")
             }
         }
     }
@@ -213,6 +288,18 @@ impl Request {
                 buf.extend_from_slice(path.as_bytes());
             }
             Request::Info => buf.push(0x04),
+            Request::Stats => buf.push(0x05),
+            Request::TracedAction { trace, agent, obs } => {
+                buf.push(0x11);
+                buf.push(TRACE_VERSION);
+                buf.extend_from_slice(&trace.trace_id.to_le_bytes());
+                buf.extend_from_slice(&trace.client_send_us.to_le_bytes());
+                buf.extend_from_slice(&agent.to_le_bytes());
+                buf.extend_from_slice(&(obs.len() as u32).to_le_bytes());
+                for v in obs {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
     }
 
@@ -237,6 +324,21 @@ impl Request {
                 Request::Reload { path }
             }
             0x04 => Request::Info,
+            0x05 => Request::Stats,
+            0x11 => {
+                let version = c.u8()?;
+                if version != TRACE_VERSION {
+                    return Err(ProtocolError::BadTraceVersion(version));
+                }
+                let trace = TraceContext { trace_id: c.u64()?, client_send_us: c.u64()? };
+                let agent = c.u32()?;
+                let n = checked_len(c.u32()?, 4)?;
+                let mut obs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    obs.push(c.f32()?);
+                }
+                Request::TracedAction { trace, agent, obs }
+            }
             op => return Err(ProtocolError::UnknownOpcode(op)),
         };
         c.finish()?;
@@ -272,6 +374,19 @@ impl Response {
                 buf.extend_from_slice(&(message.len() as u32).to_le_bytes());
                 buf.extend_from_slice(message.as_bytes());
             }
+            Response::Stats { json } => {
+                buf.push(0x85);
+                buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::TracedAction { heading, speed, stages } => {
+                buf.push(0x91);
+                buf.extend_from_slice(&heading.to_le_bytes());
+                buf.extend_from_slice(&speed.to_le_bytes());
+                buf.extend_from_slice(&stages.queue_wait_us.to_le_bytes());
+                buf.extend_from_slice(&stages.batch_wait_us.to_le_bytes());
+                buf.extend_from_slice(&stages.forward_us.to_le_bytes());
+            }
         }
     }
 
@@ -294,6 +409,21 @@ impl Response {
                     String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)?;
                 Response::Error { message }
             }
+            0x85 => {
+                let n = checked_len(c.u32()?, 1)?;
+                let bytes = c.take(n)?;
+                let json = String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)?;
+                Response::Stats { json }
+            }
+            0x91 => Response::TracedAction {
+                heading: c.f32()?,
+                speed: c.f32()?,
+                stages: StageTimings {
+                    queue_wait_us: c.u32()?,
+                    batch_wait_us: c.u32()?,
+                    forward_us: c.u32()?,
+                },
+            },
             op => return Err(ProtocolError::UnknownOpcode(op)),
         };
         c.finish()?;
@@ -371,6 +501,12 @@ mod tests {
         req_round_trip(Request::Ping);
         req_round_trip(Request::Reload { path: "/tmp/ckpt — émoji.json".into() });
         req_round_trip(Request::Info);
+        req_round_trip(Request::Stats);
+        req_round_trip(Request::TracedAction {
+            trace: TraceContext { trace_id: u64::MAX, client_send_us: 123_456_789 },
+            agent: 2,
+            obs: vec![0.5, -0.25],
+        });
     }
 
     #[test]
@@ -382,6 +518,41 @@ mod tests {
         resp_round_trip(Response::Busy);
         resp_round_trip(Response::Overloaded);
         resp_round_trip(Response::Error { message: "queue \"closed\"".into() });
+        resp_round_trip(Response::Stats { json: "{\"counters\":{}}".into() });
+        resp_round_trip(Response::TracedAction {
+            heading: -0.5,
+            speed: 0.75,
+            stages: StageTimings { queue_wait_us: 7, batch_wait_us: 11, forward_us: u32::MAX },
+        });
+    }
+
+    #[test]
+    fn traced_action_rejects_unknown_versions() {
+        let mut buf = Vec::new();
+        Request::TracedAction {
+            trace: TraceContext { trace_id: 1, client_send_us: 2 },
+            agent: 0,
+            obs: vec![],
+        }
+        .encode(&mut buf);
+        buf[1] = TRACE_VERSION + 1;
+        assert_eq!(Request::decode(&buf), Err(ProtocolError::BadTraceVersion(TRACE_VERSION + 1)));
+    }
+
+    #[test]
+    fn traced_action_wire_embeds_the_plain_action_fields() {
+        // The traced envelope is a strict prefix wrapper: opcode+version+
+        // trace context, then the exact bytes of the untraced Action body.
+        let mut plain = Vec::new();
+        Request::Action { agent: 9, obs: vec![1.0, -2.0, 3.5] }.encode(&mut plain);
+        let mut traced = Vec::new();
+        Request::TracedAction {
+            trace: TraceContext { trace_id: 42, client_send_us: 7 },
+            agent: 9,
+            obs: vec![1.0, -2.0, 3.5],
+        }
+        .encode(&mut traced);
+        assert_eq!(&traced[18..], &plain[1..], "agent+obs bytes must be identical");
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 
 use agsc_telemetry as tlm;
 
-use crate::client::{ActionOutcome, Client, ClientConfig, ClientError, ServerInfo};
+use crate::client::{ActionOutcome, Client, ClientConfig, ClientError, ServerInfo, TracedOutcome};
+use crate::protocol::TraceContext;
 
 /// Retry tuning. [`Default`] is a modest 4-attempt policy; tests and the
 /// load generator override per scenario.
@@ -132,6 +133,10 @@ pub struct RetryStats {
     pub reconnects: u64,
     /// Operations that exhausted attempts or budget.
     pub gave_up: u64,
+    /// Attempts refused at admission with `Busy` (0xED) — the connection
+    /// cap, not queue backpressure. Counted separately from `Overloaded`
+    /// so a full accept plane and a full batch queue read differently.
+    pub busy: u64,
 }
 
 /// A [`Client`] wrapped in connect-lazily, reconnect-on-failure retry
@@ -188,11 +193,47 @@ impl RetryingClient {
         }
     }
 
+    /// [`Self::action`] over the traced envelope: same retry semantics,
+    /// plus stage timings echoed back and retries tagged with the trace id.
+    pub fn action_traced(
+        &mut self,
+        trace: TraceContext,
+        agent: u32,
+        obs: &[f32],
+    ) -> Result<TracedOutcome, ClientError> {
+        match self.run_traced(Some(trace.trace_id), |c| {
+            match c.action_traced(trace, agent, obs)? {
+                TracedOutcome::Action { action, stages } => {
+                    Ok(Some(TracedOutcome::Action { action, stages }))
+                }
+                TracedOutcome::Overloaded => Ok(None),
+            }
+        }) {
+            Ok(outcome) => Ok(outcome),
+            Err(ClientError::Exhausted { attempts, last }) => match *last {
+                ClientError::Unexpected("overloaded") => Ok(TracedOutcome::Overloaded),
+                other => Err(ClientError::Exhausted { attempts, last: Box::new(other) }),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
     /// The retry loop. `op` returns `Ok(Some(v))` on success, `Ok(None)`
     /// for retryable backpressure (connection kept), `Err(transient)` for
     /// failures that reconnect, and `Err(other)` to abort immediately.
     fn run<T>(
         &mut self,
+        op: impl FnMut(&mut Client) -> Result<Option<T>, ClientError>,
+    ) -> Result<T, ClientError> {
+        self.run_traced(None, op)
+    }
+
+    /// [`Self::run`] with an optional trace id: retries of a traced
+    /// operation emit `client.retry` events tagged with the id, so a retry
+    /// storm in the logs is attributable to the requests driving it.
+    fn run_traced<T>(
+        &mut self,
+        trace_id: Option<u64>,
         mut op: impl FnMut(&mut Client) -> Result<Option<T>, ClientError>,
     ) -> Result<T, ClientError> {
         self.stats.operations += 1;
@@ -212,11 +253,19 @@ impl RetryingClient {
                 std::thread::sleep(delay);
                 tlm::counter_add("client.retries", 1);
                 self.stats.retries += 1;
+                if let Some(id) = trace_id {
+                    tlm::emit_with(tlm::Level::Debug, "client.retry", |e| {
+                        e.str("trace_id", format!("{id:016x}"))
+                            .u64("attempt", attempts as u64 + 1)
+                            .u64("delay_us", delay.as_micros().min(u64::MAX as u128) as u64)
+                    });
+                }
             }
             attempts += 1;
             let conn = match self.ensure_connected() {
                 Ok(c) => c,
                 Err(e) if e.is_transient() => {
+                    self.count_busy(&e);
                     last = Some(e);
                     continue;
                 }
@@ -226,6 +275,7 @@ impl RetryingClient {
                 Ok(Some(v)) => return Ok(v),
                 Ok(None) => last = Some(ClientError::Unexpected("overloaded")),
                 Err(e) if e.is_transient() => {
+                    self.count_busy(&e);
                     self.conn = None;
                     last = Some(e);
                 }
@@ -236,6 +286,15 @@ impl RetryingClient {
         self.stats.gave_up += 1;
         let last = last.unwrap_or(ClientError::Unexpected("no attempt was made"));
         Err(ClientError::Exhausted { attempts, last: Box::new(last) })
+    }
+
+    /// `Busy` admission refusals get their own tally (and counter), distinct
+    /// from the queue's `Overloaded` backpressure.
+    fn count_busy(&mut self, e: &ClientError) {
+        if matches!(e, ClientError::Busy) {
+            tlm::counter_add("client.busy_refused", 1);
+            self.stats.busy += 1;
+        }
     }
 
     fn ensure_connected(&mut self) -> Result<&mut Client, ClientError> {
@@ -310,6 +369,42 @@ mod tests {
         }
         let stats = client.stats();
         assert_eq!((stats.operations, stats.retries, stats.gave_up), (1, 2, 1));
+        assert_eq!(stats.busy, 0, "connection refusals are not Busy admission refusals");
+    }
+
+    #[test]
+    fn busy_refusals_are_tallied_apart_from_other_transients() {
+        use crate::protocol::{read_frame, write_response, Response};
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Answer every request on three successive connections with a
+            // Busy admission refusal, as a capped server would.
+            for _ in 0..3 {
+                let (mut conn, _) = listener.accept().unwrap();
+                let _ = read_frame(&mut conn);
+                let _ = write_response(&mut conn, &Response::Busy);
+            }
+        });
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            budget: None,
+            seed: 5,
+        };
+        let mut client = RetryingClient::new(addr, ClientConfig::default(), p);
+        match client.ping() {
+            Err(ClientError::Exhausted { attempts: 3, last }) => {
+                assert!(matches!(*last, ClientError::Busy), "expected Busy, got {last}")
+            }
+            other => panic!("expected Exhausted-on-Busy, got {other:?}"),
+        }
+        let stats = client.stats();
+        assert_eq!(stats.busy, 3, "every Busy refusal must land in the distinct tally");
+        assert_eq!((stats.operations, stats.retries, stats.gave_up), (1, 2, 1));
+        server.join().unwrap();
     }
 
     #[test]

@@ -30,9 +30,10 @@ use std::time::{Duration, Instant};
 
 use agsc_telemetry as tlm;
 
+use crate::admin::{AdminServer, Health};
 use crate::batcher::{run_batcher, BatcherOpts, Pending, PushError, SharedQueue};
 use crate::policy::{PolicyLoader, PolicyStore, ServePolicy};
-use crate::protocol::{write_response, Request, Response, MAX_FRAME_BYTES};
+use crate::protocol::{write_response, Request, Response, TraceContext, MAX_FRAME_BYTES};
 
 /// Server tuning knobs. [`ServeConfig::from_env`] is the standard way to
 /// build one; every field has a sensible default.
@@ -67,6 +68,12 @@ pub struct ServeConfig {
     /// get a typed [`Response::Busy`] and an immediate close
     /// (`serve.busy_refused`). `0` (the default) means unlimited.
     pub max_conns: usize,
+    /// Bind address for the admin HTTP listener (`/metrics`, `/healthz`).
+    /// `None` (the default) runs no admin plane.
+    pub metrics_addr: Option<String>,
+    /// `/healthz` queue threshold: the server reports unready once the
+    /// queue backlog reaches this fraction of `queue_cap`. Default 0.9.
+    pub health_queue_frac: f64,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +88,8 @@ impl Default for ServeConfig {
             write_timeout: None,
             idle_timeout: None,
             max_conns: 0,
+            metrics_addr: None,
+            health_queue_frac: 0.9,
         }
     }
 }
@@ -91,7 +100,9 @@ impl ServeConfig {
     /// `AGSC_SERVE_QUEUE_CAP`, plus the hardening knobs
     /// `AGSC_SERVE_READ_TIMEOUT_MS`, `AGSC_SERVE_WRITE_TIMEOUT_MS`,
     /// `AGSC_SERVE_IDLE_TIMEOUT_MS` (0 or unset = no timeout) and
-    /// `AGSC_SERVE_MAX_CONNS` (0 or unset = unlimited). Unset or
+    /// `AGSC_SERVE_MAX_CONNS` (0 or unset = unlimited), plus the admin
+    /// plane: `AGSC_METRICS_ADDR` (e.g. `127.0.0.1:9100`; unset = no admin
+    /// listener) and `AGSC_METRICS_HEALTH_QUEUE_FRAC`. Unset or
     /// unparseable values fall back to the defaults (with a warning for
     /// unparseable ones).
     pub fn from_env() -> Self {
@@ -113,6 +124,12 @@ impl ServeConfig {
             write_timeout: env_timeout_ms("AGSC_SERVE_WRITE_TIMEOUT_MS"),
             idle_timeout: env_timeout_ms("AGSC_SERVE_IDLE_TIMEOUT_MS"),
             max_conns: env_parse("AGSC_SERVE_MAX_CONNS", 0usize),
+            metrics_addr: std::env::var("AGSC_METRICS_ADDR")
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty()),
+            health_queue_frac: env_parse("AGSC_METRICS_HEALTH_QUEUE_FRAC", d.health_queue_frac)
+                .clamp(0.01, 1.0),
         }
     }
 }
@@ -153,6 +170,48 @@ struct Shared {
     idle_timeout: Option<Duration>,
     max_conns: usize,
     active: AtomicUsize,
+    queue_cap: usize,
+    health_queue_frac: f64,
+    started: Instant,
+}
+
+/// Live server gauges appended to every `/metrics` scrape and `Stats`
+/// frame: instantaneous values the registry cannot know (queue depth right
+/// now vs. at the last batch).
+fn live_gauges(shared: &Shared) -> Vec<(String, f64)> {
+    vec![
+        ("serve.queue_depth_live".to_string(), shared.queue.len() as f64),
+        ("serve.queue_cap".to_string(), shared.queue_cap as f64),
+        ("serve.active_conns".to_string(), shared.active.load(Ordering::SeqCst) as f64),
+        ("serve.generation".to_string(), shared.store.generation() as f64),
+        ("serve.uptime_secs".to_string(), shared.started.elapsed().as_secs_f64()),
+    ]
+}
+
+/// `/healthz` verdict: ready means a policy is loaded, the queue backlog
+/// is under `health_queue_frac × queue_cap`, and nothing was shed
+/// (`Overloaded` or `Busy`) inside the rolling telemetry window. With
+/// telemetry disabled the shed signal is unavailable and health degrades
+/// to the live queue-depth check.
+fn health_check(shared: &Shared) -> Health {
+    let depth = shared.queue.len();
+    let threshold = (shared.health_queue_frac * shared.queue_cap as f64).max(1.0) as usize;
+    let shed_in_window: u64 = tlm::window_counters_snapshot()
+        .iter()
+        .filter(|(name, _, _)| *name == "serve.overloaded" || *name == "serve.busy_refused")
+        .map(|(_, total, _)| *total)
+        .sum();
+    let policy_loaded = shared.store.generation() >= 1;
+    Health {
+        ready: policy_loaded && depth < threshold && shed_in_window == 0,
+        detail: format!(
+            "{{\"policy_loaded\":{policy_loaded},\"queue_depth\":{depth},\
+             \"queue_threshold\":{threshold},\"queue_cap\":{},\"shed_in_window\":{shed_in_window},\
+             \"generation\":{}}}",
+            shared.queue_cap,
+            shared.store.generation()
+        ),
+    }
 }
 
 /// RAII decrement of the live-connection count, so a connection thread
@@ -172,6 +231,7 @@ pub struct ServerHandle {
     accept_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    admin: Option<AdminServer>,
 }
 
 /// Namespace for [`Server::start`].
@@ -198,6 +258,9 @@ impl Server {
             idle_timeout: config.idle_timeout,
             max_conns: config.max_conns,
             active: AtomicUsize::new(0),
+            queue_cap: config.queue_cap,
+            health_queue_frac: config.health_queue_frac,
+            started: Instant::now(),
         });
         tlm::emit_with(tlm::Level::Info, "serve_start", |e| {
             e.str("addr", addr.to_string())
@@ -226,12 +289,30 @@ impl Server {
                 .spawn(move || accept_loop(listener, shared, conn_threads))?
         };
 
+        let admin = match &config.metrics_addr {
+            Some(metrics_addr) => {
+                let gauges_shared = Arc::clone(&shared);
+                let health_shared = Arc::clone(&shared);
+                let admin = AdminServer::start(
+                    metrics_addr,
+                    Box::new(move || live_gauges(&gauges_shared)),
+                    Box::new(move || health_check(&health_shared)),
+                )?;
+                tlm::emit_with(tlm::Level::Info, "serve_admin", |e| {
+                    e.str("addr", admin.addr().to_string())
+                });
+                Some(admin)
+            }
+            None => None,
+        };
+
         Ok(ServerHandle {
             addr,
             shared,
             accept_thread: Some(accept_thread),
             batcher_thread: Some(batcher_thread),
             conn_threads,
+            admin,
         })
     }
 }
@@ -246,6 +327,11 @@ impl ServerHandle {
     /// Current policy generation (bumps on every successful hot reload).
     pub fn generation(&self) -> u64 {
         self.shared.store.generation()
+    }
+
+    /// The admin HTTP listener's address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.addr())
     }
 
     /// Graceful shutdown: refuse new connections, drain and answer every
@@ -286,6 +372,10 @@ impl ServerHandle {
         };
         for t in handles {
             let _ = t.join();
+        }
+        // 4. Stop the admin plane last, so a scrape can observe the drain.
+        if let Some(admin) = self.admin.take() {
+            admin.stop();
         }
         tlm::emit_with(tlm::Level::Info, "serve_stop", |e| e.str("addr", self.addr.to_string()));
     }
@@ -476,6 +566,10 @@ fn conn_loop(reader: &mut TcpStream, writer: &mut BufWriter<TcpStream>, shared: 
                         tlm::warn("serve_panic", |e| {
                             e.msg("request handler panicked; answered with a typed error")
                         });
+                        // A panicking handler is exactly when buffered JSONL
+                        // context matters most — push it to disk now rather
+                        // than risk losing it with the process.
+                        tlm::flush();
                         Response::Error { message: "internal error: handler panicked".to_string() }
                     }
                 }
@@ -485,11 +579,21 @@ fn conn_loop(reader: &mut TcpStream, writer: &mut BufWriter<TcpStream>, shared: 
                 Response::Error { message: format!("bad request: {e}") }
             }
         };
+        // The response-write stage can only be observed from this side of
+        // the wire, so it lives in the histograms rather than the traced
+        // echo. Gated so the disabled path never reads the clock.
+        let write_start = if tlm::is_enabled() { Some(Instant::now()) } else { None };
         if let Err(e) = write_response(writer, &resp) {
             if is_timeout(&e) {
                 tlm::counter_add("serve.conn_timeout", 1);
             }
             return;
+        }
+        if let Some(t0) = write_start {
+            tlm::histogram_record(
+                "serve.stage.response_write_us",
+                t0.elapsed().as_secs_f64() * 1e6,
+            );
         }
     }
 }
@@ -505,7 +609,11 @@ fn respond(req: Request, shared: &Shared) -> Response {
                 generation,
             }
         }
-        Request::Action { agent, obs } => respond_action(agent, obs, shared),
+        Request::Action { agent, obs } => respond_action(agent, obs, None, shared),
+        Request::TracedAction { trace, agent, obs } => {
+            respond_action(agent, obs, Some(trace), shared)
+        }
+        Request::Stats => Response::Stats { json: tlm::export::stats_json(&live_gauges(shared)) },
         Request::Reload { path } => {
             let new_policy = match (shared.loader)(std::path::Path::new(&path)) {
                 Ok(p) => p,
@@ -532,7 +640,12 @@ fn respond(req: Request, shared: &Shared) -> Response {
     }
 }
 
-fn respond_action(agent: u32, obs: Vec<f32>, shared: &Shared) -> Response {
+fn respond_action(
+    agent: u32,
+    obs: Vec<f32>,
+    trace: Option<TraceContext>,
+    shared: &Shared,
+) -> Response {
     let policy = shared.store.current();
     if agent as usize >= policy.num_agents() {
         return Response::Error {
@@ -552,11 +665,17 @@ fn respond_action(agent: u32, obs: Vec<f32>, shared: &Shared) -> Response {
         };
     }
     let (reply_tx, reply_rx) = sync_channel(1);
-    let pending = Pending { agent, obs, enqueued: Instant::now(), reply: reply_tx };
+    let pending =
+        Pending { agent, obs, enqueued: Instant::now(), popped: None, trace, reply: reply_tx };
     match shared.queue.try_push(pending) {
         Ok(()) => {}
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(p)) => {
             tlm::counter_add("serve.overloaded", 1);
+            if let Some(t) = p.trace {
+                tlm::emit_with(tlm::Level::Debug, "serve.shed", |e| {
+                    e.str("trace_id", format!("{:016x}", t.trace_id)).str("reason", "overloaded")
+                });
+            }
             return Response::Overloaded;
         }
         Err(PushError::Closed(_)) => {

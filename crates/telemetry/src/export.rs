@@ -1,0 +1,210 @@
+//! Exposition of the global registry: Prometheus text format and a JSON
+//! stats snapshot.
+//!
+//! Both renderers read the same snapshots (cumulative counters, gauges,
+//! histograms, and the windowed registry), so the `/metrics` HTTP
+//! endpoint, the `Stats` wire frame, and a debugging dump of the registry
+//! all agree by construction. Everything here is pull-path: nothing
+//! allocates or locks until a scrape actually happens.
+
+use crate::event::push_json_str;
+use crate::window::WindowSummary;
+use crate::HistogramSummary;
+
+/// Map a registry name (`serve.stage.queue_wait_us`, `train/loss`) onto
+/// the Prometheus name charset: `[a-zA-Z0-9_:]`, with everything else
+/// folded to `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphabetic() || ch == '_' || (ch.is_ascii_digit() && i > 0);
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_summary_quantiles(out: &mut String, name: &str, s: &HistogramSummary) {
+    for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.95", s.p95), ("0.99", s.p99)] {
+        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
+    }
+    out.push_str(&format!("{name}_count {}\n", s.count));
+    out.push_str(&format!("{name}_sum {}\n", fmt_f64(s.mean * s.count as f64)));
+}
+
+fn push_window_quantiles(out: &mut String, name: &str, window: &str, s: &WindowSummary) {
+    for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+        out.push_str(&format!("{name}{{quantile=\"{q}\",window=\"{window}\"}} {}\n", fmt_f64(v)));
+    }
+    out.push_str(&format!("{name}_count{{window=\"{window}\"}} {}\n", s.count));
+}
+
+/// Render the whole global registry in the Prometheus text exposition
+/// format (version 0.0.4). Returns an empty string when telemetry is
+/// disabled. `extra_gauges` lets a host append live values that are not
+/// in the registry (e.g. a server's instantaneous queue depth).
+///
+/// Families, all prefixed `agsc_`:
+/// * counters → `agsc_<name>_total` (cumulative) and
+///   `agsc_<name>_rate_per_sec` (rolling rate over the window),
+/// * gauges → `agsc_<name>`,
+/// * histograms → `agsc_<name>` summary quantiles (cumulative-window) and
+///   `agsc_<name>_rolling` quantiles labelled with the window length,
+/// * spans → `agsc_span_seconds_total` / `agsc_span_calls_total` keyed by
+///   a `path` label.
+pub fn prometheus_text(extra_gauges: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    if !crate::is_enabled() && extra_gauges.is_empty() {
+        return out;
+    }
+    let window_label = format!("{}s", crate::window_config().window_secs());
+    let window_counters = crate::window_counters_snapshot();
+    for (name, value) in crate::counters_snapshot() {
+        let pname = format!("agsc_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {pname}_total counter\n{pname}_total {value}\n"));
+        if let Some((_, _, rate)) = window_counters.iter().find(|(n, _, _)| *n == name) {
+            out.push_str(&format!(
+                "# TYPE {pname}_rate_per_sec gauge\n{pname}_rate_per_sec {}\n",
+                fmt_f64(*rate)
+            ));
+        }
+    }
+    for (name, value) in crate::gauges_snapshot() {
+        let pname = format!("agsc_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", fmt_f64(value)));
+    }
+    let window_hists = crate::window_histograms_snapshot();
+    for (name, summary) in crate::histograms_snapshot() {
+        let pname = format!("agsc_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {pname} summary\n"));
+        push_summary_quantiles(&mut out, &pname, &summary);
+        if let Some((_, w)) = window_hists.iter().find(|(n, _)| *n == name) {
+            out.push_str(&format!("# TYPE {pname}_rolling summary\n"));
+            push_window_quantiles(&mut out, &format!("{pname}_rolling"), &window_label, w);
+        }
+    }
+    let spans = crate::spans_snapshot();
+    if !spans.is_empty() {
+        out.push_str("# TYPE agsc_span_seconds_total counter\n");
+        out.push_str("# TYPE agsc_span_calls_total counter\n");
+        for (path, stat) in &spans {
+            let label = path.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "agsc_span_seconds_total{{path=\"{label}\"}} {}\n",
+                fmt_f64(stat.total.as_secs_f64())
+            ));
+            out.push_str(&format!("agsc_span_calls_total{{path=\"{label}\"}} {}\n", stat.calls));
+        }
+    }
+    for (name, value) in extra_gauges {
+        let pname = format!("agsc_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", fmt_f64(*value)));
+    }
+    out
+}
+
+/// The registry as one JSON object: `{"counters":{..},"rates":{..},
+/// "gauges":{..},"histograms":{..},"rolling":{..},"window_secs":N}`.
+/// This is the payload of the serve protocol's `Stats` frame.
+pub fn stats_json(extra_gauges: &[(String, f64)]) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in crate::counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"rates\":{");
+    for (i, (k, total, rate)) in crate::window_counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(":{{\"window_total\":{total},\"per_sec\":{}}}", json_f64(*rate)));
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (k, v) in crate::gauges_snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(&mut out, k);
+        out.push_str(&format!(":{}", json_f64(v)));
+    }
+    for (k, v) in extra_gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(&mut out, k);
+        out.push_str(&format!(":{}", json_f64(*v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, s)) in crate::histograms_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push(':');
+        out.push_str(&s.to_json());
+    }
+    out.push_str("},\"rolling\":{");
+    for (i, (k, s)) in crate::window_histograms_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            s.count,
+            json_f64(s.p50),
+            json_f64(s.p95),
+            json_f64(s.p99)
+        ));
+    }
+    out.push_str(&format!("}},\"window_secs\":{}}}", crate::window_config().window_secs()));
+    out
+}
+
+/// JSON has no NaN/Inf literals; fold them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_folds_everything_exotic_to_underscore() {
+        assert_eq!(sanitize_metric_name("serve.stage.queue_wait_us"), "serve_stage_queue_wait_us");
+        assert_eq!(sanitize_metric_name("a/b-c d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives", "leading digit is invalid");
+    }
+
+    #[test]
+    fn fmt_f64_handles_non_finite() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -7,6 +7,29 @@
 //! regardless of run length, and recent-window quantiles are exactly what a
 //! drift detector wants anyway.
 
+/// Quantile `q ∈ [0, 1]` of an ascending-sorted slice, by linear
+/// interpolation between order statistics. Returns 0 for an empty slice.
+///
+/// This is **the** percentile definition of the workspace: the cumulative
+/// [`Histogram`], the windowed registry, and the load generator all route
+/// through it, so "p99" means the same thing on every surface (a property
+/// test pins the equivalence down).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 /// A bounded-memory histogram/quantile estimator.
 ///
 /// Non-finite samples are counted separately and never stored, so one NaN
@@ -169,16 +192,7 @@ impl Histogram {
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("ring holds only finite values"));
-        let q = q.clamp(0.0, 1.0);
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            sorted[lo]
-        } else {
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-        }
+        quantile_sorted(&sorted, q)
     }
 
     /// Snapshot every summary statistic at once (one sort).
@@ -188,12 +202,7 @@ impl Histogram {
         } else {
             let mut sorted = self.samples.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("ring holds only finite values"));
-            let at = |q: f64| {
-                let pos = q * (sorted.len() - 1) as f64;
-                let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
-                let frac = pos - lo as f64;
-                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-            };
+            let at = |q: f64| quantile_sorted(&sorted, q);
             (at(0.5), at(0.9), at(0.95), at(0.99))
         };
         HistogramSummary {

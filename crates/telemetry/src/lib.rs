@@ -40,23 +40,26 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod histogram;
 pub mod manifest;
 pub mod profile;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use event::{Event, Level, Value};
-pub use histogram::{Histogram, HistogramSummary};
+pub use histogram::{quantile_sorted, Histogram, HistogramSummary};
 pub use manifest::RunManifest;
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
 pub use span::{Span, SpanStat};
+pub use window::{WindowConfig, WindowSummary, WindowedCounter, WindowedHistogram};
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The one-load fast gate. Relaxed is enough: enabling/disabling telemetry
 /// is not a synchronisation point for the data it observes.
@@ -70,17 +73,34 @@ struct Inner {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// Windowed mirrors of the counters/histograms above, keyed by the
+    /// same names: rolling rates and rolling quantiles for the live
+    /// observability plane. One extra mutex, touched only when enabled.
+    window_counters: Mutex<BTreeMap<&'static str, WindowedCounter>>,
+    window_histograms: Mutex<BTreeMap<&'static str, WindowedHistogram>>,
+    window_cfg: WindowConfig,
+    /// Time zero of the windowed registry; writes are bucketed by
+    /// seconds elapsed since this instant.
+    epoch: Instant,
 }
 
 impl Inner {
-    fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+    fn new(sinks: Vec<Arc<dyn Sink>>, window_cfg: WindowConfig) -> Self {
         Self {
             sinks,
             spans: Mutex::new(BTreeMap::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            window_counters: Mutex::new(BTreeMap::new()),
+            window_histograms: Mutex::new(BTreeMap::new()),
+            window_cfg,
+            epoch: Instant::now(),
         }
+    }
+
+    fn now_secs(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
     }
 }
 
@@ -90,10 +110,17 @@ fn read_inner() -> std::sync::RwLockReadGuard<'static, Option<Inner>> {
 
 /// Install `sinks` with severity filter `min_level` and enable telemetry.
 /// Replaces any previous configuration and resets the span/counter/gauge
-/// registries (a fresh run).
+/// registries (a fresh run). The windowed registry takes its shape from
+/// [`WindowConfig::from_env`]; use [`install_with_window`] to pin it.
 pub fn install(sinks: Vec<Arc<dyn Sink>>, min_level: Level) {
+    install_with_window(sinks, min_level, WindowConfig::from_env());
+}
+
+/// [`install`] with an explicit windowed-registry shape — for tests and
+/// embedders that need deterministic window semantics.
+pub fn install_with_window(sinks: Vec<Arc<dyn Sink>>, min_level: Level, window: WindowConfig) {
     let mut guard = INNER.write().unwrap_or_else(|p| p.into_inner());
-    *guard = Some(Inner::new(sinks));
+    *guard = Some(Inner::new(sinks, window));
     MIN_LEVEL.store(min_level as u8, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -179,15 +206,24 @@ pub(crate) fn record_span(path: String, elapsed: Duration) {
     }
 }
 
-/// Add `delta` to the named monotonic counter. No-op when disabled.
+/// Add `delta` to the named monotonic counter (and its windowed mirror,
+/// which turns it into a rolling rate). No-op when disabled.
 pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() {
         return;
     }
     let guard = read_inner();
     if let Some(inner) = guard.as_ref() {
-        let mut counters = inner.counters.lock().unwrap_or_else(|p| p.into_inner());
-        *counters.entry(name).or_insert(0) += delta;
+        {
+            let mut counters = inner.counters.lock().unwrap_or_else(|p| p.into_inner());
+            *counters.entry(name).or_insert(0) += delta;
+        }
+        let now = inner.now_secs();
+        let mut windows = inner.window_counters.lock().unwrap_or_else(|p| p.into_inner());
+        windows
+            .entry(name)
+            .or_insert_with(|| WindowedCounter::new(inner.window_cfg))
+            .add(now, delta);
     }
 }
 
@@ -204,15 +240,24 @@ pub fn gauge_set(name: &'static str, value: f64) {
 }
 
 /// Record `value` into the named bounded histogram (created on first use
-/// with [`histogram::DEFAULT_CAPACITY`]). No-op when disabled.
+/// with [`histogram::DEFAULT_CAPACITY`]) and its windowed mirror, which
+/// yields rolling p50/p95/p99. No-op when disabled.
 pub fn histogram_record(name: &'static str, value: f64) {
     if !is_enabled() {
         return;
     }
     let guard = read_inner();
     if let Some(inner) = guard.as_ref() {
-        let mut hists = inner.histograms.lock().unwrap_or_else(|p| p.into_inner());
-        hists.entry(name).or_default().record(value);
+        {
+            let mut hists = inner.histograms.lock().unwrap_or_else(|p| p.into_inner());
+            hists.entry(name).or_default().record(value);
+        }
+        let now = inner.now_secs();
+        let mut windows = inner.window_histograms.lock().unwrap_or_else(|p| p.into_inner());
+        windows
+            .entry(name)
+            .or_insert_with(|| WindowedHistogram::new(inner.window_cfg))
+            .record(now, value);
     }
 }
 
@@ -260,6 +305,43 @@ pub fn histograms_snapshot() -> Vec<(&'static str, HistogramSummary)> {
         Some(inner) => {
             let hists = inner.histograms.lock().unwrap_or_else(|p| p.into_inner());
             hists.iter().map(|(&k, v)| (k, v.summary())).collect()
+        }
+        None => Vec::new(),
+    }
+}
+
+/// The shape of the windowed registry currently installed, or the default
+/// shape when telemetry is disabled.
+pub fn window_config() -> WindowConfig {
+    let guard = read_inner();
+    match guard.as_ref() {
+        Some(inner) => inner.window_cfg,
+        None => WindowConfig::default(),
+    }
+}
+
+/// Snapshot of every windowed counter as `(name, window_total,
+/// rate_per_sec)` — events inside the rolling window and the rolling rate.
+pub fn window_counters_snapshot() -> Vec<(&'static str, u64, f64)> {
+    let guard = read_inner();
+    match guard.as_ref() {
+        Some(inner) => {
+            let now = inner.now_secs();
+            let windows = inner.window_counters.lock().unwrap_or_else(|p| p.into_inner());
+            windows.iter().map(|(&k, v)| (k, v.total(now), v.rate_per_sec(now))).collect()
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Snapshot of every windowed histogram as its rolling quantile summary.
+pub fn window_histograms_snapshot() -> Vec<(&'static str, WindowSummary)> {
+    let guard = read_inner();
+    match guard.as_ref() {
+        Some(inner) => {
+            let now = inner.now_secs();
+            let windows = inner.window_histograms.lock().unwrap_or_else(|p| p.into_inner());
+            windows.iter().map(|(&k, v)| (k, v.summary(now))).collect()
         }
         None => Vec::new(),
     }
@@ -586,6 +668,29 @@ mod tests {
             let json = profile.to_json();
             assert!(json.contains("\"env_step\":{\"calls\":1"), "{json}");
             assert!(json.contains("\"uv_failures\":1"), "{json}");
+        });
+    }
+
+    #[test]
+    fn windowed_mirrors_follow_counters_and_histograms() {
+        with_global(|| {
+            assert!(window_counters_snapshot().is_empty(), "disabled → empty");
+            assert!(window_histograms_snapshot().is_empty());
+            assert_eq!(window_config(), WindowConfig::default());
+            let cfg = WindowConfig { bucket_secs: 1000, buckets: 2 };
+            install_with_window(vec![], Level::Info, cfg);
+            assert_eq!(window_config(), cfg);
+            counter_add("req", 4);
+            histogram_record("lat", 10.0);
+            histogram_record("lat", 30.0);
+            let counters = window_counters_snapshot();
+            let (_, total, rate) = counters.iter().find(|(k, _, _)| *k == "req").unwrap();
+            assert_eq!(*total, 4, "all adds land in the (huge) live window");
+            assert!((rate - 4.0 / cfg.window_secs() as f64).abs() < 1e-12);
+            let hists = window_histograms_snapshot();
+            let (_, s) = hists.iter().find(|(k, _)| *k == "lat").unwrap();
+            assert_eq!(s.count, 2);
+            assert!((s.p50 - 20.0).abs() < 1e-9);
         });
     }
 

@@ -1,0 +1,316 @@
+//! Windowed metrics: time-bucketed ring aggregation over the last N
+//! seconds, alongside the cumulative registries.
+//!
+//! Cumulative counters answer "how many ever?"; a live operator wants "how
+//! many *lately*?". Each windowed metric keeps a fixed ring of time
+//! buckets, each covering [`WindowConfig::bucket_secs`] seconds; a write
+//! lands in the bucket of its timestamp, lazily evicting buckets that have
+//! aged out of the window. Reads sum (or merge) only the buckets still
+//! inside the window, so a counter becomes a rolling rate and a histogram
+//! becomes rolling p50/p95/p99 — with fixed memory and no background
+//! threads.
+//!
+//! Every method takes time as an explicit `now_secs` tick (seconds since
+//! an arbitrary epoch), which keeps the structures pure and exactly
+//! testable; the global registry in [`crate`] feeds them seconds elapsed
+//! since [`crate::install`].
+
+use crate::histogram::quantile_sorted;
+
+/// Shape of the rolling window: `buckets` rings of `bucket_secs` each.
+/// The default (12 × 5 s) gives a one-minute window with 5-second
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Seconds covered by one bucket (minimum 1).
+    pub bucket_secs: u64,
+    /// Number of buckets in the ring (minimum 1).
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self { bucket_secs: 5, buckets: 12 }
+    }
+}
+
+impl WindowConfig {
+    /// Build from the environment: `AGSC_METRICS_WINDOW_SECS` (total
+    /// window length, default 60) and `AGSC_METRICS_WINDOW_BUCKETS`
+    /// (default 12). Unset or unparseable values keep the defaults; the
+    /// bucket length is the window divided by the bucket count, floored
+    /// to at least one second.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        let window_secs = env_u64("AGSC_METRICS_WINDOW_SECS", d.bucket_secs * d.buckets as u64);
+        let buckets = env_u64("AGSC_METRICS_WINDOW_BUCKETS", d.buckets as u64).max(1) as usize;
+        Self { bucket_secs: (window_secs / buckets as u64).max(1), buckets }
+    }
+
+    /// Total seconds the window covers.
+    pub fn window_secs(&self) -> u64 {
+        self.bucket_secs * self.buckets as u64
+    }
+
+    fn clamped(self) -> Self {
+        Self { bucket_secs: self.bucket_secs.max(1), buckets: self.buckets.max(1) }
+    }
+
+    /// The bucket index (monotonic, not a ring slot) of `now_secs`.
+    fn index(&self, now_secs: u64) -> u64 {
+        now_secs / self.bucket_secs
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+/// A counter over a rolling time window: writes land in time buckets,
+/// reads sum only the buckets still inside the window.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    cfg: WindowConfig,
+    /// Per-slot totals; slot = index % buckets.
+    slots: Vec<u64>,
+    /// The monotonic bucket index each slot's total belongs to. A slot
+    /// whose index is stale is logically zero (lazy eviction).
+    epochs: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// An empty counter with the given window shape.
+    pub fn new(cfg: WindowConfig) -> Self {
+        let cfg = cfg.clamped();
+        Self { cfg, slots: vec![0; cfg.buckets], epochs: vec![u64::MAX; cfg.buckets] }
+    }
+
+    /// Add `delta` at time `now_secs`.
+    pub fn add(&mut self, now_secs: u64, delta: u64) {
+        let idx = self.cfg.index(now_secs);
+        let slot = (idx % self.cfg.buckets as u64) as usize;
+        if self.epochs[slot] != idx {
+            self.slots[slot] = 0;
+            self.epochs[slot] = idx;
+        }
+        self.slots[slot] = self.slots[slot].saturating_add(delta);
+    }
+
+    /// Per-bucket totals still inside the window at `now_secs`, oldest
+    /// bucket first. The window total is exactly the sum of these — the
+    /// additivity contract the property suite pins down.
+    pub fn bucket_totals(&self, now_secs: u64) -> Vec<u64> {
+        let idx = self.cfg.index(now_secs);
+        let oldest = idx.saturating_sub(self.cfg.buckets as u64 - 1);
+        (oldest..=idx)
+            .map(|i| {
+                let slot = (i % self.cfg.buckets as u64) as usize;
+                if self.epochs[slot] == i {
+                    self.slots[slot]
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Events inside the window ending at `now_secs`.
+    pub fn total(&self, now_secs: u64) -> u64 {
+        self.bucket_totals(now_secs).iter().sum()
+    }
+
+    /// Rolling rate: window total divided by the window length.
+    pub fn rate_per_sec(&self, now_secs: u64) -> f64 {
+        self.total(now_secs) as f64 / self.cfg.window_secs() as f64
+    }
+}
+
+/// Cap on retained samples per histogram bucket: newest-wins ring, so a
+/// hot second cannot grow memory without bound.
+pub const WINDOW_SAMPLES_PER_BUCKET: usize = 256;
+
+/// One time bucket of a [`WindowedHistogram`]: a bounded ring of the most
+/// recent samples plus an exact count.
+#[derive(Debug, Clone, Default)]
+struct HistBucket {
+    samples: Vec<f64>,
+    next: usize,
+    count: u64,
+}
+
+impl HistBucket {
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.next = 0;
+        self.count = 0;
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        if self.samples.len() < WINDOW_SAMPLES_PER_BUCKET {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % WINDOW_SAMPLES_PER_BUCKET;
+        }
+    }
+}
+
+/// A histogram over a rolling time window: quantiles are computed from
+/// the samples of the buckets still inside the window.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    cfg: WindowConfig,
+    slots: Vec<HistBucket>,
+    epochs: Vec<u64>,
+}
+
+/// Rolling quantile summary of a [`WindowedHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// Finite samples recorded inside the window (exact, even past the
+    /// per-bucket sample cap).
+    pub count: u64,
+    /// Rolling median.
+    pub p50: f64,
+    /// Rolling 95th percentile.
+    pub p95: f64,
+    /// Rolling 99th percentile.
+    pub p99: f64,
+}
+
+impl WindowedHistogram {
+    /// An empty histogram with the given window shape.
+    pub fn new(cfg: WindowConfig) -> Self {
+        let cfg = cfg.clamped();
+        Self {
+            cfg,
+            slots: vec![HistBucket::default(); cfg.buckets],
+            epochs: vec![u64::MAX; cfg.buckets],
+        }
+    }
+
+    /// Record one finite sample at time `now_secs`; non-finite values are
+    /// dropped (consistent with [`crate::Histogram`]).
+    pub fn record(&mut self, now_secs: u64, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.cfg.index(now_secs);
+        let slot = (idx % self.cfg.buckets as u64) as usize;
+        if self.epochs[slot] != idx {
+            self.slots[slot].clear();
+            self.epochs[slot] = idx;
+        }
+        self.slots[slot].record(v);
+    }
+
+    /// All retained samples inside the window at `now_secs` (unordered).
+    fn live_samples(&self, now_secs: u64) -> (Vec<f64>, u64) {
+        let idx = self.cfg.index(now_secs);
+        let oldest = idx.saturating_sub(self.cfg.buckets as u64 - 1);
+        let mut samples = Vec::new();
+        let mut count = 0;
+        for i in oldest..=idx {
+            let slot = (i % self.cfg.buckets as u64) as usize;
+            if self.epochs[slot] == i {
+                samples.extend_from_slice(&self.slots[slot].samples);
+                count += self.slots[slot].count;
+            }
+        }
+        (samples, count)
+    }
+
+    /// Rolling p50/p95/p99 and count over the window ending at `now_secs`.
+    /// Quantiles are 0 when the window holds no samples.
+    pub fn summary(&self, now_secs: u64) -> WindowSummary {
+        let (mut samples, count) = self.live_samples(now_secs);
+        if samples.is_empty() {
+            return WindowSummary { count, p50: 0.0, p95: 0.0, p99: 0.0 };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("window holds only finite values"));
+        WindowSummary {
+            count,
+            p50: quantile_sorted(&samples, 0.5),
+            p95: quantile_sorted(&samples, 0.95),
+            p99: quantile_sorted(&samples, 0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: WindowConfig = WindowConfig { bucket_secs: 1, buckets: 4 };
+
+    #[test]
+    fn counter_sums_only_the_live_window() {
+        let mut c = WindowedCounter::new(CFG);
+        c.add(0, 3);
+        c.add(1, 2);
+        assert_eq!(c.total(1), 5);
+        // At t=4 the t=0 bucket has aged out; at t=5 the t=1 bucket too.
+        assert_eq!(c.total(4), 2);
+        assert_eq!(c.total(5), 0);
+    }
+
+    #[test]
+    fn counter_rate_is_total_over_window() {
+        let mut c = WindowedCounter::new(CFG);
+        c.add(10, 8);
+        assert!((c.rate_per_sec(10) - 2.0).abs() < 1e-12, "8 events / 4s window");
+        assert_eq!(c.rate_per_sec(20), 0.0);
+    }
+
+    #[test]
+    fn counter_slot_reuse_clears_stale_totals() {
+        let mut c = WindowedCounter::new(CFG);
+        c.add(0, 100);
+        // t=4 maps onto the same ring slot as t=0 and must not inherit it.
+        c.add(4, 1);
+        assert_eq!(c.total(4), 1);
+        assert_eq!(c.bucket_totals(4), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles_roll_with_the_window() {
+        let mut h = WindowedHistogram::new(CFG);
+        for i in 0..10 {
+            h.record(0, i as f64);
+        }
+        let s = h.summary(0);
+        assert_eq!(s.count, 10);
+        assert!((s.p50 - 4.5).abs() < 1e-9);
+        h.record(3, 1000.0);
+        assert!(h.summary(3).count == 11);
+        // Once the t=0 bucket expires only the spike remains.
+        let late = h.summary(5);
+        assert_eq!(late.count, 1);
+        assert_eq!(late.p50, 1000.0);
+        assert_eq!(h.summary(20).count, 0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_and_caps_bucket_memory() {
+        let mut h = WindowedHistogram::new(CFG);
+        h.record(0, f64::NAN);
+        h.record(0, f64::INFINITY);
+        assert_eq!(h.summary(0).count, 0);
+        for i in 0..(WINDOW_SAMPLES_PER_BUCKET * 2) {
+            h.record(1, i as f64);
+        }
+        let s = h.summary(1);
+        assert_eq!(s.count, (WINDOW_SAMPLES_PER_BUCKET * 2) as u64, "count stays exact");
+        // The ring keeps the most recent samples, so quantiles reflect
+        // the back half of the stream.
+        assert!(s.p50 >= WINDOW_SAMPLES_PER_BUCKET as f64);
+    }
+
+    #[test]
+    fn config_from_env_defaults_to_a_minute() {
+        let cfg = WindowConfig::default();
+        assert_eq!(cfg.window_secs(), 60);
+        assert_eq!(WindowConfig { bucket_secs: 0, buckets: 0 }.clamped().window_secs(), 1);
+    }
+}

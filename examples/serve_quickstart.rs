@@ -10,7 +10,9 @@
 //! OS-assigned localhost port); `AGSC_TELEMETRY_DIR` also decides where
 //! the checkpoint lands (`<dir>/policy.json`, falling back to
 //! `./policy.json`) so a CI job can chain this example into the load
-//! generator via `AGSC_SERVE_CKPT`.
+//! generator via `AGSC_SERVE_CKPT`; `AGSC_METRICS_ADDR` (unset by
+//! default) additionally binds the admin HTTP plane (`/metrics`,
+//! `/healthz`) next to the TCP server.
 
 use std::sync::Arc;
 
@@ -73,6 +75,14 @@ fn main() {
         "reloaded: generation {} (trained {} iters)",
         reload.generation, reload.iterations_done
     );
+
+    // 6. Peek at the live observability plane over the same wire: the
+    //    `Stats` frame returns the telemetry registry (counters, rolling
+    //    rates, latency quantiles, live queue gauges) as JSON. The same
+    //    registry backs `/metrics` and `/healthz` when the server is
+    //    started with `AGSC_METRICS_ADDR=127.0.0.1:9100`.
+    let stats = client.stats().expect("stats query");
+    println!("server stats: {stats}");
 
     server.shutdown();
     tlm::emit_profile();

@@ -1,0 +1,318 @@
+//! Integration tests for the live observability plane: the `Stats` wire
+//! frame, traced requests with echoed stage timings, the admin HTTP
+//! endpoints (`/metrics`, `/healthz`), and the concurrency/zero-cost
+//! contracts of the windowed registry.
+//!
+//! The telemetry handle is process-global, so every test here serialises
+//! on one mutex and shuts the handle down before releasing it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use agsc::telemetry as tlm;
+use agsc_serve::{
+    ActionOutcome, Client, FakePolicy, PolicyLoader, ServeConfig, Server, ServerHandle,
+    TraceContext, TracedOutcome,
+};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+const OBS_DIM: usize = 6;
+const NUM_AGENTS: usize = 3;
+
+/// Run `f` holding the global-telemetry lock, shutting the handle down
+/// afterwards so the next test starts from a clean disabled registry.
+fn with_global<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    let out = f();
+    tlm::shutdown();
+    out
+}
+
+fn fake() -> FakePolicy {
+    FakePolicy { obs_dim: OBS_DIM, num_agents: NUM_AGENTS, bias: 0.25, iterations: 9 }
+}
+
+fn refusing_loader() -> PolicyLoader {
+    Box::new(|_| Err("no loader in observability tests".to_string()))
+}
+
+fn start(config: ServeConfig) -> ServerHandle {
+    Server::start(config, Arc::new(fake()), refusing_loader()).expect("server starts")
+}
+
+fn obs_for(i: u32) -> Vec<f32> {
+    (0..OBS_DIM).map(|j| ((i + j as u32) as f32 * 0.13).sin()).collect()
+}
+
+/// One-shot HTTP GET against the admin listener; returns the raw response.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("admin listener reachable");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Parse the value of the first sample line named exactly `family`.
+fn metric_value(scrape: &str, family: &str) -> Option<f64> {
+    scrape
+        .lines()
+        .find(|l| l.starts_with(&format!("{family} ")))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn stats_frame_returns_the_registry_and_live_gauges_as_json() {
+    with_global(|| {
+        tlm::install(vec![], tlm::Level::Info);
+        let server = start(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..8u32 {
+            let got = client.action(i % NUM_AGENTS as u32, &obs_for(i)).unwrap();
+            assert!(matches!(got, ActionOutcome::Action(_)));
+        }
+        let json = client.stats().expect("Stats frame answered");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("Stats payload is JSON");
+        assert!(
+            v["counters"]["serve.requests"].as_u64().unwrap() >= 8,
+            "served requests must show in the counters: {json}"
+        );
+        assert!(
+            v["rates"]["serve.requests"]["window_total"].as_u64().unwrap() >= 8,
+            "and in the rolling window: {json}"
+        );
+        assert!(v["histograms"]["serve.latency_us"]["count"].as_u64().unwrap() >= 8);
+        assert!(v["gauges"]["serve.queue_depth_live"].is_number(), "{json}");
+        assert!(v["gauges"]["serve.generation"].as_f64().unwrap() >= 1.0);
+        assert!(v["gauges"]["serve.uptime_secs"].as_f64().unwrap() >= 0.0);
+        assert!(v["window_secs"].as_u64().unwrap() > 0);
+        server.shutdown();
+    });
+}
+
+#[test]
+fn traced_and_plain_requests_get_bit_identical_actions_with_telemetry_off() {
+    with_global(|| {
+        // No install: telemetry stays disabled. Both wire formats must
+        // still round-trip against the new server, and the traced envelope
+        // must not perturb the action bits.
+        assert!(!tlm::is_enabled());
+        let server = start(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let policy = fake();
+        for i in 0..16u32 {
+            let agent = i % NUM_AGENTS as u32;
+            let obs = obs_for(i);
+            let expected = policy.expected(agent as usize, &obs);
+            let plain = match client.action(agent, &obs).unwrap() {
+                ActionOutcome::Action(a) => a,
+                other => panic!("expected an action, got {other:?}"),
+            };
+            let trace = TraceContext { trace_id: 0xABCD_0000 | i as u64, client_send_us: 12 };
+            let traced = match client.action_traced(trace, agent, &obs).unwrap() {
+                TracedOutcome::Action { action, .. } => action,
+                other => panic!("expected a traced action, got {other:?}"),
+            };
+            for k in 0..2 {
+                assert_eq!(expected[k].to_bits(), plain[k].to_bits(), "plain path diverged");
+                assert_eq!(plain[k].to_bits(), traced[k].to_bits(), "traced envelope diverged");
+            }
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn metrics_endpoint_serves_stage_quantiles_and_queue_gauges_under_load() {
+    with_global(|| {
+        // One wide bucket: everything this test records stays in-window.
+        tlm::install_with_window(
+            vec![],
+            tlm::Level::Info,
+            tlm::WindowConfig { bucket_secs: 300, buckets: 2 },
+        );
+        let config =
+            ServeConfig { metrics_addr: Some("127.0.0.1:0".to_string()), ..ServeConfig::default() };
+        let server = start(config);
+        let metrics_addr = server.metrics_addr().expect("admin plane is up");
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..32u32 {
+            let trace = TraceContext { trace_id: i as u64, client_send_us: 0 };
+            let got = client.action_traced(trace, i % NUM_AGENTS as u32, &obs_for(i)).unwrap();
+            match got {
+                TracedOutcome::Action { stages, .. } => {
+                    // Echoed stages are sane: all bounded by a minute.
+                    assert!(stages.queue_wait_us < 60_000_000);
+                    assert!(stages.forward_us < 60_000_000);
+                }
+                TracedOutcome::Overloaded => panic!("default queue must not shed 1-deep load"),
+            }
+        }
+
+        let scrape = http_get(metrics_addr, "/metrics");
+        assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+        assert!(scrape.contains("text/plain; version=0.0.4"), "{scrape}");
+        assert!(
+            metric_value(&scrape, "agsc_serve_requests_total").unwrap_or(0.0) >= 32.0,
+            "request counter family missing or zero:\n{scrape}"
+        );
+        for stage in ["queue_wait", "batch_wait", "forward", "response_write"] {
+            let family = format!("agsc_serve_stage_{stage}_us_rolling");
+            for q in ["0.5", "0.95", "0.99"] {
+                assert!(
+                    scrape.contains(&format!("{family}{{quantile=\"{q}\",window=\"600s\"}}")),
+                    "missing rolling {q} for stage {stage}:\n{scrape}"
+                );
+            }
+        }
+        assert!(metric_value(&scrape, "agsc_serve_queue_depth_live").is_some(), "{scrape}");
+        assert!(metric_value(&scrape, "agsc_serve_queue_cap").unwrap_or(0.0) > 0.0, "{scrape}");
+
+        let health = http_get(metrics_addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "healthy under light load: {health}");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn healthz_flips_unready_under_shed_and_recovers_when_the_window_ages_out() {
+    with_global(|| {
+        // A 2-second window so the shed verdict ages out within the test.
+        tlm::install_with_window(
+            vec![],
+            tlm::Level::Info,
+            tlm::WindowConfig { bucket_secs: 1, buckets: 2 },
+        );
+        let config = ServeConfig {
+            max_batch: 1,
+            queue_cap: 1,
+            batch_delay: Duration::from_millis(30),
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeConfig::default()
+        };
+        let server = start(config);
+        let metrics_addr = server.metrics_addr().unwrap();
+
+        // Flood a 1-deep queue from several closed loops until requests shed.
+        let addr = server.addr();
+        let workers: Vec<_> = (0..4)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut shed = 0u64;
+                    for i in 0..40u32 {
+                        match client.action(c % NUM_AGENTS as u32, &obs_for(i)).unwrap() {
+                            ActionOutcome::Action(_) => {}
+                            ActionOutcome::Overloaded => shed += 1,
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        let shed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(shed > 0, "a 1-deep queue under 4 closed loops must shed something");
+
+        let health = http_get(metrics_addr, "/healthz");
+        assert!(
+            health.starts_with("HTTP/1.1 503"),
+            "shed inside the window must report unready: {health}"
+        );
+        assert!(health.contains("\"shed_in_window\":"), "{health}");
+
+        // Idle past the window: the shed verdict must age out.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            std::thread::sleep(Duration::from_millis(500));
+            let health = http_get(metrics_addr, "/healthz");
+            if health.starts_with("HTTP/1.1 200 OK") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "health must recover once the window empties: {health}"
+            );
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn snapshots_under_concurrent_writers_never_panic_or_tear() {
+    with_global(|| {
+        tlm::install_with_window(
+            vec![],
+            tlm::Level::Info,
+            tlm::WindowConfig { bucket_secs: 1, buckets: 4 },
+        );
+        const WRITERS: usize = 4;
+        const OPS: u64 = 5_000;
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        tlm::counter_add("obs.test_ctr", 1);
+                        tlm::histogram_record("obs.test_hist", (w as u64 * OPS + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        // Scrape continuously while the writers hammer the registry: every
+        // snapshot must be internally consistent, never a panic or a torn
+        // window total exceeding the cumulative count.
+        while writers.iter().any(|w| !w.is_finished()) {
+            let _text = tlm::export::prometheus_text(&[]);
+            let _json = tlm::export::stats_json(&[]);
+            // Read the window first, the cumulative second: everything the
+            // window saw was recorded before the cumulative read, so a
+            // window total above the cumulative one is a torn snapshot.
+            let window: u64 = tlm::window_counters_snapshot()
+                .iter()
+                .filter(|(n, _, _)| *n == "obs.test_ctr")
+                .map(|(_, t, _)| *t)
+                .sum();
+            let total = tlm::counters_snapshot()
+                .iter()
+                .find(|(n, _)| *n == "obs.test_ctr")
+                .map_or(0, |(_, v)| *v);
+            assert!(window <= total, "window total {window} tore past cumulative {total}");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let grand = (WRITERS as u64) * OPS;
+        let total =
+            tlm::counters_snapshot().iter().find(|(n, _)| *n == "obs.test_ctr").map(|(_, v)| *v);
+        assert_eq!(total, Some(grand), "no increments may be lost");
+        let hist = tlm::histograms_snapshot()
+            .iter()
+            .find(|(n, _)| *n == "obs.test_hist")
+            .map(|(_, s)| s.count);
+        assert_eq!(hist, Some(grand), "no samples may be lost");
+    });
+}
+
+#[test]
+fn disabled_telemetry_yields_empty_exports_and_zero_cost_serving() {
+    with_global(|| {
+        assert!(!tlm::is_enabled());
+        assert_eq!(tlm::export::prometheus_text(&[]), "", "no registry, no text");
+        let v: serde_json::Value = serde_json::from_str(&tlm::export::stats_json(&[])).unwrap();
+        assert_eq!(v["counters"], serde_json::json!({}));
+        assert_eq!(v["rolling"], serde_json::json!({}));
+
+        // The Stats frame still answers (shape intact) with live gauges only.
+        let server = start(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let json = client.stats().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["counters"], serde_json::json!({}), "{json}");
+        assert!(v["gauges"]["serve.queue_depth_live"].is_number(), "{json}");
+        server.shutdown();
+    });
+}

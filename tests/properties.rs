@@ -12,7 +12,9 @@ use agsc::env::{
 use agsc::geo::{Aabb, Point, RoadNetwork, SpatialGrid};
 use agsc::madrl::{gae, HiMadrlTrainer, TrainConfig};
 use agsc::nn::{Adam, Matrix, Param};
-use agsc::telemetry::Histogram;
+use agsc::telemetry::{
+    quantile_sorted, Histogram, WindowConfig, WindowedCounter, WindowedHistogram,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -571,6 +573,98 @@ mod serve_wire {
             let mut r = &wire[..];
             let payload = agsc_serve::protocol::read_frame(&mut r).unwrap().expect("first frame");
             prop_assert_eq!(agsc_serve::Request::decode(&payload), Ok(req));
+        }
+    }
+}
+
+// --- windowed metrics --------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn window_percentiles_stay_inside_the_cumulative_envelope(
+        values in proptest::collection::vec(-1e9f64..1e9, 1..200),
+        times in proptest::collection::vec(0u64..240, 1..32),
+        now in 0u64..400,
+    ) {
+        // Whatever slice of time the window exposes, its quantiles can only
+        // be drawn from recorded samples — so the cumulative histogram's
+        // lifetime min/max bound every rolling percentile, and the window
+        // can never claim more samples than were ever recorded.
+        let cfg = WindowConfig { bucket_secs: 5, buckets: 12 };
+        let mut rolling = WindowedHistogram::new(cfg);
+        let mut cumulative = Histogram::with_capacity(values.len() + 1);
+        for (i, &v) in values.iter().enumerate() {
+            rolling.record(times[i % times.len()], v);
+            cumulative.record(v);
+        }
+        let full = cumulative.summary();
+        let s = rolling.summary(now);
+        prop_assert!(s.count <= full.count, "window {} > lifetime {}", s.count, full.count);
+        if s.count > 0 {
+            prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+            for q in [s.p50, s.p95, s.p99] {
+                prop_assert!(
+                    (full.min..=full.max).contains(&q),
+                    "rolling {q} outside the cumulative [{}, {}]", full.min, full.max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_counter_totals_are_additive_over_buckets(
+        events in proptest::collection::vec((0u64..300, 0u64..1000), 0..200),
+        now_offset in 0u64..100,
+    ) {
+        // Adds in time order; the window total must equal both the sum of
+        // the per-bucket totals and an independent model summing exactly
+        // the deltas whose bucket is still inside the window.
+        let cfg = WindowConfig { bucket_secs: 3, buckets: 7 };
+        let mut events = events;
+        events.sort_by_key(|&(t, _)| t);
+        let mut c = WindowedCounter::new(cfg);
+        for &(t, d) in &events {
+            c.add(t, d);
+        }
+        let now = events.last().map_or(0, |&(t, _)| t) + now_offset;
+        let oldest = (now / cfg.bucket_secs).saturating_sub(cfg.buckets as u64 - 1);
+        let model: u64 = events
+            .iter()
+            .filter(|&&(t, _)| t / cfg.bucket_secs >= oldest)
+            .map(|&(_, d)| d)
+            .sum();
+        let buckets = c.bucket_totals(now);
+        prop_assert_eq!(buckets.len(), cfg.buckets);
+        prop_assert_eq!(buckets.iter().sum::<u64>(), c.total(now), "sum(buckets) == total");
+        prop_assert_eq!(c.total(now), model, "window total must match the flat model");
+        let rate = c.rate_per_sec(now);
+        prop_assert!(rate >= 0.0 && rate.is_finite());
+        let expect = c.total(now) as f64 / cfg.window_secs() as f64;
+        prop_assert!((rate - expect).abs() <= 1e-12 * expect.max(1.0));
+    }
+
+    #[test]
+    fn cumulative_and_windowed_percentiles_share_one_quantile_definition(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        // The dedup contract: `Histogram`, `WindowedHistogram`, and any
+        // caller sorting its own samples must all agree with
+        // `quantile_sorted`, the single workspace percentile definition.
+        // 200 < WINDOW_SAMPLES_PER_BUCKET, so nothing is evicted anywhere.
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut cumulative = Histogram::with_capacity(values.len() + 1);
+        let mut rolling = WindowedHistogram::new(WindowConfig { bucket_secs: 1, buckets: 1 });
+        for &v in &values {
+            cumulative.record(v);
+            rolling.record(0, v);
+        }
+        let hs = cumulative.summary();
+        let ws = rolling.summary(0);
+        for (q, cum, win) in [(0.50, hs.p50, ws.p50), (0.95, hs.p95, ws.p95), (0.99, hs.p99, ws.p99)] {
+            let expect = quantile_sorted(&sorted, q);
+            prop_assert_eq!(cum, expect, "cumulative p{q} diverged from quantile_sorted");
+            prop_assert_eq!(win, expect, "windowed p{q} diverged from quantile_sorted");
         }
     }
 }
