@@ -1,0 +1,81 @@
+//! `bench` — the bench-suite companion CLI.
+//!
+//! ```text
+//! bench trend [--warn-only] [--window N]   compare the newest run of every
+//!                                          series in BENCH_history.jsonl
+//!                                          against its rolling baseline
+//! ```
+//!
+//! `trend` exits nonzero when any series regressed (throughput down more
+//! than 10 %, or p95 latency up more than 15 %, beyond the series' own
+//! noise band), which makes it directly usable as a CI gate. `--warn-only`
+//! prints the same report but always exits 0 — for advisory jobs on noisy
+//! shared runners. The ledger location follows `AGSC_BENCH_DIR` /
+//! `AGSC_TELEMETRY_DIR` / the workspace root, exactly like every bench
+//! binary's output (see `agsc_bench::bench_dir`).
+
+use std::process::ExitCode;
+
+use agsc_bench::ledger;
+use agsc_bench::TrendConfig;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench trend [--warn-only] [--window N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    agsc_telemetry::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trend") => trend(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn trend(args: &[String]) -> ExitCode {
+    let mut warn_only = false;
+    let mut cfg = TrendConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--window" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.baseline_window = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let path = ledger::history_path();
+    let entries = match ledger::load_history(&path) {
+        Ok(e) => e,
+        Err(err) => {
+            println!("bench trend: no ledger at {} ({err}); nothing to compare", path.display());
+            return ExitCode::SUCCESS;
+        }
+    };
+    let rows = ledger::analyze(&entries, &cfg);
+    if rows.is_empty() {
+        println!(
+            "bench trend: {} entries in {} but no series has both a current run and a baseline",
+            entries.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("bench trend: {} ({} entries)\n", path.display(), entries.len());
+    print!("{}", ledger::render_table(&rows));
+    let regressions = rows.iter().filter(|r| r.verdict == agsc_bench::Verdict::Regressed).count();
+    if regressions > 0 {
+        println!("\n{regressions} regression(s) detected");
+        if warn_only {
+            println!("(--warn-only: exiting 0 anyway)");
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("\nno regressions");
+    ExitCode::SUCCESS
+}

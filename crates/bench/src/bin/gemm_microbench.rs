@@ -1,0 +1,8 @@
+//! GEMM microbench: sustained GFLOP/s over the policy network's layer shapes.
+
+fn main() {
+    agsc_telemetry::init_run();
+    let h = agsc_bench::HarnessConfig::from_env();
+    agsc_bench::experiments::gemm_microbench(&h);
+    agsc_telemetry::flush();
+}

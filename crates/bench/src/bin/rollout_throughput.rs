@@ -1,6 +1,14 @@
 //! Rollout-throughput benchmark: serial vs vectorized collection.
 
 fn main() {
+    agsc_telemetry::init_run();
     let h = agsc_bench::HarnessConfig::from_env();
     agsc_bench::experiments::rollout_throughput(&h);
+    if let Some(table) = agsc_telemetry::prof::report_table() {
+        println!("\n{table}");
+    }
+    if let Some(path) = agsc_telemetry::prof::write_folded_default() {
+        println!("folded profile: {}", path.display());
+    }
+    agsc_telemetry::flush();
 }

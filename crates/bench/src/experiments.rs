@@ -670,6 +670,91 @@ pub fn rollout_throughput(h: &HarnessConfig) {
     w.finish();
 }
 
+// ---------------------------------------------------------------------------
+// GEMM microbench — sustained GFLOP/s over the policy network's layer shapes
+// ---------------------------------------------------------------------------
+
+/// Measure sustained dense-GEMM throughput over the (batch × out × in)
+/// shapes the h/i-MADRL policy network actually runs — observation width
+/// into the default hidden stack into the 2-d action head — at batch sizes
+/// 1/16/64/256. GFLOP/s comes from the algorithmic count 2·m·n·k (the same
+/// formula [`agsc_nn::flops`] charges), so the figure is comparable whether
+/// or not telemetry is enabled. Each shape lands in `BENCH_results.json`
+/// (and the trend ledger) with its `gflops`.
+pub fn gemm_microbench(h: &HarnessConfig) {
+    use agsc_nn::{flops::matmul_flops, Matrix};
+
+    let mut w = ExperimentWriter::for_experiment("gemm_microbench");
+    let mut res = BenchResults::new("gemm_microbench");
+    w.line(banner("GEMM microbench: policy-network layer shapes"));
+    let dataset = presets::purdue(h.seed);
+    let obs_dim = AirGroundEnv::new(base_env(), &dataset, h.seed).obs_dim();
+    // The policy MLP's dense layers: obs → hidden stack → 2-d action head.
+    let mut layers: Vec<(usize, usize)> = Vec::new();
+    let mut inp = obs_dim;
+    for &hsize in &TrainConfig::default().hidden {
+        layers.push((hsize, inp));
+        inp = hsize;
+    }
+    layers.push((2, inp));
+
+    // Timed repetitions per shape: scale with the harness budget but keep
+    // the whole sweep comfortably cheap on the default budget.
+    let reps = (h.iters * 8).clamp(8, 256);
+
+    // Nonzero fills everywhere: `Matrix::matmul` skips zero lhs entries, so
+    // an all-zero operand would measure the skip branch, not the GEMM.
+    let fill = |rows: usize, cols: usize, salt: usize| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i + salt) % 13 + 1) as f32 * 0.03).collect(),
+        )
+    };
+
+    w.line(format!(
+        "{:<16} {:>6} {:>6} {:>12} {:>10}",
+        "shape m*n*k", "batch", "reps", "GFLOP", "GFLOP/s"
+    ));
+    w.line(rule());
+    for &batch in &[1usize, 16, 64, 256] {
+        for &(out, width) in &layers {
+            let a = fill(batch, width, 1);
+            let b = fill(width, out, 7);
+            // Warm-up pass (page in, branch-train) before timing.
+            std::hint::black_box(a.matmul(&b));
+            let flops_per_call = matmul_flops(batch, out, width);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(a.matmul(&b));
+            }
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let total_flops = flops_per_call * reps as u64;
+            let gflops = total_flops as f64 / secs / 1e9;
+            w.line(format!(
+                "{:<16} {:>6} {:>6} {:>12.4} {:>10.2}",
+                format!("{batch}x{out}x{width}"),
+                batch,
+                reps,
+                total_flops as f64 / 1e9,
+                gflops
+            ));
+            let point = crate::results::ResultPoint::new(
+                "gemm_microbench",
+                "",
+                &format!("B={batch} {out}x{width}"),
+                h,
+                &Metrics::default(),
+                secs,
+            )
+            .with_gflops(gflops);
+            res.record_point(point);
+        }
+    }
+    res.finish();
+    w.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

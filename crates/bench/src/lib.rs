@@ -10,6 +10,7 @@
 pub mod error;
 pub mod experiments;
 pub mod harness;
+pub mod ledger;
 pub mod output;
 pub mod results;
 pub mod table;
@@ -19,5 +20,6 @@ pub use harness::{
     evaluate_policy, parallel_map, parallel_try_map, run_method, run_method_robust,
     run_method_robust_timed, HarnessConfig, JobPanic, Method,
 };
+pub use ledger::{HistoryEntry, TrendConfig, TrendRow, Verdict};
 pub use output::ExperimentWriter;
-pub use results::{BenchResults, ResultPoint};
+pub use results::{bench_dir, BenchResults, ResultPoint};

@@ -3,11 +3,16 @@
 //! Every table/figure experiment records one [`ResultPoint`] per
 //! (dataset, configuration) cell it evaluates — the five paper metrics
 //! (ψ σ ξ κ λ), the budget that produced them, and the wall-clock cost —
-//! and merges them into a single `BENCH_results.json` in the telemetry
-//! run directory (`AGSC_TELEMETRY_DIR`, falling back to the working
+//! and merges them into a single `BENCH_results.json` in the bench output
+//! directory (see [`bench_dir`]: `AGSC_BENCH_DIR`, else the telemetry run
+//! directory, else the workspace root found by walking up from the working
 //! directory). Re-running an experiment replaces its previous points
 //! instead of duplicating them, so the file converges to one row per
-//! unique (experiment, dataset, label, seed) cell.
+//! unique (experiment, dataset, label, seed) cell. Every [`finish`] also
+//! appends the run's points to the append-only `BENCH_history.jsonl`
+//! trend ledger (see [`crate::ledger`]).
+//!
+//! [`finish`]: BenchResults::finish
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -75,6 +80,11 @@ pub struct ResultPoint {
     /// the echoed server stages (`0.0` when untraced).
     #[serde(default)]
     pub stage_wire_p50_us: f64,
+    /// Sustained GEMM throughput in GFLOP/s (`0.0` for experiments that
+    /// don't measure compute throughput, and for rows written before the
+    /// `gemm_microbench` experiment existed).
+    #[serde(default)]
+    pub gflops: f64,
 }
 
 impl ResultPoint {
@@ -108,6 +118,7 @@ impl ResultPoint {
             stage_batch_wait_p50_us: 0.0,
             stage_forward_p50_us: 0.0,
             stage_wire_p50_us: 0.0,
+            gflops: 0.0,
         }
     }
 
@@ -137,10 +148,62 @@ impl ResultPoint {
         self
     }
 
-    /// The identity under which re-runs replace older points.
-    fn key(&self) -> (&str, &str, &str, u64) {
+    /// Builder: attach a sustained GEMM throughput measurement (GFLOP/s).
+    pub fn with_gflops(mut self, gflops: f64) -> Self {
+        self.gflops = gflops;
+        self
+    }
+
+    /// The identity under which re-runs replace older points (and trend
+    /// history groups).
+    pub(crate) fn key(&self) -> (&str, &str, &str, u64) {
         (&self.experiment, &self.dataset, &self.label, self.seed)
     }
+}
+
+/// The bench output directory every bench artifact
+/// (`BENCH_results.json`, `BENCH_history.jsonl`) resolves against:
+/// `AGSC_BENCH_DIR` when set, else the telemetry run directory
+/// (`AGSC_TELEMETRY_DIR`), else the enclosing workspace root found by
+/// walking up from the working directory (so runs started from a crate
+/// subdirectory stop scattering results), else the working directory.
+pub fn bench_dir() -> PathBuf {
+    let env_dir = std::env::var("AGSC_BENCH_DIR")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from);
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    resolve_bench_dir(env_dir, tlm::run_dir(), &cwd)
+}
+
+/// [`bench_dir`] with its inputs injected, for deterministic tests.
+fn resolve_bench_dir(env_dir: Option<PathBuf>, run_dir: Option<PathBuf>, cwd: &Path) -> PathBuf {
+    if let Some(d) = env_dir {
+        return d;
+    }
+    if let Some(d) = run_dir {
+        return d;
+    }
+    workspace_root(cwd).unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Walk up from `start` looking for a workspace root: a directory holding
+/// `.git` or a `Cargo.toml` that declares `[workspace]`.
+fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join(".git").exists() {
+            return Some(d.to_path_buf());
+        }
+        if let Ok(manifest) = std::fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
 }
 
 /// Accumulates [`ResultPoint`]s for one experiment and merges them into
@@ -179,17 +242,23 @@ impl BenchResults {
         &self.points
     }
 
-    /// Where results land: the telemetry run directory when set, else the
-    /// working directory.
+    /// Where results land: `BENCH_results.json` in the [`bench_dir`].
     pub fn default_path() -> PathBuf {
-        tlm::run_dir().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_results.json")
+        bench_dir().join("BENCH_results.json")
     }
 
-    /// Merge the collected points into `BENCH_results.json` (best-effort:
-    /// I/O problems become telemetry warnings, never experiment failures).
-    /// Returns the written path on success.
+    /// Merge the collected points into `BENCH_results.json` and append them
+    /// to the `BENCH_history.jsonl` trend ledger (best-effort: I/O problems
+    /// become telemetry warnings, never experiment failures). Returns the
+    /// written results path on success.
     pub fn finish(self) -> Option<PathBuf> {
         let path = Self::default_path();
+        let history = crate::ledger::history_path();
+        if let Err(err) = crate::ledger::append_history(&self.points, &history) {
+            tlm::warn("bench_history_io", |e| {
+                e.str("path", history.display().to_string()).str("error", err.to_string())
+            });
+        }
         match self.write_to(&path) {
             Ok(()) => Some(path),
             Err(err) => {
@@ -308,14 +377,18 @@ mod tests {
         v.as_object_mut().unwrap().remove("stage_batch_wait_p50_us");
         v.as_object_mut().unwrap().remove("stage_forward_p50_us");
         v.as_object_mut().unwrap().remove("stage_wire_p50_us");
+        v.as_object_mut().unwrap().remove("gflops");
         let back: ResultPoint = serde_json::from_value(v).unwrap();
         assert_eq!(back.samples_per_sec, 0.0);
         assert_eq!(back.latency_p99_us, 0.0);
         assert_eq!(back.stage_forward_p50_us, 0.0);
+        assert_eq!(back.gflops, 0.0);
         let p = ResultPoint::new("x", "purdue", "a", &harness(), &metrics(1.0), 0.5)
             .with_samples_per_sec(123.0)
             .with_latency_us(10.0, 20.0, 30.0)
-            .with_stage_p50s_us(1.0, 2.0, 3.0, 4.0);
+            .with_stage_p50s_us(1.0, 2.0, 3.0, 4.0)
+            .with_gflops(55.5);
+        assert_eq!(p.gflops, 55.5);
         assert_eq!(p.samples_per_sec, 123.0);
         assert_eq!((p.latency_p50_us, p.latency_p95_us, p.latency_p99_us), (10.0, 20.0, 30.0));
         assert_eq!(
@@ -327,6 +400,25 @@ mod tests {
             ),
             (1.0, 2.0, 3.0, 4.0)
         );
+    }
+
+    #[test]
+    fn bench_dir_resolution_precedence() {
+        let cwd = std::env::temp_dir();
+        // Explicit env dir wins over everything.
+        assert_eq!(
+            resolve_bench_dir(Some(PathBuf::from("/x")), Some(PathBuf::from("/y")), &cwd),
+            PathBuf::from("/x")
+        );
+        // Telemetry run dir next.
+        assert_eq!(resolve_bench_dir(None, Some(PathBuf::from("/y")), &cwd), PathBuf::from("/y"));
+        // A workspace root above the cwd is found by walking up: fake one.
+        let root = std::env::temp_dir().join(format!("agsc-bd-{}", std::process::id()));
+        let nested = root.join("crates").join("bench");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        assert_eq!(resolve_bench_dir(None, None, &nested), root);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

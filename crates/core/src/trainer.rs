@@ -432,6 +432,10 @@ impl HiMadrlTrainer {
                 );
             }
         }
+        // Fold this worker's GEMM FLOP tally into the process-wide total so
+        // the iteration-level GFLOP/s gauge sees parallel-shard work. Free
+        // when telemetry is off (the tally is then exactly zero).
+        agsc_nn::flops::flush_thread();
         rollouts
     }
 
@@ -489,6 +493,7 @@ impl HiMadrlTrainer {
     pub fn train_iteration(&mut self, env: &mut AirGroundEnv) -> IterationStats {
         let _span = tlm::span("train_iteration");
         let started = tlm::is_enabled().then(std::time::Instant::now);
+        let flops0 = iteration_flops_start(&started);
         let rollout = self.collect_rollout(env);
         let train_metrics = env.metrics();
         let samples = rollout.len() * self.num_agents;
@@ -496,6 +501,7 @@ impl HiMadrlTrainer {
         if let Some(t0) = started {
             let secs = t0.elapsed().as_secs_f64().max(1e-9);
             tlm::gauge_set("train.samples_per_sec", samples as f64 / secs);
+            publish_iteration_flops(flops0, secs);
         }
         stats
     }
@@ -510,6 +516,7 @@ impl HiMadrlTrainer {
     pub fn train_iteration_vec(&mut self, venv: &mut VecEnv) -> IterationStats {
         let _span = tlm::span("train_iteration");
         let started = tlm::is_enabled().then(std::time::Instant::now);
+        let flops0 = iteration_flops_start(&started);
         let rollouts = self.collect_rollout_vec(venv);
         let train_metrics = Metrics::mean(&venv.metrics());
         let samples: usize = rollouts.iter().map(Rollout::len).sum::<usize>() * self.num_agents;
@@ -517,6 +524,7 @@ impl HiMadrlTrainer {
         if let Some(t0) = started {
             let secs = t0.elapsed().as_secs_f64().max(1e-9);
             tlm::gauge_set("train.samples_per_sec", samples as f64 / secs);
+            publish_iteration_flops(flops0, secs);
         }
         stats
     }
@@ -1133,6 +1141,30 @@ impl HiMadrlTrainer {
     /// Number of UAVs (UVs `0..num_uavs` are aerial, the rest are ground).
     pub fn num_uavs(&self) -> usize {
         self.num_uavs
+    }
+}
+
+/// Baseline for the iteration's GEMM FLOP delta: folds the caller's stale
+/// thread tally into the process-wide total first, so the delta measured by
+/// [`publish_iteration_flops`] covers exactly this iteration. Returns 0
+/// untouched when telemetry is off.
+fn iteration_flops_start(started: &Option<std::time::Instant>) -> u64 {
+    if started.is_none() {
+        return 0;
+    }
+    agsc_nn::flops::flush_thread();
+    agsc_nn::flops::total()
+}
+
+/// Publish the iteration's GEMM work as the cumulative `nn.flops` counter
+/// (whose windowed mirror is a rolling FLOP/s rate) and the per-iteration
+/// `nn.gflops` throughput gauge.
+fn publish_iteration_flops(flops0: u64, secs: f64) {
+    agsc_nn::flops::flush_thread();
+    let flops = agsc_nn::flops::total().saturating_sub(flops0);
+    if flops > 0 {
+        tlm::counter_add("nn.flops", flops);
+        tlm::gauge_set("nn.gflops", flops as f64 / secs / 1e9);
     }
 }
 

@@ -1,0 +1,117 @@
+//! Thread-local FLOP accounting for the GEMM hot path.
+//!
+//! Every matrix product in [`crate::matrix::Matrix`] (`matmul`, `t_matmul`,
+//! `matmul_t`) credits `2·m·n·k` floating-point operations — the textbook
+//! multiply-add count for an `m×k · k×n` product, deliberately ignoring the
+//! sparsity shortcut inside `matmul` so the figure is the *algorithmic* work
+//! a dense kernel replacing it must sustain. [`crate::mlp::Mlp`] forward and
+//! backward passes are covered transitively: every layer bottoms out in one
+//! of the three hooks. ROADMAP item 1 (SIMD GEMM kernels) uses this as its
+//! before/after yardstick via the `nn.gflops` gauge and the
+//! `gemm_microbench` experiment.
+//!
+//! ## Design
+//!
+//! The hot-path cost must be nothing when telemetry is off and one
+//! uncontended thread-local add when it is on, so the counter is a
+//! per-thread [`Cell`] gated on `agsc_telemetry::is_enabled()` (one relaxed
+//! atomic load — the same gate every span takes). Because nothing is
+//! recorded when telemetry is off, the disabled counter is *exactly* zero —
+//! the bit-identity contract extends to this module and is enforced by the
+//! workspace `perf_observability` tests.
+//!
+//! Rollout worker threads call [`flush_thread`] when their shard ends, so
+//! the process-wide [`total`] converges even though increments are
+//! thread-local; single-threaded consumers can use [`take_thread`] directly
+//! for an exact per-section delta.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use agsc_telemetry as tlm;
+
+thread_local! {
+    static LOCAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-wide FLOPs flushed from finished thread sections.
+static GLOBAL: AtomicU64 = AtomicU64::new(0);
+
+/// The FLOP count of an `m×k · k×n` dense matrix product.
+#[inline]
+pub const fn matmul_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Credit `n` floating-point operations to the calling thread. Free (one
+/// relaxed load) and recording nothing while telemetry is disabled.
+#[inline]
+pub fn add(n: u64) {
+    if !tlm::is_enabled() {
+        return;
+    }
+    LOCAL.with(|c| c.set(c.get() + n));
+}
+
+/// Take and reset the calling thread's FLOP count.
+pub fn take_thread() -> u64 {
+    LOCAL.with(|c| c.replace(0))
+}
+
+/// Fold the calling thread's count into the process-wide total (and reset
+/// it). Rollout workers call this at shard end.
+pub fn flush_thread() {
+    let n = take_thread();
+    if n > 0 {
+        GLOBAL.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide total of flushed FLOPs. Only counts what threads have
+/// [`flush_thread`]ed — the caller's own unflushed tally is *not* included.
+pub fn total() -> u64 {
+    GLOBAL.load(Ordering::Relaxed)
+}
+
+/// Reset the process-wide total *and* the calling thread's tally (a fresh
+/// measurement section).
+pub fn reset() {
+    LOCAL.with(|c| c.set(0));
+    GLOBAL.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_is_2mnk() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+        assert_eq!(matmul_flops(0, 5, 5), 0);
+        assert_eq!(matmul_flops(1, 1, 1), 2);
+    }
+
+    #[test]
+    fn add_is_inert_when_telemetry_disabled() {
+        // Telemetry is off by default in unit tests; the counter must not
+        // move (the bit-identity contract).
+        take_thread();
+        add(123);
+        assert_eq!(take_thread(), 0, "disabled telemetry must record zero flops");
+    }
+
+    #[test]
+    fn flush_accumulates_into_total() {
+        // This test manipulates thread-local + global state only; it never
+        // enables global telemetry, so it drives LOCAL directly.
+        reset();
+        LOCAL.with(|c| c.set(7));
+        flush_thread();
+        LOCAL.with(|c| c.set(5));
+        flush_thread();
+        assert_eq!(total(), 12);
+        assert_eq!(take_thread(), 0, "flush must reset the thread tally");
+        reset();
+        assert_eq!(total(), 0);
+    }
+}

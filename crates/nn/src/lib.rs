@@ -10,6 +10,7 @@
 //! * [`gru::GruCell`] / [`lstm::LstmCell`] — gated recurrence for the e-Divert baseline,
 //! * [`dist::DiagGaussian`] / [`dist::Categorical`] — policy heads,
 //! * [`optim::Adam`] / [`optim::Sgd`] — optimisers,
+//! * [`flops`] — thread-local GEMM FLOP accounting (free when telemetry is off),
 //! * [`loss`] — MSE, softmax cross-entropy, entropy regulariser, Huber,
 //! * [`stats::RunningStat`] — Welford normalisation (MAPPO value-norm trick).
 //!
@@ -21,6 +22,7 @@
 
 pub mod activation;
 pub mod dist;
+pub mod flops;
 pub mod gru;
 pub mod init;
 pub mod linear;

@@ -146,6 +146,7 @@ impl Matrix {
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        crate::flops::add(crate::flops::matmul_flops(self.rows, rhs.cols, self.cols));
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -170,6 +171,7 @@ impl Matrix {
             "t_matmul shape mismatch: ({}x{})ᵀ × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        crate::flops::add(crate::flops::matmul_flops(self.cols, rhs.cols, self.rows));
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for r in 0..self.rows {
             let a_row = self.row(r);
@@ -194,6 +196,7 @@ impl Matrix {
             "matmul_t shape mismatch: {}x{} × ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        crate::flops::add(crate::flops::matmul_flops(self.rows, rhs.rows, self.cols));
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);

@@ -219,6 +219,14 @@ fn answer_batch(batch: Vec<Pending>, policy: &dyn crate::policy::ServePolicy) {
         let actions = policy.actions(agent as usize, &rows, group.len());
         let forward = forward_start.elapsed();
         debug_assert_eq!(actions.len(), group.len());
+        // The batcher thread runs the forward itself, so its thread-local
+        // FLOP tally is exactly this pass's GEMM work (zero for policies
+        // that never touch `Matrix`, e.g. test fakes — skip the publish).
+        let flops = agsc_nn::flops::take_thread();
+        if flops > 0 {
+            tlm::counter_add("nn.flops", flops);
+            tlm::gauge_set("nn.gflops", flops as f64 / forward.as_secs_f64().max(1e-9) / 1e9);
+        }
         for (p, act) in group.into_iter().zip(actions) {
             let latency_us = p.enqueued.elapsed().as_secs_f64() * 1e6;
             tlm::histogram_record("serve.latency_us", latency_us);

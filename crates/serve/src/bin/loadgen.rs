@@ -319,6 +319,7 @@ fn main() -> ExitCode {
             stage_batch_wait_p50_us: 0.0,
             stage_forward_p50_us: 0.0,
             stage_wire_p50_us: 0.0,
+            gflops: 0.0,
         }
         .with_latency_us(p50, p95, p99)
         .with_stage_p50s_us(queue_p50, batch_p50, forward_p50, wire_p50),

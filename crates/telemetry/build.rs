@@ -1,0 +1,38 @@
+//! Build-time metadata capture: git sha and build profile.
+//!
+//! The values land in `AGSC_BUILD_*` compile-time env vars consumed by
+//! `src/buildinfo.rs`, so every binary in the workspace can report which
+//! commit and profile produced it (the `agsc_build_info` metric and the
+//! bench-ledger attribution both read this). Everything degrades to
+//! `"unknown"` outside a git checkout — the build never fails over
+//! metadata.
+
+use std::path::Path;
+use std::process::Command;
+
+fn git_short_sha() -> Option<String> {
+    let out = Command::new("git").args(["rev-parse", "--short=12", "HEAD"]).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if sha.is_empty() {
+        None
+    } else {
+        Some(sha)
+    }
+}
+
+fn main() {
+    // Re-stamp when the checked-out commit moves (best-effort: the paths
+    // exist in a normal checkout; missing ones are simply not watched).
+    for p in ["../../.git/HEAD", "../../.git/refs/heads"] {
+        if Path::new(p).exists() {
+            println!("cargo:rerun-if-changed={p}");
+        }
+    }
+    let sha = git_short_sha().unwrap_or_else(|| "unknown".to_string());
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".to_string());
+    println!("cargo:rustc-env=AGSC_BUILD_GIT_SHA={sha}");
+    println!("cargo:rustc-env=AGSC_BUILD_PROFILE={profile}");
+}

@@ -1,0 +1,93 @@
+//! Build metadata: which binary produced a metric scrape or a bench row.
+//!
+//! Captured at compile time by the crate's build script (`build.rs`):
+//! the short git sha of the checkout (`"unknown"` outside git), the cargo
+//! build profile, and the workspace version. Exposed on the `/metrics`
+//! admin endpoint and the `Stats` wire frame as the Prometheus info-style
+//! metric `agsc_build_info{version=...,git_sha=...,profile=...} 1`, and
+//! stamped onto every `BENCH_history.jsonl` ledger entry so performance
+//! numbers stay attributable to the commit that produced them.
+
+/// Compile-time build metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Workspace package version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// Short git sha of the built checkout, `"unknown"` outside git.
+    pub git_sha: &'static str,
+    /// Cargo build profile (`debug` / `release`).
+    pub profile: &'static str,
+}
+
+/// The build metadata baked into this binary.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git_sha: env!("AGSC_BUILD_GIT_SHA"),
+        profile: env!("AGSC_BUILD_PROFILE"),
+    }
+}
+
+impl BuildInfo {
+    /// Render as a JSON object (`{"version":...,"git_sha":...,"profile":...}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in
+            [("version", self.version), ("git_sha", self.git_sha), ("profile", self.profile)]
+                .iter()
+                .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::event::push_json_str(&mut out, k);
+            out.push(':');
+            crate::event::push_json_str(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render as the label set of a Prometheus info metric.
+    pub fn prometheus_labels(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "version=\"{}\",git_sha=\"{}\",profile=\"{}\"",
+            esc(self.version),
+            esc(self.git_sha),
+            esc(self.profile)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_fields_are_nonempty() {
+        let b = build_info();
+        assert!(!b.version.is_empty());
+        assert!(!b.git_sha.is_empty());
+        assert!(!b.profile.is_empty());
+    }
+
+    #[test]
+    fn json_and_labels_render() {
+        let b = BuildInfo { version: "0.1.0", git_sha: "abc123", profile: "release" };
+        assert_eq!(
+            b.to_json(),
+            "{\"version\":\"0.1.0\",\"git_sha\":\"abc123\",\"profile\":\"release\"}"
+        );
+        assert_eq!(
+            b.prometheus_labels(),
+            "version=\"0.1.0\",git_sha=\"abc123\",profile=\"release\""
+        );
+    }
+
+    #[test]
+    fn labels_escape_quotes() {
+        let b = BuildInfo { version: "a\"b", git_sha: "x", profile: "y" };
+        assert!(b.prometheus_labels().contains("a\\\"b"));
+    }
+}

@@ -68,6 +68,14 @@ pub fn prometheus_text(extra_gauges: &[(String, f64)]) -> String {
     if !crate::is_enabled() && extra_gauges.is_empty() {
         return out;
     }
+    if crate::is_enabled() {
+        // Info-style metric: constant 1, the payload is the label set. Lets
+        // a scrape (and any alert on it) name the exact binary it came from.
+        out.push_str(&format!(
+            "# TYPE agsc_build_info gauge\nagsc_build_info{{{}}} 1\n",
+            crate::build_info().prometheus_labels()
+        ));
+    }
     let window_label = format!("{}s", crate::window_config().window_secs());
     let window_counters = crate::window_counters_snapshot();
     for (name, value) in crate::counters_snapshot() {
@@ -114,11 +122,15 @@ pub fn prometheus_text(extra_gauges: &[(String, f64)]) -> String {
     out
 }
 
-/// The registry as one JSON object: `{"counters":{..},"rates":{..},
-/// "gauges":{..},"histograms":{..},"rolling":{..},"window_secs":N}`.
-/// This is the payload of the serve protocol's `Stats` frame.
+/// The registry as one JSON object: `{"build":{..},"counters":{..},
+/// "rates":{..},"gauges":{..},"histograms":{..},"rolling":{..},
+/// "window_secs":N}`. This is the payload of the serve protocol's `Stats`
+/// frame. `build` is compile-time metadata and present even with telemetry
+/// disabled — a stats consumer can always attribute the binary.
 pub fn stats_json(extra_gauges: &[(String, f64)]) -> String {
-    let mut out = String::from("{\"counters\":{");
+    let mut out = String::from("{\"build\":");
+    out.push_str(&crate::build_info().to_json());
+    out.push_str(",\"counters\":{");
     for (i, (k, v)) in crate::counters_snapshot().iter().enumerate() {
         if i > 0 {
             out.push(',');

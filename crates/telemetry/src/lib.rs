@@ -39,15 +39,18 @@
 
 #![warn(missing_docs)]
 
+pub mod buildinfo;
 pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod manifest;
+pub mod prof;
 pub mod profile;
 pub mod sink;
 pub mod span;
 pub mod window;
 
+pub use buildinfo::{build_info, BuildInfo};
 pub use event::{Event, Level, Value};
 pub use histogram::{quantile_sorted, Histogram, HistogramSummary};
 pub use manifest::RunManifest;
@@ -121,6 +124,7 @@ pub fn install(sinks: Vec<Arc<dyn Sink>>, min_level: Level) {
 pub fn install_with_window(sinks: Vec<Arc<dyn Sink>>, min_level: Level, window: WindowConfig) {
     let mut guard = INNER.write().unwrap_or_else(|p| p.into_inner());
     *guard = Some(Inner::new(sinks, window));
+    prof::reset();
     MIN_LEVEL.store(min_level as u8, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -197,6 +201,7 @@ pub fn span(name: &'static str) -> Span {
 
 /// Accumulate one completed span call (called from [`Span::drop`]).
 pub(crate) fn record_span(path: String, elapsed: Duration) {
+    prof::record(&path, elapsed);
     let guard = read_inner();
     if let Some(inner) = guard.as_ref() {
         let mut spans = inner.spans.lock().unwrap_or_else(|p| p.into_inner());
@@ -423,6 +428,9 @@ pub fn flush() {
 ///   warn and fall back to `info`.
 /// * `AGSC_TELEMETRY_DIR` — directory for a JSONL log; setting it installs
 ///   a [`JsonlSink`] writing `run-<millis>-<pid>.jsonl` there.
+/// * `AGSC_PROF` — `1`/`true`/`on` additionally enables the per-thread
+///   self-profiler ([`prof`]); it only records while telemetry itself is
+///   enabled.
 ///
 /// With neither variable set this is a no-op returning `false`: the
 /// default-off contract.
@@ -479,6 +487,7 @@ fn init_env_impl(force_stderr: bool) -> Option<Option<PathBuf>> {
         }
     }
     install(sinks, level);
+    prof::init_from_env();
     Some(jsonl_path)
 }
 

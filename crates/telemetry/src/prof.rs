@@ -1,0 +1,358 @@
+//! Self-profiler: per-thread wall-clock attribution over the span tree.
+//!
+//! The base span registry ([`crate::spans_snapshot`]) answers "how much
+//! total time went to each span path, process-wide". Before optimising a
+//! hot path (the SIMD GEMM work this measurement bed exists for) two more
+//! views are needed:
+//!
+//! * **inclusive vs exclusive** — `train_iteration` includes everything
+//!   under it; the time worth optimising is what's left after subtracting
+//!   its children (*exclusive* / self time),
+//! * **per-thread attribution** — rollout shards and the serve batcher run
+//!   on their own threads; a process-wide total hides which thread is hot,
+//! * **folded-stack export** — the `thread;outer;inner <micros>` collapsed
+//!   format that `flamegraph.pl` / speedscope / `inferno` consume directly.
+//!
+//! ## Gating
+//!
+//! Off by default behind one relaxed atomic, exactly like the rest of the
+//! telemetry layer: [`record`] is only reachable from span drops (which
+//! already require telemetry to be enabled) and returns on a single load
+//! when profiling is off, so uninstrumented and unprofiled runs stay
+//! bit-identical. Enable with `AGSC_PROF=1` (read by
+//! [`crate::init_from_env`] / [`crate::init_run`]) or [`set_enabled`].
+//!
+//! ## CPU-time sampling
+//!
+//! [`thread_cpu_time`] reads the calling thread's user+system CPU time
+//! from `/proc/thread-self/stat` on Linux and gracefully returns `None`
+//! anywhere else; [`CpuSampler`] pairs it with a wall clock so run entry
+//! points can report end-of-run CPU utilisation (compute-bound training
+//! should sit near `workers × 100%`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::span::SpanStat;
+
+static PROF_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Per-thread span statistics: `thread label → span path → stats`.
+static REGISTRY: Mutex<BTreeMap<String, BTreeMap<String, SpanStat>>> = Mutex::new(BTreeMap::new());
+
+/// Monotonic label counter for unnamed threads.
+static ANON_THREADS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's label, assigned on first profiled span.
+    static THREAD_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Whether per-thread profiling is currently enabled.
+pub fn is_enabled() -> bool {
+    PROF_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable the profiler. Profiling only has an effect while the
+/// telemetry layer itself is enabled (spans do not record otherwise).
+pub fn set_enabled(on: bool) {
+    PROF_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Read `AGSC_PROF` (`1`/`true`/`on` enable, anything else disables) and
+/// set the gate accordingly; returns the resulting state.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("AGSC_PROF")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "true" || v == "on"
+        })
+        .unwrap_or(false);
+    set_enabled(on);
+    on
+}
+
+/// Drop all accumulated per-thread statistics (a fresh run). Called by
+/// [`crate::install`] alongside the base registry reset.
+pub(crate) fn reset() {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+fn thread_label() -> String {
+    THREAD_LABEL.with(|l| {
+        let mut l = l.borrow_mut();
+        if let Some(ref s) = *l {
+            return s.clone();
+        }
+        let label = match std::thread::current().name() {
+            Some(name) if !name.is_empty() => name.to_string(),
+            _ => format!("thread-{}", ANON_THREADS.fetch_add(1, Ordering::Relaxed)),
+        };
+        *l = Some(label.clone());
+        label
+    })
+}
+
+/// Accumulate one completed span call under the calling thread's label.
+/// Reached from [`crate::record_span`] (telemetry already enabled there);
+/// returns on one atomic load when profiling is off.
+pub(crate) fn record(path: &str, elapsed: Duration) {
+    if !is_enabled() {
+        return;
+    }
+    let label = thread_label();
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let stat = reg.entry(label).or_default().entry(path.to_string()).or_default();
+    stat.calls += 1;
+    stat.total += elapsed;
+}
+
+/// One profiled span path on one thread, with the inclusive/exclusive split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfRow {
+    /// Thread label (thread name, or `thread-N` for unnamed threads).
+    pub thread: String,
+    /// Span path (`outer/inner`).
+    pub path: String,
+    /// Completed calls.
+    pub calls: u64,
+    /// Inclusive wall time: the span's own total, children included.
+    pub inclusive: Duration,
+    /// Exclusive (self) wall time: inclusive minus direct children.
+    pub exclusive: Duration,
+}
+
+/// Snapshot the per-thread registry with the inclusive/exclusive split
+/// computed. Within one thread the nesting is strictly LIFO (guaranteed by
+/// scope-based span guards), so a path's direct children are exactly the
+/// paths one `/` deeper, and `exclusive = inclusive − Σ direct children`
+/// (clamped at zero against clock skew).
+pub fn snapshot() -> Vec<ProfRow> {
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let mut rows = Vec::new();
+    for (thread, spans) in reg.iter() {
+        for (path, stat) in spans.iter() {
+            let prefix = format!("{path}/");
+            let children: Duration = spans
+                .iter()
+                .filter(|(p, _)| {
+                    p.starts_with(&prefix)
+                        && !p[prefix.len()..].contains('/')
+                        && p.len() > prefix.len()
+                })
+                .map(|(_, s)| s.total)
+                .sum();
+            rows.push(ProfRow {
+                thread: thread.clone(),
+                path: path.clone(),
+                calls: stat.calls,
+                inclusive: stat.total,
+                exclusive: stat.total.saturating_sub(children),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the profiled rows as a folded-stack (collapsed) file: one line
+/// per `(thread, path)` pair, `thread;outer;inner <exclusive_micros>`,
+/// ready for `flamegraph.pl`, `inferno-flamegraph`, or speedscope. Lines
+/// with zero exclusive microseconds are kept (calls still carry signal for
+/// very fast spans rounded down). Empty string when nothing was profiled.
+pub fn folded() -> String {
+    let mut out = String::new();
+    for row in snapshot() {
+        let stack = row.path.replace('/', ";");
+        out.push_str(&format!("{};{} {}\n", row.thread, stack, row.exclusive.as_micros()));
+    }
+    out
+}
+
+/// Write [`folded`] output to `path`. Errors surface to the caller; run
+/// entry points treat them as warnings.
+pub fn write_folded(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, folded())
+}
+
+/// Write the folded profile to its default location — `AGSC_PROF_FOLDED`
+/// when set, else `<AGSC_TELEMETRY_DIR>/profile.folded`, else
+/// `./profile.folded` — returning the path on success, `None` when nothing
+/// was profiled or the write failed (reported via [`crate::warn`]).
+pub fn write_folded_default() -> Option<PathBuf> {
+    let text = folded();
+    if text.is_empty() {
+        return None;
+    }
+    let path = std::env::var("AGSC_PROF_FOLDED")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            crate::run_dir().unwrap_or_else(|| PathBuf::from(".")).join("profile.folded")
+        });
+    match write_folded(&path) {
+        Ok(()) => Some(path),
+        Err(err) => {
+            crate::warn("prof_folded_io", |e| {
+                e.str("path", path.display().to_string()).str("error", err.to_string())
+            });
+            None
+        }
+    }
+}
+
+/// The end-of-run profiler table: span paths aggregated across threads,
+/// ranked by exclusive time, with inclusive/exclusive columns and the
+/// exclusive share of the total. `None` when nothing was profiled.
+pub fn report_table() -> Option<String> {
+    let rows = snapshot();
+    if rows.is_empty() {
+        return None;
+    }
+    // Aggregate across threads per path.
+    let mut agg: BTreeMap<&str, (u64, Duration, Duration)> = BTreeMap::new();
+    for row in &rows {
+        let e = agg.entry(&row.path).or_insert((0, Duration::ZERO, Duration::ZERO));
+        e.0 += row.calls;
+        e.1 += row.inclusive;
+        e.2 += row.exclusive;
+    }
+    let grand_excl: Duration = agg.values().map(|(_, _, e)| *e).sum();
+    let mut sorted: Vec<(&str, (u64, Duration, Duration))> = agg.into_iter().collect();
+    sorted.sort_by(|a, b| b.1 .2.cmp(&a.1 .2).then_with(|| a.0.cmp(b.0)));
+    let threads = rows.iter().map(|r| r.thread.as_str()).collect::<std::collections::BTreeSet<_>>();
+    let name_w = sorted.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max("span".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>9}  {:>12}  {:>12}  {:>7}\n",
+        "span", "calls", "incl ms", "excl ms", "excl %"
+    ));
+    for (name, (calls, incl, excl)) in &sorted {
+        let pct = if grand_excl.is_zero() {
+            0.0
+        } else {
+            100.0 * excl.as_secs_f64() / grand_excl.as_secs_f64()
+        };
+        out.push_str(&format!(
+            "{name:<name_w$}  {calls:>9}  {:>12.2}  {:>12.2}  {pct:>6.1}%\n",
+            incl.as_secs_f64() * 1e3,
+            excl.as_secs_f64() * 1e3,
+        ));
+    }
+    out.push_str(&format!("({} thread(s) profiled)\n", threads.len()));
+    Some(out)
+}
+
+/// The calling thread's consumed CPU time (user + system) on Linux, read
+/// from `/proc/thread-self/stat`; `None` on other platforms or any parse
+/// failure. Tick length assumes the universal `USER_HZ = 100`.
+pub fn thread_cpu_time() -> Option<Duration> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+        parse_proc_stat_cpu(&stat)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parse `utime + stime` out of a `/proc/<pid>/stat`-format line. The comm
+/// field may itself contain spaces and parentheses, so fields are counted
+/// from the *last* `)`. Separated from the I/O for unit testing.
+#[allow(dead_code)] // referenced only on Linux targets; tested everywhere
+fn parse_proc_stat_cpu(stat: &str) -> Option<Duration> {
+    const USER_HZ: u64 = 100;
+    let after = &stat[stat.rfind(')')? + 1..];
+    let mut fields = after.split_whitespace();
+    // after ')' the next field is state (overall field 3); utime and stime
+    // are overall fields 14 and 15.
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(Duration::from_millis((utime + stime) * (1000 / USER_HZ)))
+}
+
+/// Paired CPU/wall sampler for utilisation reporting: construct at run
+/// start, call [`CpuSampler::sample`] at the end.
+#[derive(Debug)]
+pub struct CpuSampler {
+    cpu0: Option<Duration>,
+    wall0: Instant,
+}
+
+impl Default for CpuSampler {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl CpuSampler {
+    /// Capture the calling thread's current CPU time and the wall clock.
+    pub fn start() -> Self {
+        Self { cpu0: thread_cpu_time(), wall0: Instant::now() }
+    }
+
+    /// `(cpu_since_start, wall_since_start)`; CPU side is `None` where
+    /// [`thread_cpu_time`] is unsupported.
+    pub fn sample(&self) -> (Option<Duration>, Duration) {
+        let wall = self.wall0.elapsed();
+        let cpu = match (self.cpu0, thread_cpu_time()) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        };
+        (cpu, wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_proc_stat_handles_hostile_comm() {
+        // comm containing spaces and a ')' — fields must count from the
+        // last ')'.
+        let line = "1234 (a b) c) R 1 1 1 0 -1 4194304 0 0 0 0 250 50 0 0 20 0 1 0 100 0 0";
+        let d = parse_proc_stat_cpu(line).unwrap();
+        assert_eq!(d, Duration::from_secs(3), "utime 250 + stime 50 ticks = 3s at USER_HZ=100");
+    }
+
+    #[test]
+    fn parse_proc_stat_rejects_garbage() {
+        assert_eq!(parse_proc_stat_cpu("no parens here"), None);
+        assert_eq!(parse_proc_stat_cpu("1 (x) R 1"), None, "too few fields");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn thread_cpu_time_is_monotonic_on_linux() {
+        let a = thread_cpu_time().expect("linux must expose /proc/thread-self/stat");
+        // Burn a little CPU so the counter can only move forward.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let b = thread_cpu_time().unwrap();
+        assert!(b >= a, "thread CPU time must be monotonic: {a:?} -> {b:?}");
+    }
+
+    #[test]
+    fn cpu_sampler_reports_wall_progress() {
+        let s = CpuSampler::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let (_cpu, wall) = s.sample();
+        assert!(wall >= Duration::from_millis(5));
+    }
+}

@@ -8,7 +8,9 @@
 //! `AGSC_LOG` sets the telemetry severity filter (`off` silences it);
 //! `AGSC_TELEMETRY_DIR` additionally writes a JSONL event log plus
 //! `training_curves.csv`/`.jsonl` learning curves there; `AGSC_DIAG=off`
-//! disables the diagnostics layer while keeping the event log.
+//! disables the diagnostics layer while keeping the event log;
+//! `AGSC_PROF=1` adds the per-thread self-profiler (inclusive/exclusive
+//! table + `profile.folded` flamegraph input) and a GEMM FLOP summary.
 
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
@@ -98,6 +100,23 @@ fn main() {
     tlm::emit_profile();
     if let Some(table) = tlm::profile_table() {
         println!("\nspan profile:\n{table}");
+    }
+
+    // 7. With AGSC_PROF=1: the self-profiler's per-thread wall-clock
+    //    attribution (exclusive time per span path), the folded-stack file
+    //    for flamegraph/speedscope, and the run's total GEMM work.
+    if tlm::prof::is_enabled() {
+        if let Some(table) = tlm::prof::report_table() {
+            println!("\nself-profile (exclusive time):\n{table}");
+        }
+        if let Some(path) = tlm::prof::write_folded_default() {
+            println!("folded profile: {}", path.display());
+        }
+        agsc::nn::flops::flush_thread();
+        let flops = agsc::nn::flops::total();
+        if flops > 0 {
+            println!("GEMM work: {:.3} GFLOP across the run", flops as f64 / 1e9);
+        }
     }
     tlm::flush();
 }

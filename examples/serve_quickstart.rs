@@ -12,7 +12,8 @@
 //! `./policy.json`) so a CI job can chain this example into the load
 //! generator via `AGSC_SERVE_CKPT`; `AGSC_METRICS_ADDR` (unset by
 //! default) additionally binds the admin HTTP plane (`/metrics`,
-//! `/healthz`) next to the TCP server.
+//! `/healthz`) next to the TCP server; `AGSC_PROF=1` adds the per-thread
+//! self-profiler table, `profile.folded`, and a GEMM FLOP summary.
 
 use std::sync::Arc;
 
@@ -88,6 +89,23 @@ fn main() {
     tlm::emit_profile();
     if let Some(table) = tlm::profile_table() {
         println!("\nspan profile:\n{table}");
+    }
+
+    // 7. With AGSC_PROF=1: per-thread exclusive-time attribution across the
+    //    trainer and the server's batcher/connection threads, the folded
+    //    stacks for flamegraph/speedscope, and total GEMM work.
+    if tlm::prof::is_enabled() {
+        if let Some(table) = tlm::prof::report_table() {
+            println!("\nself-profile (exclusive time):\n{table}");
+        }
+        if let Some(path) = tlm::prof::write_folded_default() {
+            println!("folded profile: {}", path.display());
+        }
+        agsc::nn::flops::flush_thread();
+        let flops = agsc::nn::flops::total();
+        if flops > 0 {
+            println!("GEMM work: {:.3} GFLOP across the run", flops as f64 / 1e9);
+        }
     }
     tlm::flush();
     println!("done; try the load generator next:");

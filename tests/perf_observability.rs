@@ -1,0 +1,223 @@
+//! Integration tests for the performance-observability layer: GEMM FLOP
+//! accounting (exact when on, *exactly zero* when off — the bit-identity
+//! contract), the per-thread self-profiler, build-info export, and the
+//! bench trend ledger's regression verdicts.
+//!
+//! The telemetry handle (and the profiler and FLOP registries behind it)
+//! is process-global, so every test serialises on one mutex and restores
+//! the disabled state before releasing it.
+
+use std::sync::Mutex;
+
+use agsc::nn::flops;
+use agsc::nn::Matrix;
+use agsc::telemetry as tlm;
+use proptest::prelude::*;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Run `f` holding the global-telemetry lock; afterwards shut telemetry
+/// down, switch the profiler off, and zero the FLOP registries so the next
+/// test starts clean.
+fn with_global<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    let out = f();
+    tlm::shutdown();
+    tlm::prof::set_enabled(false);
+    flops::reset();
+    out
+}
+
+fn filled(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| (i % 7 + 1) as f32 * 0.1).collect())
+}
+
+#[test]
+fn flops_are_exactly_zero_when_telemetry_is_off() {
+    with_global(|| {
+        assert!(!tlm::is_enabled(), "tests start from the disabled state");
+        flops::reset();
+        let a = filled(8, 16);
+        let b = filled(16, 4);
+        let _ = a.matmul(&b);
+        let _ = a.t_matmul(&a);
+        let _ = a.matmul_t(&a);
+        assert_eq!(flops::take_thread(), 0, "disabled runs must record zero flops");
+        flops::flush_thread();
+        assert_eq!(flops::total(), 0, "nothing may reach the process-wide total either");
+    });
+}
+
+#[test]
+fn matmul_charges_exactly_2mnk_for_all_three_products() {
+    with_global(|| {
+        tlm::install(vec![], tlm::Level::Info);
+        flops::reset();
+        flops::take_thread();
+
+        let a = filled(3, 4);
+        let b = filled(4, 5);
+        let _ = a.matmul(&b); // (3×4)·(4×5): m=3 n=5 k=4
+        assert_eq!(flops::take_thread(), 2 * 3 * 5 * 4);
+
+        let _ = a.t_matmul(&a); // aᵀ·a = (4×3)·(3×4): m=4 n=4 k=3
+        assert_eq!(flops::take_thread(), 2 * 4 * 4 * 3);
+
+        let _ = a.matmul_t(&a); // a·aᵀ = (3×4)·(4×3): m=3 n=3 k=4
+        assert_eq!(flops::take_thread(), 2 * 3 * 3 * 4);
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Splitting a batch into two row blocks charges exactly the same
+    /// total FLOPs as the fused product: the accounting is additive, so
+    /// per-shard flushes sum to the same figure a monolithic pass reports.
+    #[test]
+    fn flop_accounting_is_additive_across_split_batches(
+        m1 in 1usize..12,
+        m2 in 1usize..12,
+        k in 1usize..16,
+        n in 1usize..12,
+    ) {
+        with_global(|| {
+            tlm::install(vec![], tlm::Level::Info);
+            flops::reset();
+            flops::take_thread();
+
+            let w = filled(k, n);
+            let _ = filled(m1 + m2, k).matmul(&w);
+            let fused = flops::take_thread();
+
+            let _ = filled(m1, k).matmul(&w);
+            let _ = filled(m2, k).matmul(&w);
+            let split = flops::take_thread();
+
+            prop_assert_eq!(fused, split, "row-split batches must charge identically");
+            prop_assert_eq!(fused, flops::matmul_flops(m1 + m2, n, k));
+            Ok(())
+        })?;
+    }
+}
+
+#[test]
+fn profiler_splits_inclusive_and_exclusive_time_per_thread() {
+    with_global(|| {
+        tlm::install(vec![], tlm::Level::Info);
+        tlm::prof::set_enabled(true);
+        {
+            let _outer = tlm::span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = tlm::span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let rows = tlm::prof::snapshot();
+        let outer = rows.iter().find(|r| r.path == "outer").expect("outer recorded");
+        let inner = rows.iter().find(|r| r.path == "outer/inner").expect("inner nested");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.inclusive >= inner.inclusive, "parent includes child");
+        assert_eq!(
+            outer.exclusive,
+            outer.inclusive - inner.inclusive,
+            "exclusive = inclusive − direct children"
+        );
+        assert_eq!(inner.exclusive, inner.inclusive, "leaves have no children");
+        assert_eq!(outer.thread, inner.thread, "same thread, same label");
+
+        let folded = tlm::prof::folded();
+        assert!(folded.contains(";outer "), "top-level folded frame: {folded}");
+        assert!(folded.contains(";outer;inner "), "nested folded frame: {folded}");
+        assert_eq!(folded.lines().count(), rows.len());
+
+        let table = tlm::prof::report_table().expect("something was profiled");
+        assert!(table.contains("outer/inner"), "{table}");
+        assert!(table.contains("thread(s) profiled"), "{table}");
+    });
+}
+
+#[test]
+fn profiler_records_nothing_when_off_and_resets_on_install() {
+    with_global(|| {
+        tlm::install(vec![], tlm::Level::Info);
+        assert!(!tlm::prof::is_enabled(), "profiler defaults to off");
+        {
+            let _s = tlm::span("unprofiled");
+        }
+        assert!(tlm::prof::snapshot().is_empty(), "off → no per-thread rows");
+        assert_eq!(tlm::prof::folded(), "");
+        assert!(tlm::prof::report_table().is_none());
+
+        // Now profile something, then reinstall: the registry must reset.
+        tlm::prof::set_enabled(true);
+        {
+            let _s = tlm::span("profiled");
+        }
+        assert!(!tlm::prof::snapshot().is_empty());
+        tlm::install(vec![], tlm::Level::Info);
+        assert!(tlm::prof::snapshot().is_empty(), "install starts a fresh run");
+    });
+}
+
+#[test]
+fn build_info_is_exported_when_enabled_and_absent_when_disabled() {
+    with_global(|| {
+        assert_eq!(tlm::export::prometheus_text(&[]), "", "disabled scrape stays empty");
+
+        tlm::install(vec![], tlm::Level::Info);
+        let scrape = tlm::export::prometheus_text(&[]);
+        assert!(scrape.contains("agsc_build_info{"), "{scrape}");
+        assert!(scrape.contains("version=\""), "{scrape}");
+        assert!(scrape.contains("git_sha=\""), "{scrape}");
+        assert!(scrape.contains("profile=\""), "{scrape}");
+
+        let stats = tlm::export::stats_json(&[]);
+        let v: serde_json::Value = serde_json::from_str(&stats).expect("stats_json is JSON");
+        let build = v.get("build").expect("stats carry a build object");
+        assert_eq!(
+            build.get("version").and_then(|s| s.as_str()),
+            Some(env!("CARGO_PKG_VERSION")),
+            "workspace version matches"
+        );
+        assert!(build.get("git_sha").is_some());
+        assert!(build.get("profile").is_some());
+    });
+}
+
+#[test]
+fn trend_ledger_flags_an_injected_slowdown_but_not_noise() {
+    // Pure data-path test (no global telemetry): drive the ledger exactly
+    // the way `bench trend` does, through append → load → analyze.
+    use agsc_bench::ledger;
+    use agsc_bench::{HarnessConfig, ResultPoint, TrendConfig, Verdict};
+
+    let dir = std::env::temp_dir().join(format!("agsc-perf-obs-{}", std::process::id()));
+    let path = dir.join("BENCH_history.jsonl");
+    let h = HarnessConfig { iters: 1, eval_episodes: 1, seed: 9 };
+    let point = |sps: f64| {
+        ResultPoint::new("rollout_throughput", "purdue", "serial", &h, &Default::default(), 1.0)
+            .with_samples_per_sec(sps)
+    };
+
+    // Five healthy runs with ±2% jitter, then a 2× slowdown.
+    for sps in [1000.0, 1020.0, 985.0, 1010.0, 995.0] {
+        ledger::append_history(&[point(sps)], &path).unwrap();
+    }
+    let healthy = ledger::analyze(&ledger::load_history(&path).unwrap(), &TrendConfig::default());
+    assert!(
+        healthy.iter().all(|r| r.verdict == Verdict::Steady),
+        "jitter inside the noise band must stay quiet: {healthy:?}"
+    );
+
+    ledger::append_history(&[point(500.0)], &path).unwrap();
+    let rows = ledger::analyze(&ledger::load_history(&path).unwrap(), &TrendConfig::default());
+    assert!(
+        rows.iter().any(|r| r.metric == "samples_per_sec" && r.verdict == Verdict::Regressed),
+        "a 2× slowdown must be flagged: {rows:?}"
+    );
+    assert!(ledger::has_regression(&rows));
+    std::fs::remove_dir_all(&dir).ok();
+}
