@@ -677,16 +677,21 @@ pub fn rollout_throughput(h: &HarnessConfig) {
 /// Measure sustained dense-GEMM throughput over the (batch × out × in)
 /// shapes the h/i-MADRL policy network actually runs — observation width
 /// into the default hidden stack into the 2-d action head — at batch sizes
-/// 1/16/64/256. GFLOP/s comes from the algorithmic count 2·m·n·k (the same
-/// formula [`agsc_nn::flops`] charges), so the figure is comparable whether
-/// or not telemetry is enabled. Each shape lands in `BENCH_results.json`
-/// (and the trend ledger) with its `gflops`.
+/// 1/16/64/256, for all three products a training step issues (forward
+/// `x·W`, weight gradient `xᵀ·dY`, input gradient `dY·Wᵀ`) under **both**
+/// GEMM kernels. GFLOP/s comes from the algorithmic count 2·m·n·k (the
+/// same formula [`agsc_nn::flops`] charges), so the figure is comparable
+/// whether or not telemetry is enabled. Each (shape, product, kernel)
+/// cell lands in `BENCH_results.json` (and the trend ledger) with its
+/// `gflops`, labelled `ref` or `fast` so the speedup is directly readable
+/// from the results file and `bench trend` guards each kernel path as its
+/// own series.
 pub fn gemm_microbench(h: &HarnessConfig) {
-    use agsc_nn::{flops::matmul_flops, Matrix};
+    use agsc_nn::{flops::matmul_flops, GemmKernel, Matrix};
 
     let mut w = ExperimentWriter::for_experiment("gemm_microbench");
     let mut res = BenchResults::new("gemm_microbench");
-    w.line(banner("GEMM microbench: policy-network layer shapes"));
+    w.line(banner("GEMM microbench: policy-network layer shapes, ref vs fast"));
     let dataset = presets::purdue(h.seed);
     let obs_dim = AirGroundEnv::new(base_env(), &dataset, h.seed).obs_dim();
     // The policy MLP's dense layers: obs → hidden stack → 2-d action head.
@@ -702,53 +707,70 @@ pub fn gemm_microbench(h: &HarnessConfig) {
     // the whole sweep comfortably cheap on the default budget.
     let reps = (h.iters * 8).clamp(8, 256);
 
-    // Nonzero fills everywhere: `Matrix::matmul` skips zero lhs entries, so
-    // an all-zero operand would measure the skip branch, not the GEMM.
+    // Mixed fill with a sprinkling of exact zeros: both kernels are dense,
+    // so zero operands must cost the same as any other value.
     let fill = |rows: usize, cols: usize, salt: usize| {
         Matrix::from_vec(
             rows,
             cols,
-            (0..rows * cols).map(|i| ((i + salt) % 13 + 1) as f32 * 0.03).collect(),
+            (0..rows * cols).map(|i| ((i + salt) % 13) as f32 * 0.03).collect(),
         )
     };
 
     w.line(format!(
-        "{:<16} {:>6} {:>6} {:>12} {:>10}",
-        "shape m*n*k", "batch", "reps", "GFLOP", "GFLOP/s"
+        "{:<16} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "shape BxOUTxIN", "reps", "product", "ref GF/s", "fast GF/s", "speedup"
     ));
     w.line(rule());
     for &batch in &[1usize, 16, 64, 256] {
         for &(out, width) in &layers {
-            let a = fill(batch, width, 1);
-            let b = fill(width, out, 7);
-            // Warm-up pass (page in, branch-train) before timing.
-            std::hint::black_box(a.matmul(&b));
+            // One training step's operands: activations `x`, weights `W`,
+            // and the gradient `dY` flowing back into this layer.
+            let x = fill(batch, width, 1);
+            let wgt = fill(width, out, 7);
+            let dy = fill(batch, out, 11);
+            let fwd = |kern| x.matmul_with(&wgt, kern);
+            let dw = |kern| x.t_matmul_with(&dy, kern);
+            let dx = |kern| dy.matmul_t_with(&wgt, kern);
+            let products: [(&str, &dyn Fn(GemmKernel) -> Matrix); 3] =
+                [("matmul", &fwd), ("t_matmul", &dw), ("matmul_t", &dx)];
+            // All three products do the same algorithmic work.
             let flops_per_call = matmul_flops(batch, out, width);
-            let t0 = Instant::now();
-            for _ in 0..reps {
-                std::hint::black_box(a.matmul(&b));
+            for (product, run) in products {
+                let mut gf = [0.0f64; 2];
+                for (slot, kernel) in
+                    [GemmKernel::Reference, GemmKernel::Fast].into_iter().enumerate()
+                {
+                    // Warm-up pass (page in, branch-train) before timing.
+                    std::hint::black_box(run(kernel));
+                    let t0 = Instant::now();
+                    for _ in 0..reps {
+                        std::hint::black_box(run(kernel));
+                    }
+                    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                    let gflops = (flops_per_call * reps as u64) as f64 / secs / 1e9;
+                    gf[slot] = gflops;
+                    let point = crate::results::ResultPoint::new(
+                        "gemm_microbench",
+                        "",
+                        &format!("B={batch} {out}x{width} {product} {}", kernel.label()),
+                        h,
+                        &Metrics::default(),
+                        secs,
+                    )
+                    .with_gflops(gflops);
+                    res.record_point(point);
+                }
+                w.line(format!(
+                    "{:<16} {:>6} {:>10} {:>10.2} {:>10.2} {:>8.2}x",
+                    format!("{batch}x{out}x{width}"),
+                    reps,
+                    product,
+                    gf[0],
+                    gf[1],
+                    gf[1] / gf[0].max(1e-9)
+                ));
             }
-            let secs = t0.elapsed().as_secs_f64().max(1e-9);
-            let total_flops = flops_per_call * reps as u64;
-            let gflops = total_flops as f64 / secs / 1e9;
-            w.line(format!(
-                "{:<16} {:>6} {:>6} {:>12.4} {:>10.2}",
-                format!("{batch}x{out}x{width}"),
-                batch,
-                reps,
-                total_flops as f64 / 1e9,
-                gflops
-            ));
-            let point = crate::results::ResultPoint::new(
-                "gemm_microbench",
-                "",
-                &format!("B={batch} {out}x{width}"),
-                h,
-                &Metrics::default(),
-                secs,
-            )
-            .with_gflops(gflops);
-            res.record_point(point);
         }
     }
     res.finish();

@@ -17,14 +17,23 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Apply the activation to a single scalar. [`forward`](Self::forward)
+    /// and the fused bias+activation epilogue in [`crate::linear::Linear`]
+    /// both route through this, which is what keeps the fused and unfused
+    /// paths bit-identical.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Tanh => v.tanh(),
+            Activation::Relu => v.max(0.0),
+            Activation::Sigmoid => sigmoid(v),
+            Activation::Linear => v,
+        }
+    }
+
     /// Apply the activation element-wise.
     pub fn forward(self, x: &Matrix) -> Matrix {
-        match self {
-            Activation::Tanh => x.map(f32::tanh),
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Sigmoid => x.map(sigmoid),
-            Activation::Linear => x.clone(),
-        }
+        x.map(|v| self.apply(v))
     }
 
     /// Derivative expressed in terms of the *output* `y = f(x)`.

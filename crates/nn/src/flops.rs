@@ -2,13 +2,14 @@
 //!
 //! Every matrix product in [`crate::matrix::Matrix`] (`matmul`, `t_matmul`,
 //! `matmul_t`) credits `2·m·n·k` floating-point operations — the textbook
-//! multiply-add count for an `m×k · k×n` product, deliberately ignoring the
-//! sparsity shortcut inside `matmul` so the figure is the *algorithmic* work
-//! a dense kernel replacing it must sustain. [`crate::mlp::Mlp`] forward and
-//! backward passes are covered transitively: every layer bottoms out in one
-//! of the three hooks. ROADMAP item 1 (SIMD GEMM kernels) uses this as its
-//! before/after yardstick via the `nn.gflops` gauge and the
-//! `gemm_microbench` experiment.
+//! multiply-add count for an `m×k · k×n` product. The charge is taken in
+//! the `Matrix` wrappers *before* dispatching into [`crate::gemm`], so both
+//! kernel paths (reference and tiled fast) charge identically and tiling
+//! remainders can never double-charge — `tests/perf_observability.rs` pins
+//! this per product. [`crate::mlp::Mlp`] forward and backward passes are
+//! covered transitively: every layer bottoms out in one of the three hooks.
+//! The `gemm_microbench` experiment uses this count as the numerator of its
+//! ref-vs-fast GFLOP/s comparison.
 //!
 //! ## Design
 //!

@@ -1,0 +1,725 @@
+//! Dual-path GEMM kernels behind [`crate::matrix::Matrix`]'s three products.
+//!
+//! Every product ships in two implementations selected at run time:
+//!
+//! * **Reference** — the naive loops the reproduction has used since the
+//!   seed (ikj order for `matmul`, streaming rank-1 updates for `t_matmul`,
+//!   scalar dot products for `matmul_t`). Simple enough to audit by eye;
+//!   this is the semantic ground truth.
+//! * **Fast** — blocked, cache-tiled, register-tiled kernels: `B` is packed
+//!   into [`NR`]-column panels per [`KC`]-deep stripe, `A` into [`MR`]-row
+//!   k-major panels when the output is wide enough to amortise it
+//!   (`n > NR`; narrow outputs walk `A` in place), and an [`MR`]×[`NR`]
+//!   micro-kernel accumulates `chunks_exact` f32 lanes the compiler
+//!   autovectorizes. On x86-64 with AVX2 (detected at run time) the same
+//!   safe-Rust micro-kernel is compiled with `#[target_feature]` so the
+//!   lanes widen to 256-bit ymm registers.
+//!
+//! ## Equivalence contract
+//!
+//! The two paths are **bit-identical for every input whose result is
+//! NaN-free** (infinities included), enforced by
+//! `tests/gemm_equivalence.rs` and the cross-kernel golden suites. This is
+//! by construction, not by tolerance:
+//!
+//! * each output element is one accumulation chain in ascending-`k` order,
+//!   started from `+0.0` — the tiled kernels load the partial sum back from
+//!   the output between `KC` stripes, which *continues* the same chain
+//!   rather than reassociating it;
+//! * no FMA contraction: `acc += a * b` rounds the multiply and the add
+//!   separately on both paths (Rust never contracts implicitly), and IEEE
+//!   multiplies/adds round identically at every SIMD width;
+//! * zero-padded panel tails only feed lanes that are discarded on store.
+//!
+//! Inputs that *produce* NaN (`0·∞`, `∞−∞`, NaN operands) are the one
+//! carve-out: both paths agree each affected element is NaN, but not on
+//! its bit pattern — IEEE 754 leaves the sign/payload of a NaN result
+//! unspecified, and x86 propagates whichever operand the compiled
+//! instruction order favours, a codegen artifact that differs between
+//! loop shapes. The harness pins exactly this: bitwise equality away from
+//! NaN, NaN-for-NaN agreement on the rest.
+//!
+//! The seed's reference loops skipped `a == 0.0` terms as a sparsity
+//! shortcut. That shortcut is *removed* here: skipping a zero term is
+//! bitwise-invisible for finite inputs (a chain that starts at `+0.0` can
+//! never reach `-0.0` by adding `±0.0` products), but it would suppress NaN
+//! from `0 × ∞` terms that a dense kernel must propagate, so keeping it
+//! would have made the two paths diverge on non-finite inputs and cost
+//! ~25% inside the micro-kernel to emulate.
+//!
+//! ## Selection
+//!
+//! `AGSC_GEMM=ref|fast` (default `fast`) picks the process-wide default;
+//! [`set_kernel_override`] forces a path in-process (tests use this to run
+//! both paths in one binary), and the `*_with` methods on `Matrix` pin a
+//! single call. FLOP accounting happens in the `Matrix` wrappers *before*
+//! dispatch, so both paths charge the identical `2·m·n·k` regardless of
+//! tiling remainders.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Micro-kernel height: output rows accumulated per register tile.
+pub const MR: usize = 6;
+/// Micro-kernel width: output columns per packed panel (two ymm registers).
+pub const NR: usize = 16;
+/// Depth of one packed `B` stripe; bounds the panel working set to L1/L2.
+pub const KC: usize = 256;
+
+/// Below this many output rows the packing cost dominates and the fast path
+/// for `matmul`/`t_matmul` falls back to the reference loops (bit-identical
+/// either way, so this is purely a performance heuristic).
+const SMALL_M: usize = 8;
+
+/// Which GEMM implementation a product dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// The seed's naive loops (semantic ground truth).
+    Reference,
+    /// Blocked, packed, register-tiled kernels (AVX2 when available).
+    Fast,
+}
+
+impl GemmKernel {
+    /// Short label used by bench result points and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmKernel::Reference => "ref",
+            GemmKernel::Fast => "fast",
+        }
+    }
+}
+
+/// 0 = no override, 1 = force Reference, 2 = force Fast.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force every subsequent kernel dispatch in this process onto one path
+/// (`None` restores the `AGSC_GEMM` default). Tests use this to exercise
+/// both paths inside one binary without racing on the environment.
+pub fn set_kernel_override(kernel: Option<GemmKernel>) {
+    let v = match kernel {
+        None => 0,
+        Some(GemmKernel::Reference) => 1,
+        Some(GemmKernel::Fast) => 2,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The kernel the next `Matrix` product will dispatch to: the in-process
+/// override if set, otherwise the `AGSC_GEMM` environment default.
+pub fn active_kernel() -> GemmKernel {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => GemmKernel::Reference,
+        2 => GemmKernel::Fast,
+        _ => env_default(),
+    }
+}
+
+/// Parse an `AGSC_GEMM` value; `None` means unrecognized.
+fn parse_kernel(v: &str) -> Option<GemmKernel> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" | "fast" => Some(GemmKernel::Fast),
+        "ref" | "reference" => Some(GemmKernel::Reference),
+        _ => None,
+    }
+}
+
+fn env_default() -> GemmKernel {
+    static DEFAULT: OnceLock<GemmKernel> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("AGSC_GEMM") {
+        Err(_) => GemmKernel::Fast,
+        Ok(v) => parse_kernel(&v).unwrap_or_else(|| {
+            eprintln!("AGSC_GEMM: unrecognized kernel {v:?} (expected ref|fast); using fast");
+            GemmKernel::Fast
+        }),
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch. All three entry points *accumulate into* `out`, which the Matrix
+// wrappers pre-zero; shapes are asserted there, so the slices are trusted to
+// be exactly m×k / (dims per product) / m×n long.
+// ---------------------------------------------------------------------------
+
+/// Route one product to the widest tiled variant the CPU supports.
+macro_rules! dispatch_fast {
+    ($product:ident($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        if avx2_available() {
+            // SAFETY: `tiled_avx2::*` only *requires* AVX2 (its body is safe
+            // Rust compiled with the feature enabled), and the runtime check
+            // above proved the CPU has it.
+            unsafe { tiled_avx2::$product($($arg),*) }
+            return;
+        }
+        tiled_portable::$product($($arg),*)
+    }};
+}
+
+/// `out[m×n] += a[m×k] · b[k×n]` (all row-major).
+pub(crate) fn matmul(
+    kernel: GemmKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    match kernel {
+        GemmKernel::Reference => reference::matmul(m, n, k, a, b, out),
+        GemmKernel::Fast if m < SMALL_M => reference::matmul(m, n, k, a, b, out),
+        GemmKernel::Fast => dispatch_fast!(matmul(m, n, k, a, b, out)),
+    }
+}
+
+/// `out[m×n] += aᵀ · b` where `a` is `k×m` and `b` is `k×n` (row-major).
+pub(crate) fn t_matmul(
+    kernel: GemmKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    match kernel {
+        GemmKernel::Reference => reference::t_matmul(m, n, k, a, b, out),
+        GemmKernel::Fast if m < SMALL_M => reference::t_matmul(m, n, k, a, b, out),
+        GemmKernel::Fast => dispatch_fast!(t_matmul(m, n, k, a, b, out)),
+    }
+}
+
+/// `out[m×n] += a · bᵀ` where `a` is `m×k` and `b` is `n×k` (row-major).
+/// The reference for this product is a scalar dot-product loop, so the fast
+/// path tiles at every size (no `SMALL_M` cutoff).
+pub(crate) fn matmul_t(
+    kernel: GemmKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    match kernel {
+        GemmKernel::Reference => reference::matmul_t(m, n, k, a, b, out),
+        GemmKernel::Fast => dispatch_fast!(matmul_t(m, n, k, a, b, out)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the seed's loops minus the sparsity shortcut (see the
+// module docs for why the shortcut had to go).
+// ---------------------------------------------------------------------------
+
+mod reference {
+    pub(super) fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    pub(super) fn t_matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        for r in 0..k {
+            let a_row = &a[r * m..(r + 1) * m];
+            let b_row = &b[r * n..(r + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    pub(super) fn matmul_t(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                out[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiled kernels. One macro body, two instantiations: `tiled_portable`
+// (baseline ISA) and, on x86-64, `tiled_avx2` where every function carries
+// `#[target_feature(enable = "avx2")]` so the identical safe-Rust micro-
+// kernel vectorizes to ymm lanes. Same source ⇒ same rounding ⇒ the two
+// instantiations are bit-identical to each other and to the reference.
+// ---------------------------------------------------------------------------
+
+macro_rules! define_tiled {
+    ($mod_name:ident $(, $feat:literal)?) => {
+        mod $mod_name {
+            use super::{KC, MR, NR};
+
+            /// Pack `b[k0..k0+kc, :]` (row-major `k×n`) into NR-column,
+            /// k-major panels; tails beyond `n` are zero-filled (those lanes
+            /// are discarded on store, so the padding never rounds anything).
+            $( #[target_feature(enable = $feat)] )?
+            fn pack_b(n: usize, k0: usize, kc: usize, b: &[f32], bpack: &mut [f32]) {
+                let npanels = n.div_ceil(NR);
+                for p in 0..npanels {
+                    let j0 = p * NR;
+                    let jw = NR.min(n - j0);
+                    let dst = &mut bpack[p * kc * NR..(p + 1) * kc * NR];
+                    for kk in 0..kc {
+                        let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + jw];
+                        let d = &mut dst[kk * NR..(kk + 1) * NR];
+                        d[..jw].copy_from_slice(src);
+                        for x in &mut d[jw..] {
+                            *x = 0.0;
+                        }
+                    }
+                }
+            }
+
+
+            /// Pack `a[:, k0..k0+kc]` (row-major `m×k`, stride `k`) into
+            /// MR-row, k-major panels so the micro-kernel reads its MR
+            /// A-operands from one contiguous word; rows past `m` are
+            /// zero-filled (their lanes are never stored back).
+            $( #[target_feature(enable = $feat)] )?
+            fn pack_a(m: usize, k: usize, k0: usize, kc: usize, a: &[f32], apack: &mut [f32]) {
+                let nblocks = m.div_ceil(MR);
+                for blk in 0..nblocks {
+                    let i0 = blk * MR;
+                    let mh = MR.min(m - i0);
+                    let dst = &mut apack[blk * kc * MR..(blk + 1) * kc * MR];
+                    dst.fill(0.0);
+                    for mm in 0..mh {
+                        let src = &a[(i0 + mm) * k + k0..(i0 + mm) * k + k0 + kc];
+                        for (kk, &v) in src.iter().enumerate() {
+                            dst[kk * MR + mm] = v;
+                        }
+                    }
+                }
+            }
+
+            /// Pack `bᵀ[k0..k0+kc, :]` where `b` is row-major `n×k`: panel
+            /// element `(kk, jj)` reads `b[(j0+jj)·k + k0+kk]`.
+            $( #[target_feature(enable = $feat)] )?
+            fn pack_bt(n: usize, k: usize, k0: usize, kc: usize, b: &[f32], bpack: &mut [f32]) {
+                let npanels = n.div_ceil(NR);
+                for p in 0..npanels {
+                    let j0 = p * NR;
+                    let jw = NR.min(n - j0);
+                    let dst = &mut bpack[p * kc * NR..(p + 1) * kc * NR];
+                    dst.fill(0.0);
+                    for jj in 0..jw {
+                        let src = &b[(j0 + jj) * k + k0..(j0 + jj) * k + k0 + kc];
+                        for (kk, &v) in src.iter().enumerate() {
+                            dst[kk * NR + jj] = v;
+                        }
+                    }
+                }
+            }
+
+            /// Accumulate one `KC` stripe into `out` with `a` row-major
+            /// (`m×k`, stride `k`). Each out element continues its single
+            /// ascending-k chain: partial sums are loaded from `out`,
+            /// extended, and stored back.
+            $( #[target_feature(enable = $feat)] )?
+            fn acc_block_a_rows(
+                m: usize,
+                n: usize,
+                kc: usize,
+                apack: &[f32],
+                bpack: &[f32],
+                out: &mut [f32],
+            ) {
+                let npanels = n.div_ceil(NR);
+                let mut i0 = 0;
+                while i0 < m {
+                    let mh = MR.min(m - i0);
+                    for p in 0..npanels {
+                        let j0 = p * NR;
+                        let jw = NR.min(n - j0);
+                        let panel = &bpack[p * kc * NR..(p + 1) * kc * NR];
+                        if mh == MR && jw == NR {
+                            let mut acc = [[0.0f32; NR]; MR];
+                            for mm in 0..MR {
+                                let row = &out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + NR];
+                                acc[mm].copy_from_slice(row);
+                            }
+                            let ablock = &apack[(i0 / MR) * kc * MR..(i0 / MR + 1) * kc * MR];
+                            for (kk, bl) in panel.chunks_exact(NR).enumerate() {
+                                let bl: &[f32; NR] = bl.try_into().unwrap();
+                                let arow: &[f32; MR] =
+                                    ablock[kk * MR..(kk + 1) * MR].try_into().unwrap();
+                                for mm in 0..MR {
+                                    let av = arow[mm];
+                                    let acc_m = &mut acc[mm];
+                                    for jj in 0..NR {
+                                        acc_m[jj] += av * bl[jj];
+                                    }
+                                }
+                            }
+                            for mm in 0..MR {
+                                let row = &mut out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + NR];
+                                row.copy_from_slice(&acc[mm]);
+                            }
+                        } else {
+                            for mm in 0..mh {
+                                let mut acc = [0.0f32; NR];
+                                let row = &out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                                acc[..jw].copy_from_slice(row);
+                                let ablock = &apack[(i0 / MR) * kc * MR..];
+                                for (kk, bl) in panel.chunks_exact(NR).enumerate() {
+                                    let bl: &[f32; NR] = bl.try_into().unwrap();
+                                    let av = ablock[kk * MR + mm];
+                                    for jj in 0..NR {
+                                        acc[jj] += av * bl[jj];
+                                    }
+                                }
+                                let row = &mut out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                                row.copy_from_slice(&acc[..jw]);
+                            }
+                        }
+                    }
+                    i0 += mh;
+                }
+            }
+
+            /// Like `acc_block_a_rows` but reading `a` in place (row-major
+            /// `m×k`, stride `k`). Used for narrow outputs (`n <= NR`) where
+            /// one panel sweep cannot amortise packing `A`.
+            #[allow(clippy::too_many_arguments)]
+            $( #[target_feature(enable = $feat)] )?
+            fn acc_block_a_strided(
+                m: usize,
+                n: usize,
+                k: usize,
+                k0: usize,
+                kc: usize,
+                a: &[f32],
+                bpack: &[f32],
+                out: &mut [f32],
+            ) {
+                let npanels = n.div_ceil(NR);
+                let mut i0 = 0;
+                while i0 < m {
+                    let mh = MR.min(m - i0);
+                    for p in 0..npanels {
+                        let j0 = p * NR;
+                        let jw = NR.min(n - j0);
+                        let panel = &bpack[p * kc * NR..(p + 1) * kc * NR];
+                        for mm in 0..mh {
+                            let mut acc = [0.0f32; NR];
+                            let row = &out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                            acc[..jw].copy_from_slice(row);
+                            let a_row = &a[(i0 + mm) * k + k0..(i0 + mm) * k + k0 + kc];
+                            for (bl, &av) in panel.chunks_exact(NR).zip(a_row.iter()) {
+                                let bl: &[f32; NR] = bl.try_into().unwrap();
+                                for jj in 0..NR {
+                                    acc[jj] += av * bl[jj];
+                                }
+                            }
+                            let row = &mut out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                            row.copy_from_slice(&acc[..jw]);
+                        }
+                    }
+                    i0 += mh;
+                }
+            }
+
+            /// Accumulate one `KC` stripe with `a` *k-major* (`k×m`, stride
+            /// `m` — the transposed-A walk `t_matmul` needs): at depth
+            /// `k0+kk` the `MR` A-operands sit contiguously in one row.
+            $( #[target_feature(enable = $feat)] )?
+            fn acc_block_a_kmajor(
+                m: usize,
+                n: usize,
+                k0: usize,
+                kc: usize,
+                a: &[f32],
+                bpack: &[f32],
+                out: &mut [f32],
+            ) {
+                let npanels = n.div_ceil(NR);
+                let mut i0 = 0;
+                while i0 < m {
+                    let mh = MR.min(m - i0);
+                    for p in 0..npanels {
+                        let j0 = p * NR;
+                        let jw = NR.min(n - j0);
+                        let panel = &bpack[p * kc * NR..(p + 1) * kc * NR];
+                        if mh == MR && jw == NR {
+                            let mut acc = [[0.0f32; NR]; MR];
+                            for mm in 0..MR {
+                                let row = &out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + NR];
+                                acc[mm].copy_from_slice(row);
+                            }
+                            for (kk, bl) in panel.chunks_exact(NR).enumerate() {
+                                let bl: &[f32; NR] = bl.try_into().unwrap();
+                                let a_row = &a[(k0 + kk) * m + i0..(k0 + kk) * m + i0 + MR];
+                                for mm in 0..MR {
+                                    let av = a_row[mm];
+                                    let acc_m = &mut acc[mm];
+                                    for jj in 0..NR {
+                                        acc_m[jj] += av * bl[jj];
+                                    }
+                                }
+                            }
+                            for mm in 0..MR {
+                                let row = &mut out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + NR];
+                                row.copy_from_slice(&acc[mm]);
+                            }
+                        } else {
+                            for mm in 0..mh {
+                                let mut acc = [0.0f32; NR];
+                                let row = &out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                                acc[..jw].copy_from_slice(row);
+                                for (kk, bl) in panel.chunks_exact(NR).enumerate() {
+                                    let bl: &[f32; NR] = bl.try_into().unwrap();
+                                    let av = a[(k0 + kk) * m + i0 + mm];
+                                    for jj in 0..NR {
+                                        acc[jj] += av * bl[jj];
+                                    }
+                                }
+                                let row = &mut out[(i0 + mm) * n + j0..(i0 + mm) * n + j0 + jw];
+                                row.copy_from_slice(&acc[..jw]);
+                            }
+                        }
+                    }
+                    i0 += mh;
+                }
+            }
+
+            $( #[target_feature(enable = $feat)] )?
+            pub(super) fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+                if m == 0 || n == 0 || k == 0 {
+                    return;
+                }
+                let mut bpack = vec![0.0f32; KC.min(k) * n.next_multiple_of(NR)];
+                // One panel sweep per packed A element: packing the left
+                // operand only pays off when there are multiple panels.
+                let pack_lhs = n > NR;
+                let mut apack =
+                    vec![0.0f32; if pack_lhs { KC.min(k) * m.next_multiple_of(MR) } else { 0 }];
+                let mut k0 = 0;
+                while k0 < k {
+                    let kc = KC.min(k - k0);
+                    pack_b(n, k0, kc, b, &mut bpack);
+                    if pack_lhs {
+                        pack_a(m, k, k0, kc, a, &mut apack);
+                        acc_block_a_rows(m, n, kc, &apack, &bpack, out);
+                    } else {
+                        acc_block_a_strided(m, n, k, k0, kc, a, &bpack, out);
+                    }
+                    k0 += kc;
+                }
+            }
+
+            $( #[target_feature(enable = $feat)] )?
+            pub(super) fn t_matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+                if m == 0 || n == 0 || k == 0 {
+                    return;
+                }
+                let mut bpack = vec![0.0f32; KC.min(k) * n.next_multiple_of(NR)];
+                let mut k0 = 0;
+                while k0 < k {
+                    let kc = KC.min(k - k0);
+                    pack_b(n, k0, kc, b, &mut bpack);
+                    acc_block_a_kmajor(m, n, k0, kc, a, &bpack, out);
+                    k0 += kc;
+                }
+            }
+
+            $( #[target_feature(enable = $feat)] )?
+            pub(super) fn matmul_t(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+                if m == 0 || n == 0 || k == 0 {
+                    return;
+                }
+                let mut bpack = vec![0.0f32; KC.min(k) * n.next_multiple_of(NR)];
+                // One panel sweep per packed A element: packing the left
+                // operand only pays off when there are multiple panels.
+                let pack_lhs = n > NR;
+                let mut apack =
+                    vec![0.0f32; if pack_lhs { KC.min(k) * m.next_multiple_of(MR) } else { 0 }];
+                let mut k0 = 0;
+                while k0 < k {
+                    let kc = KC.min(k - k0);
+                    pack_bt(n, k, k0, kc, b, &mut bpack);
+                    if pack_lhs {
+                        pack_a(m, k, k0, kc, a, &mut apack);
+                        acc_block_a_rows(m, n, kc, &apack, &bpack, out);
+                    } else {
+                        acc_block_a_strided(m, n, k, k0, kc, a, &bpack, out);
+                    }
+                    k0 += kc;
+                }
+            }
+        }
+    };
+}
+
+define_tiled!(tiled_portable);
+#[cfg(target_arch = "x86_64")]
+define_tiled!(tiled_avx2, "avx2");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill with exact zeros sprinkled in (the
+    /// pattern the old sparsity shortcut keyed on).
+    fn fill(len: usize, salt: u64) -> Vec<f32> {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    ((state >> 33) as i32 as f32) / 1e9
+                }
+            })
+            .collect()
+    }
+
+    type Product = fn(GemmKernel, usize, usize, usize, &[f32], &[f32], &mut [f32]);
+
+    fn run(
+        product: Product,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        kernel: GemmKernel,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        product(kernel, m, n, k, a, b, &mut out);
+        out
+    }
+
+    /// Shapes chosen to hit full tiles, every remainder edge (MR/NR/KC ± 1),
+    /// and degenerate dims.
+    fn shape_grid() -> Vec<(usize, usize, usize)> {
+        vec![
+            (0, 0, 0),
+            (0, 5, 3),
+            (4, 0, 3),
+            (4, 5, 0),
+            (1, 1, 1),
+            (MR, NR, 8),
+            (MR + 1, NR + 1, KC + 1),
+            (MR - 1, NR - 1, 5),
+            (3, 17, 5),
+            (13, 2, 29),
+            (9, 33, KC - 1),
+            (64, 64, 64),
+            (65, 31, 130),
+        ]
+    }
+
+    #[test]
+    fn fast_matmul_is_bit_identical_to_reference() {
+        for (m, n, k) in shape_grid() {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let r = run(matmul, m, n, k, &a, &b, GemmKernel::Reference);
+            let f = run(matmul, m, n, k, &a, &b, GemmKernel::Fast);
+            assert!(
+                r.iter().zip(&f).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul diverged at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_t_matmul_is_bit_identical_to_reference() {
+        for (m, n, k) in shape_grid() {
+            let a = fill(k * m, 3);
+            let b = fill(k * n, 4);
+            let r = run(t_matmul, m, n, k, &a, &b, GemmKernel::Reference);
+            let f = run(t_matmul, m, n, k, &a, &b, GemmKernel::Fast);
+            assert!(
+                r.iter().zip(&f).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "t_matmul diverged at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matmul_t_is_bit_identical_to_reference() {
+        for (m, n, k) in shape_grid() {
+            let a = fill(m * k, 5);
+            let b = fill(n * k, 6);
+            let r = run(matmul_t, m, n, k, &a, &b, GemmKernel::Reference);
+            let f = run(matmul_t, m, n, k, &a, &b, GemmKernel::Fast);
+            assert!(
+                r.iter().zip(&f).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul_t diverged at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_portable_matches_dispatched_fast_path() {
+        // Whatever the Fast path routed to (AVX2 variant, portable tiling,
+        // or — below the SMALL_M cutoff — the reference loops), the portable
+        // tiled kernel must agree bitwise: this is what makes the
+        // equivalence contract ISA-independent.
+        for (m, n, k) in shape_grid() {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 8);
+            let f = run(matmul, m, n, k, &a, &b, GemmKernel::Fast);
+            let mut p = vec![0.0f32; m * n];
+            tiled_portable::matmul(m, n, k, &a, &b, &mut p);
+            assert!(
+                f.iter().zip(&p).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "portable tiling diverged at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_kernel_accepts_documented_spellings() {
+        assert_eq!(parse_kernel("fast"), Some(GemmKernel::Fast));
+        assert_eq!(parse_kernel(""), Some(GemmKernel::Fast));
+        assert_eq!(parse_kernel("ref"), Some(GemmKernel::Reference));
+        assert_eq!(parse_kernel("Reference"), Some(GemmKernel::Reference));
+        assert_eq!(parse_kernel(" REF "), Some(GemmKernel::Reference));
+        assert_eq!(parse_kernel("simd"), None);
+    }
+
+    #[test]
+    fn override_wins_over_default_and_clears() {
+        set_kernel_override(Some(GemmKernel::Reference));
+        assert_eq!(active_kernel(), GemmKernel::Reference);
+        set_kernel_override(Some(GemmKernel::Fast));
+        assert_eq!(active_kernel(), GemmKernel::Fast);
+        set_kernel_override(None);
+        // Back to the env default — whichever it is, it must parse.
+        let _ = active_kernel();
+    }
+
+    #[test]
+    fn labels_are_the_bench_spellings() {
+        assert_eq!(GemmKernel::Reference.label(), "ref");
+        assert_eq!(GemmKernel::Fast.label(), "fast");
+    }
+}

@@ -6,6 +6,8 @@
 //! hand-derived backward passes and no external tensor dependency:
 //!
 //! * [`matrix::Matrix`] — dense row-major `f32` matrices,
+//! * [`gemm`] — dual-path GEMM kernels (naive reference vs. blocked tiled
+//!   fast path, bit-identical, selected by `AGSC_GEMM=ref|fast`),
 //! * [`linear::Linear`] / [`mlp::Mlp`] — fully-connected layers and networks,
 //! * [`gru::GruCell`] / [`lstm::LstmCell`] — gated recurrence for the e-Divert baseline,
 //! * [`dist::DiagGaussian`] / [`dist::Categorical`] — policy heads,
@@ -23,6 +25,7 @@
 pub mod activation;
 pub mod dist;
 pub mod flops;
+pub mod gemm;
 pub mod gru;
 pub mod init;
 pub mod linear;
@@ -36,6 +39,7 @@ pub mod stats;
 
 pub use activation::Activation;
 pub use dist::{Categorical, DiagGaussian};
+pub use gemm::GemmKernel;
 pub use gru::GruCell;
 pub use init::Init;
 pub use linear::Linear;

@@ -1,5 +1,6 @@
 //! Fully-connected layer with manual backward pass.
 
+use crate::activation::Activation;
 use crate::init::Init;
 use crate::matrix::Matrix;
 use crate::param::Param;
@@ -51,6 +52,33 @@ impl Linear {
     /// Forward pass without caching (inference).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0))
+    }
+
+    /// Fused inference entry point: `act(x·W + b)` with the bias broadcast
+    /// and the activation applied in one pass over the GEMM output (no
+    /// intermediate allocations).
+    ///
+    /// Per scalar this computes exactly `act(z + b)` in the same order as
+    /// `forward_inference` followed by `Activation::forward`, so the fused
+    /// and unfused paths are bit-identical — `tests/gemm_equivalence.rs`
+    /// pins this.
+    pub fn forward_act(&self, x: &Matrix, act: Activation) -> Matrix {
+        let mut z = x.matmul(&self.w.value);
+        let bias = self.b.value.row(0);
+        for r in 0..z.rows() {
+            for (v, &bv) in z.row_mut(r).iter_mut().zip(bias.iter()) {
+                *v = act.apply(*v + bv);
+            }
+        }
+        z
+    }
+
+    /// Fused training entry point: [`forward_act`](Self::forward_act) plus
+    /// caching the input for [`backward`](Self::backward).
+    pub fn forward_act_cached(&mut self, x: &Matrix, act: Activation) -> Matrix {
+        let y = self.forward_act(x, act);
+        self.cache = Some(x.clone());
+        y
     }
 
     /// Backward pass: given `dL/dy`, accumulate `dL/dW`, `dL/db` and return

@@ -3,8 +3,12 @@
 //! The paper's networks are small fully-connected models (§VI-F of the paper
 //! notes h/i-MADRL "only contains fully connected layers"), so a simple
 //! cache-friendly row-major matrix with a blocked mat-mul is all the linear
-//! algebra the reproduction needs.
+//! algebra the reproduction needs. The three matrix products dispatch into
+//! [`crate::gemm`], which provides a naive reference kernel and a blocked,
+//! register-tiled fast kernel that are bit-identical by construction
+//! (`AGSC_GEMM=ref|fast` selects the process default).
 
+use crate::gemm::{self, GemmKernel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -132,15 +136,20 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
-    /// Matrix product `self × rhs`.
-    ///
-    /// Uses an ikj loop order so the inner loop streams over contiguous rows
-    /// of both `rhs` and the output (see The Rust Performance Book's advice on
-    /// keeping hot loops over contiguous slices).
+    /// Matrix product `self × rhs`, on the kernel `AGSC_GEMM` (or an
+    /// in-process override) selects — see [`crate::gemm`] for the dual-path
+    /// design and the bit-identity contract between the two kernels.
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with(rhs, gemm::active_kernel())
+    }
+
+    /// [`matmul`](Self::matmul) pinned to one kernel path. Charges the same
+    /// `2·m·n·k` FLOPs either way (accounting happens here, before dispatch,
+    /// so tiling remainders can never double-charge).
+    pub fn matmul_with(&self, rhs: &Matrix, kernel: GemmKernel) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
@@ -148,24 +157,17 @@ impl Matrix {
         );
         crate::flops::add(crate::flops::matmul_flops(self.rows, rhs.cols, self.cols));
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::matmul(kernel, self.rows, rhs.cols, self.cols, &self.data, &rhs.data, &mut out.data);
         out
     }
 
     /// `selfᵀ × rhs` without materialising the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        self.t_matmul_with(rhs, gemm::active_kernel())
+    }
+
+    /// [`t_matmul`](Self::t_matmul) pinned to one kernel path.
+    pub fn t_matmul_with(&self, rhs: &Matrix, kernel: GemmKernel) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})ᵀ × {}x{}",
@@ -173,24 +175,25 @@ impl Matrix {
         );
         crate::flops::add(crate::flops::matmul_flops(self.cols, rhs.cols, self.rows));
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = rhs.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::t_matmul(
+            kernel,
+            self.cols,
+            rhs.cols,
+            self.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         out
     }
 
     /// `self × rhsᵀ` without materialising the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_t_with(rhs, gemm::active_kernel())
+    }
+
+    /// [`matmul_t`](Self::matmul_t) pinned to one kernel path.
+    pub fn matmul_t_with(&self, rhs: &Matrix, kernel: GemmKernel) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} × ({}x{})ᵀ",
@@ -198,17 +201,15 @@ impl Matrix {
         );
         crate::flops::add(crate::flops::matmul_flops(self.rows, rhs.rows, self.cols));
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        gemm::matmul_t(
+            kernel,
+            self.rows,
+            rhs.rows,
+            self.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -530,6 +531,30 @@ mod tests {
         assert!(!a.has_non_finite());
         a[(0, 1)] = f32::NAN;
         assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn kernel_paths_agree_bitwise_at_matrix_level() {
+        // Deterministic data with zeros in it (what the removed sparsity
+        // shortcut used to key on) across all three products.
+        let a = Matrix::from_vec(
+            9,
+            7,
+            (0..63).map(|i| if i % 6 == 0 { 0.0 } else { (i as f32).sin() }).collect(),
+        );
+        let b = Matrix::from_vec(7, 5, (0..35).map(|i| (i as f32 * 0.37).cos()).collect());
+        let c = Matrix::from_vec(9, 5, (0..45).map(|i| (i as f32).cos() * 0.5).collect());
+        let pairs = [
+            (a.matmul_with(&b, GemmKernel::Reference), a.matmul_with(&b, GemmKernel::Fast)),
+            (a.t_matmul_with(&c, GemmKernel::Reference), a.t_matmul_with(&c, GemmKernel::Fast)),
+            (a.matmul_t_with(&a, GemmKernel::Reference), a.matmul_t_with(&a, GemmKernel::Fast)),
+        ];
+        for (r, f) in &pairs {
+            assert_eq!(r.shape(), f.shape());
+            for (x, y) in r.as_slice().iter().zip(f.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "kernel paths diverged: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -99,14 +99,17 @@ impl Mlp {
     }
 
     /// Training-mode forward pass; caches activations for `backward`.
+    ///
+    /// Each layer runs the fused GEMM → bias → activation entry point
+    /// (`Linear::forward_act_cached`), which is bit-identical to the
+    /// unfused `forward` + `Activation::forward` sequence it replaced.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         self.act_cache.clear();
         let n = self.layers.len();
         let mut h = x.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            let z = layer.forward(&h);
             let act = if i + 1 == n { self.output_act } else { self.hidden_act };
-            h = act.forward(&z);
+            h = layer.forward_act_cached(&h, act);
             self.act_cache.push(h.clone());
         }
         h
@@ -117,9 +120,8 @@ impl Mlp {
         let n = self.layers.len();
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward_inference(&h);
             let act = if i + 1 == n { self.output_act } else { self.hidden_act };
-            h = act.forward(&z);
+            h = layer.forward_act(&h, act);
         }
         h
     }

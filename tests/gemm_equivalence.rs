@@ -1,0 +1,274 @@
+//! Dual-path GEMM equivalence harness: the fast tiled kernels must be
+//! indistinguishable from the naive reference loops everywhere the stack
+//! can observe them.
+//!
+//! The contract (see `crates/nn/src/gemm.rs`): every product is
+//! **bit-identical** across kernels for every input whose result is
+//! NaN-free — degenerate shapes, tile remainders, and all three transpose
+//! variants included. Inputs that produce NaN get NaN-for-NaN agreement
+//! (IEEE 754 leaves a NaN result's sign/payload unspecified, so the bit
+//! pattern is a codegen artifact, not a semantic one). On top of the raw
+//! kernels, the fused bias+activation entry point and whole-network
+//! forward/backward/optimise loops must land on the same bits under
+//! either kernel.
+//!
+//! Tests that flip the process-wide kernel override serialise on one
+//! mutex; everything else pins kernels per call via the `*_with` methods.
+
+use std::sync::Mutex;
+
+use agsc::nn::gemm::{self, KC, MR, NR};
+use agsc::nn::{loss, Activation, Adam, GemmKernel, Init, Linear, Matrix, Mlp};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the process-wide kernel override forced to `kernel`,
+/// holding the override mutex so concurrent tests cannot interleave.
+fn with_kernel<R>(kernel: GemmKernel, f: impl FnOnce() -> R) -> R {
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    gemm::set_kernel_override(Some(kernel));
+    let out = f();
+    gemm::set_kernel_override(None);
+    out
+}
+
+/// Deterministic mixed fill: an LCG stream with exact zeros sprinkled in
+/// (zeros exercise the lanes the seed's old sparsity shortcut used to
+/// skip) and both signs represented.
+fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut state = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 9 == 0 {
+                    0.0
+                } else {
+                    ((state >> 33) as i32) as f32 / 2.0f32.powi(31)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Like [`fill`] but laced with NaN, ±∞, and ±0.0 so `0·∞` and `∞−∞`
+/// actually occur inside the accumulation chains.
+fn fill_non_finite(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let base = fill(rows, cols, salt);
+    Matrix::from_vec(
+        rows,
+        cols,
+        base.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| match i % 11 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => -0.0,
+                _ => v,
+            })
+            .collect(),
+    )
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The documented contract, element by element: bitwise equality away
+/// from NaN, NaN-for-NaN agreement on the rest.
+fn assert_nan_identical(a: &Matrix, b: &Matrix, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if x.is_nan() || y.is_nan() {
+            assert!(x.is_nan() && y.is_nan(), "{ctx}: elem {i} NaN on one path only: {x} vs {y}");
+        } else {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: elem {i} diverged: {x} vs {y}");
+        }
+    }
+}
+
+/// Shapes covering every boundary the tiled kernels have: empty operands,
+/// scalars, exact tile multiples, off-by-one remainders around the
+/// `MR`/`NR` register tile and the `KC` packing stripe, and a few bulk
+/// shapes that span several panels and stripes.
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    vec![
+        (0, 0, 0),
+        (0, 5, 3),
+        (4, 0, 3),
+        (4, 5, 0),
+        (1, 1, 1),
+        (MR, NR, 8),
+        (MR - 1, NR - 1, 3),
+        (MR + 1, NR + 1, KC + 1),
+        (2 * MR + 3, NR + 5, KC - 1),
+        (1, 2 * NR + 1, 9),
+        (13, 2, KC + 44),
+        (64, 64, 64),
+        (65, 31, 130),
+    ]
+}
+
+/// All three products on one (m, n, k) cell, ref vs fast, bitwise.
+fn assert_cell_bit_identical(m: usize, n: usize, k: usize, salt: u64) {
+    let a = fill(m, k, salt);
+    let b = fill(k, n, salt ^ 0xABCD);
+    let at = a.transpose(); // k×m, so atᵀ·b reproduces a·b
+    let bt = b.transpose(); // n×k, so a·btᵀ reproduces a·b
+    let ctx = format!("{m}x{n}x{k}");
+    assert_eq!(
+        bits(&a.matmul_with(&b, GemmKernel::Fast)),
+        bits(&a.matmul_with(&b, GemmKernel::Reference)),
+        "matmul {ctx}"
+    );
+    assert_eq!(
+        bits(&at.t_matmul_with(&b, GemmKernel::Fast)),
+        bits(&at.t_matmul_with(&b, GemmKernel::Reference)),
+        "t_matmul {ctx}"
+    );
+    assert_eq!(
+        bits(&a.matmul_t_with(&bt, GemmKernel::Fast)),
+        bits(&a.matmul_t_with(&bt, GemmKernel::Reference)),
+        "matmul_t {ctx}"
+    );
+}
+
+#[test]
+fn all_three_products_bit_identical_across_the_shape_grid() {
+    for (m, n, k) in shape_grid() {
+        assert_cell_bit_identical(m, n, k, (m * 31 + n * 7 + k) as u64);
+    }
+}
+
+#[test]
+fn all_three_products_bit_identical_on_random_shapes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6E44);
+    for trial in 0..60 {
+        let m = rng.gen_range(0..48);
+        let n = rng.gen_range(0..48);
+        let k = rng.gen_range(0..72);
+        assert_cell_bit_identical(m, n, k, trial);
+    }
+}
+
+#[test]
+fn degenerate_products_have_the_right_shape_and_zero_contents() {
+    // k = 0 is a real case (empty rollout slices): the product must be an
+    // all-zero m×n matrix on both paths, not a panic.
+    for kernel in [GemmKernel::Reference, GemmKernel::Fast] {
+        let a = fill(4, 0, 1);
+        let b = fill(0, 5, 2);
+        let y = a.matmul_with(&b, kernel);
+        assert_eq!(y.shape(), (4, 5), "{kernel:?}");
+        assert!(y.as_slice().iter().all(|v| v.to_bits() == 0), "{kernel:?}: k=0 must yield +0.0");
+    }
+}
+
+#[test]
+fn non_finite_inputs_agree_up_to_nan_identity() {
+    // 0·∞ and ∞−∞ occur inside the chains; the kernels must agree on
+    // *which* elements are NaN and match bitwise on all others. (The old
+    // reference skipped zero lhs terms, which would have turned some of
+    // these NaNs into finite values — that shortcut is gone precisely so
+    // this holds.)
+    for (m, n, k) in [(5usize, 15usize, 17usize), (7, 17, 300), (64, 33, 64)] {
+        let a = fill_non_finite(m, k, 3);
+        let b = fill_non_finite(k, n, 4);
+        let at = a.transpose();
+        let bt = b.transpose();
+        assert_nan_identical(
+            &a.matmul_with(&b, GemmKernel::Fast),
+            &a.matmul_with(&b, GemmKernel::Reference),
+            &format!("matmul {m}x{n}x{k}"),
+        );
+        assert_nan_identical(
+            &at.t_matmul_with(&b, GemmKernel::Fast),
+            &at.t_matmul_with(&b, GemmKernel::Reference),
+            &format!("t_matmul {m}x{n}x{k}"),
+        );
+        assert_nan_identical(
+            &a.matmul_t_with(&bt, GemmKernel::Fast),
+            &a.matmul_t_with(&bt, GemmKernel::Reference),
+            &format!("matmul_t {m}x{n}x{k}"),
+        );
+    }
+}
+
+#[test]
+fn fused_bias_activation_is_bit_identical_to_unfused_on_both_kernels() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for act in [Activation::Tanh, Activation::Relu, Activation::Sigmoid, Activation::Linear] {
+        let mut l = Linear::new(19, 23, Init::XavierUniform, &mut rng);
+        for (i, bv) in l.b.value.as_mut_slice().iter_mut().enumerate() {
+            *bv = (i as f32 * 0.37).sin();
+        }
+        let x = fill(9, 19, 5);
+        for kernel in [GemmKernel::Reference, GemmKernel::Fast] {
+            let (fused, unfused) = with_kernel(kernel, || {
+                let fused = l.forward_act(&x, act);
+                let unfused =
+                    act.forward(&x.matmul(&l.w.value).add_row_broadcast(l.b.value.row(0)));
+                (fused, unfused)
+            });
+            assert_eq!(bits(&fused), bits(&unfused), "{act:?} under {kernel:?}");
+        }
+    }
+}
+
+#[test]
+fn mlp_batched_forward_is_kernel_invariant() {
+    let net = Mlp::tanh(&[21, 32, 32, 2], &mut ChaCha8Rng::seed_from_u64(21));
+    let x = fill(33, 21, 6); // batch spans several MR tiles with remainder
+    let y_ref = with_kernel(GemmKernel::Reference, || net.forward_batch(&x));
+    let y_fast = with_kernel(GemmKernel::Fast, || net.forward_batch(&x));
+    assert_eq!(bits(&y_ref), bits(&y_fast), "batched MLP forward must not depend on the kernel");
+}
+
+#[test]
+fn training_loop_parameters_are_kernel_invariant() {
+    // A complete optimise loop — forward, MSE, backward, Adam — must land
+    // on bit-identical parameters whichever kernel ran every GEMM. This is
+    // the in-process miniature of the trainer golden suites.
+    let x = fill(17, 7, 8);
+    let target = fill(17, 3, 9);
+    let run = |kernel| {
+        with_kernel(kernel, || {
+            let mut net = Mlp::tanh(&[7, 24, 3], &mut ChaCha8Rng::seed_from_u64(77));
+            let mut opt = Adam::new(1e-2);
+            for _ in 0..25 {
+                net.zero_grad();
+                let pred = net.forward(&x);
+                let (_, grad) = loss::mse(&pred, &target);
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+            }
+            net.flat_values()
+        })
+    };
+    let p_ref = run(GemmKernel::Reference);
+    let p_fast = run(GemmKernel::Fast);
+    assert_eq!(p_ref.len(), p_fast.len());
+    for (i, (r, f)) in p_ref.iter().zip(&p_fast).enumerate() {
+        assert_eq!(r.to_bits(), f.to_bits(), "param {i} diverged after training: {r} vs {f}");
+    }
+}
+
+#[test]
+fn kernel_selection_spellings_and_labels() {
+    // The override helper itself: forced kernels win and clear correctly,
+    // and the labels are the spellings the bench results and CI grep for.
+    assert_eq!(GemmKernel::Reference.label(), "ref");
+    assert_eq!(GemmKernel::Fast.label(), "fast");
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    gemm::set_kernel_override(Some(GemmKernel::Reference));
+    assert_eq!(gemm::active_kernel(), GemmKernel::Reference);
+    gemm::set_kernel_override(Some(GemmKernel::Fast));
+    assert_eq!(gemm::active_kernel(), GemmKernel::Fast);
+    gemm::set_kernel_override(None);
+}

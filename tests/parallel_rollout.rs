@@ -14,6 +14,7 @@
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig, VecEnv};
 use agsc::madrl::{HiMadrlTrainer, IterationStats, TrainConfig};
+use agsc::nn::{gemm, GemmKernel};
 
 fn proto_env() -> AirGroundEnv {
     let dataset = presets::purdue(3);
@@ -132,6 +133,34 @@ fn three_training_iterations_num_envs_four_one_vs_four_workers() {
         params_without_config(&one_worker),
         params_without_config(&four_workers),
         "worker count must not change the learned parameters"
+    );
+}
+
+#[test]
+fn three_training_iterations_are_bit_identical_under_both_gemm_kernels() {
+    // The dual-path GEMM contract, observed end to end: forcing every
+    // matrix product through the naive reference loops or through the
+    // tiled fast kernels must produce the same per-iteration stats and the
+    // same checkpointed parameters, bit for bit. (The override is
+    // process-wide, but that is safe here: the two kernels are
+    // bit-identical, so concurrent tests cannot observe the toggle.)
+    let run = |kernel: GemmKernel| {
+        gemm::set_kernel_override(Some(kernel));
+        let mut t = trainer(train_cfg(2, 0));
+        let mut venv = VecEnv::new(&proto_env(), 2);
+        let stats: Vec<IterationStats> = (0..3).map(|_| t.train_iteration_vec(&mut venv)).collect();
+        let params = params_without_config(&t);
+        gemm::set_kernel_override(None);
+        (stats, params)
+    };
+    let (stats_ref, params_ref) = run(GemmKernel::Reference);
+    let (stats_fast, params_fast) = run(GemmKernel::Fast);
+    for (i, (a, b)) in stats_ref.iter().zip(&stats_fast).enumerate() {
+        assert_stats_bitwise(a, b, &format!("ref vs fast, iter {i}"));
+    }
+    assert_eq!(
+        params_ref, params_fast,
+        "checkpointed parameters must be bit-identical across GEMM kernels"
     );
 }
 

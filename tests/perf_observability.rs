@@ -10,7 +10,7 @@
 use std::sync::Mutex;
 
 use agsc::nn::flops;
-use agsc::nn::Matrix;
+use agsc::nn::{GemmKernel, Matrix};
 use agsc::telemetry as tlm;
 use proptest::prelude::*;
 
@@ -65,6 +65,38 @@ fn matmul_charges_exactly_2mnk_for_all_three_products() {
 
         let _ = a.matmul_t(&a); // a·aᵀ = (3×4)·(4×3): m=3 n=3 k=4
         assert_eq!(flops::take_thread(), 2 * 3 * 3 * 4);
+    });
+}
+
+#[test]
+fn tiled_kernels_charge_exactly_2mnk_per_product_with_remainders() {
+    use agsc::nn::gemm::{KC, MR, NR};
+    with_global(|| {
+        tlm::install(vec![], tlm::Level::Info);
+        flops::reset();
+        flops::take_thread();
+
+        // Non-divisible everywhere: m % MR, n % NR, and k % KC all
+        // nonzero, so every tile path (full tiles, row/column remainders,
+        // and the short final KC stripe) runs. The charge is taken in the
+        // Matrix wrappers before dispatch, so remainder tiles cannot
+        // double-charge — and both kernels must bill identically.
+        let (m, n, k) = (2 * MR + 3, NR + 5, KC + 13);
+        let want = flops::matmul_flops(m, n, k);
+        for kernel in [GemmKernel::Reference, GemmKernel::Fast] {
+            let a = filled(m, k);
+            let b = filled(k, n);
+            let _ = a.matmul_with(&b, kernel);
+            assert_eq!(flops::take_thread(), want, "matmul under {kernel:?}");
+
+            let at = filled(k, m); // atᵀ·b is m×n over depth k
+            let _ = at.t_matmul_with(&b, kernel);
+            assert_eq!(flops::take_thread(), want, "t_matmul under {kernel:?}");
+
+            let bt = filled(n, k); // a·btᵀ is m×n over depth k
+            let _ = a.matmul_t_with(&bt, kernel);
+            assert_eq!(flops::take_thread(), want, "matmul_t under {kernel:?}");
+        }
     });
 }
 

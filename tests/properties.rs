@@ -11,7 +11,8 @@ use agsc::env::{
 };
 use agsc::geo::{Aabb, Point, RoadNetwork, SpatialGrid};
 use agsc::madrl::{gae, HiMadrlTrainer, TrainConfig};
-use agsc::nn::{Adam, Matrix, Param};
+use agsc::nn::gemm::{KC, MR, NR};
+use agsc::nn::{Adam, GemmKernel, Matrix, Param};
 use agsc::telemetry::{
     quantile_sorted, Histogram, WindowConfig, WindowedCounter, WindowedHistogram,
 };
@@ -304,6 +305,67 @@ proptest! {
         let right = mb.transpose().matmul(&ma.transpose());
         for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
             prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+}
+
+// --- dual-path GEMM kernels --------------------------------------------------
+
+/// Dimension strategy biased toward the tiled GEMM's edge cases: empty
+/// and unit dims, exact `MR`/`NR` register-tile multiples, off-by-one
+/// remainders around them, and (rarely) a depth that spills past one
+/// `KC` packing stripe.
+fn gemm_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        2 => Just(0usize),
+        2 => Just(1usize),
+        2 => Just(MR),
+        2 => Just(MR + 1),
+        2 => Just(NR),
+        2 => Just(NR + 1),
+        1 => Just(KC + 1),
+        5 => 2usize..48,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_products_match_the_transpose_oracle_on_both_kernels(
+        m in gemm_dim(),
+        n in gemm_dim(),
+        k in gemm_dim(),
+        seed in any::<u64>(),
+    ) {
+        // Finite data with exact zeros sprinkled in (the lanes the seed's
+        // old sparsity shortcut used to skip).
+        let fill = |rows: usize, cols: usize, salt: u64| {
+            let mut state = seed ^ salt;
+            Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if i % 7 == 0 { 0.0 } else { ((state >> 33) as i32) as f32 / 2.0f32.powi(31) }
+            }).collect())
+        };
+        let a = fill(m, k, 0x5EED);
+        let b = fill(k, n, 0xB00);
+        let bits = |mx: &Matrix| mx.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        // One oracle for all six paths: the reference matmul of the
+        // untransposed operands. `t_matmul` and `matmul_t` accumulate in
+        // the same ascending-k order as `matmul`, so on finite data every
+        // product on every kernel must land on these exact bits.
+        let oracle = bits(&a.matmul_with(&b, GemmKernel::Reference));
+        let (at, bt) = (a.transpose(), b.transpose());
+        for kernel in [GemmKernel::Reference, GemmKernel::Fast] {
+            prop_assert_eq!(bits(&a.matmul_with(&b, kernel)), oracle.clone(), "matmul {:?}", kernel);
+            prop_assert_eq!(
+                bits(&at.t_matmul_with(&b, kernel)), oracle.clone(), "t_matmul {:?}", kernel
+            );
+            prop_assert_eq!(
+                bits(&a.matmul_t_with(&bt, kernel)), oracle.clone(), "matmul_t {:?}", kernel
+            );
         }
     }
 }

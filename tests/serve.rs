@@ -16,6 +16,7 @@ use std::time::Duration;
 use agsc::datasets::presets;
 use agsc::env::{AirGroundEnv, EnvConfig};
 use agsc::madrl::{HiMadrlTrainer, InferencePolicy, TrainConfig};
+use agsc::nn::{gemm, GemmKernel};
 use agsc_serve::{
     checkpoint_loader, ActionOutcome, ChaosConfig, ChaosPlan, ChaosProxy, Client, ClientConfig,
     ServeConfig, Server, ServerHandle,
@@ -322,6 +323,37 @@ fn misbehaving_connections_do_not_degrade_clean_clients() {
     );
     proxy.shutdown();
     server.shutdown();
+}
+
+#[test]
+fn served_actions_are_bit_identical_under_both_gemm_kernels() {
+    // End-to-end kernel invariance over the wire: the same checkpoint
+    // served with every GEMM forced through the reference loops must
+    // answer every request with exactly the bits the tiled fast kernels
+    // produce. (The override is process-wide but unobservable to the
+    // other serve tests — the two kernels are bit-identical.)
+    let ckpt = trained_checkpoint(2, "serve_kernel_invariance.json");
+    let reference = InferencePolicy::load(&ckpt).unwrap();
+    let (num_agents, obs_dim) = (reference.num_agents(), reference.obs_dim());
+    let serve_all = |kernel: GemmKernel| {
+        gemm::set_kernel_override(Some(kernel));
+        let server = start_server(&ckpt, ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut answers = Vec::new();
+        for i in 0..40u32 {
+            let agent = i as usize % num_agents;
+            match client.action(agent as u32, &obs_for(obs_dim, 17, i)).unwrap() {
+                ActionOutcome::Action(a) => answers.push((a[0].to_bits(), a[1].to_bits())),
+                ActionOutcome::Overloaded => panic!("default queue_cap must not shed this load"),
+            }
+        }
+        server.shutdown();
+        gemm::set_kernel_override(None);
+        answers
+    };
+    let served_ref = serve_all(GemmKernel::Reference);
+    let served_fast = serve_all(GemmKernel::Fast);
+    assert_eq!(served_ref, served_fast, "served actions must be bit-identical across GEMM kernels");
 }
 
 #[test]
