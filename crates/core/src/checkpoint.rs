@@ -332,10 +332,18 @@ impl CheckpointStore {
     /// to the retention bound. Returns the new generation's path. Pruning
     /// is best-effort: a failed unlink never fails the save that preceded
     /// it.
+    ///
+    /// Stale `.tmp` leftovers from interrupted saves are swept here as well
+    /// as on restore, so a crash-looping writer that never restores cannot
+    /// accumulate unbounded tmp files.
     pub fn save(&self, ckpt: &Checkpoint) -> Result<PathBuf, CheckpointError> {
         if let Err(e) = std::fs::create_dir_all(&self.dir) {
             return Err(CheckpointError::Io(e));
         }
+        // Sweep before writing: our own save's tmp file only exists inside
+        // `save_json`, so everything matching the pattern now is a casualty
+        // of an earlier crash.
+        self.cleanup_stale_tmp();
         let gens = self.generations();
         let next = gens.last().map(|(g, _)| g + 1).unwrap_or(1);
         let path = self.gen_path(next);
@@ -825,6 +833,35 @@ mod tests {
         let (restored, path) = store.restore_latest().unwrap();
         assert_eq!(restored.iterations_done, 3);
         assert_eq!(path, gens[1].1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_save_sweeps_stale_tmp_litter() {
+        // A crash-looping writer that never restores must not accumulate
+        // `.tmp` leftovers: the sweep runs on save, not just on restore.
+        let mut e = env();
+        let mut t = HiMadrlTrainer::new(&e, small_cfg(), 4, 9).unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("agsc_ckpt_savesweep_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::new(&dir, 2);
+        t.train(&mut e, 1);
+        store.save(&t.checkpoint()).unwrap();
+        for n in [7, 8, 9] {
+            std::fs::write(dir.join(format!("ckpt-000000{n:02}.json.tmp")), "torn").unwrap();
+        }
+        std::fs::write(dir.join("unrelated.tmp"), "keep me").unwrap();
+        store.save(&t.checkpoint()).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".json.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "save must sweep stale tmp files, found {leftovers:?}");
+        assert!(dir.join("unrelated.tmp").exists(), "only ckpt-*.json.tmp files are swept");
+        assert_eq!(store.generations().len(), 2, "both real generations survive the sweep");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,7 +13,9 @@ use crate::error::TrainError;
 use crate::gae::{gae_segmented, normalize_advantages};
 use crate::parallel::resolve_workers;
 use crate::rollout::{NeighborKind, Rollout};
-use agsc_env::{derive_env_seed, derive_sampler_seed, AirGroundEnv, Metrics, UvAction, VecEnv};
+use agsc_env::{
+    derive_env_seed, derive_sampler_seed, shard_size, AirGroundEnv, Metrics, UvAction, VecEnv,
+};
 use agsc_nn::{Adam, DiagGaussian, Matrix, Mlp, RunningStat};
 use agsc_telemetry as tlm;
 use rand::{Rng, SeedableRng};
@@ -305,8 +307,17 @@ impl HiMadrlTrainer {
     /// batch seed from the trainer RNG (the same single draw
     /// [`collect_rollout`](Self::collect_rollout) makes).
     pub fn collect_rollout_vec(&mut self, venv: &mut VecEnv) -> Vec<Rollout> {
-        let batch_seed = self.rng.gen::<u64>();
+        let batch_seed = self.next_batch_seed();
         self.collect_rollout_vec_seeded(venv, batch_seed)
+    }
+
+    /// Draw the next collection's batch seed from the trainer RNG — the
+    /// exact single `u64` draw every collection path makes, exposed so a
+    /// distributed learner can broadcast the seed to remote workers and
+    /// stay on the same RNG stream as
+    /// [`collect_rollout_vec`](Self::collect_rollout_vec).
+    pub fn next_batch_seed(&mut self) -> u64 {
+        self.rng.gen::<u64>()
     }
 
     /// Seeded parallel collection: one rollout per replica, in fixed env
@@ -327,7 +338,7 @@ impl HiMadrlTrainer {
         let rollouts = if workers <= 1 {
             self.collect_shard(venv.envs_mut(), batch_seed, 0)
         } else {
-            let shard_size = num_envs.div_ceil(workers);
+            let shard_size = shard_size(num_envs, workers);
             let this = &*self;
             let mut shards: Vec<Vec<Rollout>> = Vec::with_capacity(workers);
             std::thread::scope(|scope| {
@@ -519,6 +530,34 @@ impl HiMadrlTrainer {
         let flops0 = iteration_flops_start(&started);
         let rollouts = self.collect_rollout_vec(venv);
         let train_metrics = Metrics::mean(&venv.metrics());
+        let samples: usize = rollouts.iter().map(Rollout::len).sum::<usize>() * self.num_agents;
+        let stats = self.update_from_rollouts(rollouts, train_metrics);
+        if let Some(t0) = started {
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            tlm::gauge_set("train.samples_per_sec", samples as f64 / secs);
+            publish_iteration_flops(flops0, secs);
+        }
+        stats
+    }
+
+    /// Run one training iteration from rollouts collected elsewhere — the
+    /// learner half of the distributed actor–learner split.
+    ///
+    /// `rollouts` must be in env-index order and `train_metrics` the mean of
+    /// the per-replica task metrics in that same order; given both, this is
+    /// bit-identical to the update half of
+    /// [`train_iteration_vec`](Self::train_iteration_vec). The caller is
+    /// responsible for having drawn the collection's batch seed via
+    /// [`next_batch_seed`](Self::next_batch_seed) so the trainer RNG stream
+    /// stays aligned with the single-process path.
+    pub fn train_iteration_from_rollouts(
+        &mut self,
+        rollouts: Vec<Rollout>,
+        train_metrics: Metrics,
+    ) -> IterationStats {
+        let _span = tlm::span("train_iteration");
+        let started = tlm::is_enabled().then(std::time::Instant::now);
+        let flops0 = iteration_flops_start(&started);
         let samples: usize = rollouts.iter().map(Rollout::len).sum::<usize>() * self.num_agents;
         let stats = self.update_from_rollouts(rollouts, train_metrics);
         if let Some(t0) = started {

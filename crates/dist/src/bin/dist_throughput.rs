@@ -1,0 +1,109 @@
+//! Distributed-collection throughput: an in-process fleet over localhost
+//! TCP, measured at 1 and 2 workers against the single-process vectorized
+//! baseline.
+//!
+//! Lives in `agsc-dist` (not `agsc-bench`) because the bench crate sits
+//! below serve in the dependency order; the points still land in the
+//! shared `BENCH_results.json` / `BENCH_history.jsonl` ledgers, so
+//! `bench trend` watches `dist_throughput` like any other series.
+
+use std::time::Instant;
+
+use agsc_bench::table::{banner, rule};
+use agsc_bench::{BenchResults, ExperimentWriter, HarnessConfig, ResultPoint};
+use agsc_dist::codec::encode_segment;
+use agsc_dist::{run_worker, setup, Compression, Learner, LearnerConfig, WorkerConfig};
+use agsc_env::{Metrics, VecEnv};
+
+fn main() {
+    agsc_telemetry::init_run();
+    let h = HarnessConfig::from_env();
+    let mut w = ExperimentWriter::for_experiment("dist_throughput");
+    let mut res = BenchResults::new("dist_throughput");
+    w.line(banner("Distributed collection throughput: actor-learner fleet over TCP"));
+
+    let env = setup::quickstart_env(h.seed);
+    let cfg = LearnerConfig::from_env();
+    let shards = cfg.total_shards;
+    // Generations per measured point: enough to amortize the fleet
+    // handshake without letting the update step dominate the suite.
+    let gens = h.iters.clamp(1, 6);
+
+    // One probe shard sizes the wire traffic: collection is pure in
+    // (params, batch_seed, index), so this is exactly what each worker
+    // ships per segment.
+    let probe_trainer = setup::quickstart_trainer(&env, 1, h.seed).expect("probe trainer");
+    let mut probe_env = env.clone();
+    let probe = probe_trainer.collect_rollout_indexed(&mut probe_env, h.seed, 0);
+    let samples_per_gen = probe.len() * probe.num_agents() * shards;
+    let raw = encode_segment(&probe, Compression::None).len();
+    let rle = encode_segment(&probe, Compression::Rle).len();
+    w.line(format!(
+        "segment: {raw} B raw, {rle} B rle ({:.1}% of raw), {shards} shards/gen",
+        100.0 * rle as f64 / raw.max(1) as f64
+    ));
+    w.line(format!("{:<26} {:>6} {:>16} {:>12}", "config", "gens", "samples/sec", "KiB/gen"));
+    w.line(rule());
+
+    // Single-process baseline: the vectorized reference the fleet must
+    // reproduce bit-for-bit.
+    let mut reference = setup::quickstart_trainer(&env, gens, h.seed).expect("reference trainer");
+    let mut venv = VecEnv::new(&env, shards);
+    let t0 = Instant::now();
+    for _ in 0..gens {
+        reference.train_iteration_vec(&mut venv);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let base_sps = (samples_per_gen * gens) as f64 / wall.max(1e-9);
+    w.line(format!("{:<26} {:>6} {:>16.1} {:>12}", "single-process vec", gens, base_sps, "-"));
+    res.record_point(
+        ResultPoint::new(
+            "dist_throughput",
+            "purdue",
+            "single-process vec",
+            &h,
+            &Metrics::default(),
+            wall,
+        )
+        .with_samples_per_sec(base_sps),
+    );
+
+    for num_workers in [1usize, 2] {
+        let trainer = setup::quickstart_trainer(&env, gens, h.seed).expect("fleet trainer");
+        let mut learner =
+            Learner::start("127.0.0.1:0".parse().unwrap(), trainer, cfg.clone()).expect("bind");
+        let addr = learner.addr();
+        let handles: Vec<_> = (0..num_workers)
+            .map(|id| {
+                let worker_env = env.clone();
+                std::thread::spawn(move || {
+                    run_worker(&worker_env, &WorkerConfig::new(addr, id as u64))
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        learner.train(gens).expect("fleet generation");
+        let wall = t0.elapsed().as_secs_f64();
+        learner.shutdown();
+        for handle in handles {
+            handle.join().expect("worker thread").expect("worker exit");
+        }
+        let sps = (samples_per_gen * gens) as f64 / wall.max(1e-9);
+        let label = format!("dist workers={num_workers}");
+        let kib_per_gen = (rle * shards) as f64 / 1024.0;
+        w.line(format!("{label:<26} {gens:>6} {sps:>16.1} {kib_per_gen:>12.1}"));
+        res.record_point(
+            ResultPoint::new("dist_throughput", "purdue", &label, &h, &Metrics::default(), wall)
+                .with_samples_per_sec(sps),
+        );
+    }
+
+    if let Some(path) = res.finish() {
+        w.line(format!("results: {}", path.display()));
+    }
+    w.finish();
+    if let Some(table) = agsc_telemetry::prof::report_table() {
+        println!("\n{table}");
+    }
+    agsc_telemetry::flush();
+}

@@ -1,0 +1,43 @@
+//! A rollout-worker process: connects to `AGSC_DIST_ADDR`, collects
+//! assigned env shards, and streams segments until the learner shuts the
+//! fleet down. `AGSC_SEED` must match the learner's — every process in a
+//! fleet builds the same world (see `agsc_dist::setup`).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use agsc_dist::{run_worker, setup, WorkerConfig, WorkerExit};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    agsc_telemetry::init_run();
+    let addr: SocketAddr = std::env::var("AGSC_DIST_ADDR")
+        .unwrap_or_else(|_| "127.0.0.1:7800".into())
+        .parse()
+        .expect("AGSC_DIST_ADDR must be host:port");
+    let seed = env_u64("AGSC_SEED", 42);
+    let worker_id = env_u64("AGSC_DIST_WORKER_ID", std::process::id() as u64);
+
+    let env = setup::quickstart_env(seed);
+    let cfg = WorkerConfig::new(addr, worker_id);
+    println!("worker {worker_id} -> {addr}, seed {seed}, compression {:?}", cfg.compression);
+    match run_worker(&env, &cfg) {
+        Ok(WorkerExit::Finished) => {
+            println!("worker {worker_id}: fleet shut down cleanly");
+            agsc_telemetry::flush();
+            ExitCode::SUCCESS
+        }
+        Ok(WorkerExit::Deserted) => {
+            println!("worker {worker_id}: deserted after AGSC_DIST_MAX_SEGMENTS segments");
+            agsc_telemetry::flush();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker {worker_id} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

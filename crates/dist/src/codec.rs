@@ -1,0 +1,429 @@
+//! Binary rollout-segment codec: one episode's [`Rollout`] to bytes and
+//! back, bit-exactly, plus an optional zero-run compression layer.
+//!
+//! The encoding is a fixed little-endian layout (version byte, shape
+//! header, then each field in declaration order), so a segment is a pure
+//! function of the rollout — the learner can reassemble exactly what the
+//! worker collected, and duplicate deliveries of the same (generation,
+//! env-index) segment are byte-identical and therefore harmless.
+//!
+//! Compression is a byte-level zero-run RLE picked for rollout payloads:
+//! observation vectors are full of structural zeros (empty PoI cells,
+//! padded neighbour lists encode as zero-length runs) and every `f32`
+//! zero is four zero bytes. The mode byte travels with the payload, so a
+//! worker and learner configured differently still interoperate.
+
+use agsc_madrl::Rollout;
+
+use crate::error::DistError;
+
+/// Codec layout version; bumped on any layout change so a mixed-version
+/// fleet fails typed instead of misreading bytes.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Compression applied to an encoded segment before framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Ship the raw encoding.
+    None,
+    /// Byte-level zero-run RLE (`0x00` escape followed by a run length
+    /// `1..=255`); decodes bit-exactly. The default: rollout payloads are
+    /// zero-dense and the codec is allocation-light.
+    #[default]
+    Rle,
+}
+
+impl Compression {
+    /// Parse the `AGSC_DIST_COMPRESS` knob (`none` | `rle`); unknown or
+    /// unset values keep the default.
+    pub fn from_env() -> Self {
+        match std::env::var("AGSC_DIST_COMPRESS").as_deref() {
+            Ok("none") => Compression::None,
+            Ok("rle") => Compression::Rle,
+            _ => Compression::default(),
+        }
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: usize) {
+        self.buf.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DistError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DistError::Codec(format!(
+                "segment truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<usize, DistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+    }
+    fn f32(&mut self) -> Result<f32, DistError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn f64(&mut self) -> Result<f64, DistError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn finish(self) -> Result<(), DistError> {
+        if self.pos != self.buf.len() {
+            return Err(DistError::Codec(format!(
+                "{} trailing bytes after segment body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn neighbor_sets(w: &mut Writer, sets: &[Vec<Vec<usize>>]) {
+    for per_step in sets {
+        for ns in per_step {
+            w.u32(ns.len());
+            for &n in ns {
+                w.u32(n);
+            }
+        }
+    }
+}
+
+fn read_neighbor_sets(
+    r: &mut Reader<'_>,
+    steps: usize,
+    k: usize,
+) -> Result<Vec<Vec<Vec<usize>>>, DistError> {
+    let mut sets = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let mut per_step = Vec::with_capacity(k);
+        for _ in 0..k {
+            let len = r.u32()?;
+            let mut ns = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                ns.push(r.u32()?);
+            }
+            per_step.push(ns);
+        }
+        sets.push(per_step);
+    }
+    Ok(sets)
+}
+
+/// Encode one rollout into the versioned binary layout (uncompressed).
+pub fn encode_rollout(rollout: &Rollout) -> Vec<u8> {
+    let k = rollout.num_agents();
+    let steps = rollout.len();
+    let obs_dim = rollout.obs.first().and_then(|o| o.first()).map_or(0, Vec::len);
+    let state_dim = rollout.states.first().map_or(0, Vec::len);
+    let mut w = Writer { buf: Vec::with_capacity(64 + k * steps * (obs_dim + 4) * 4) };
+    w.u8(CODEC_VERSION);
+    w.u32(k);
+    w.u32(steps);
+    w.u32(obs_dim);
+    w.u32(state_dim);
+    for per_agent in &rollout.obs {
+        for o in per_agent {
+            for &v in o {
+                w.f32(v);
+            }
+        }
+    }
+    for s in &rollout.states {
+        for &v in s {
+            w.f32(v);
+        }
+    }
+    for per_agent in &rollout.actions {
+        for a in per_agent {
+            w.f32(a[0]);
+            w.f32(a[1]);
+        }
+    }
+    for per_agent in &rollout.log_probs {
+        for &v in per_agent {
+            w.f32(v);
+        }
+    }
+    for per_agent in &rollout.rewards_ext {
+        for &v in per_agent {
+            w.f32(v);
+        }
+    }
+    neighbor_sets(&mut w, &rollout.het_neighbors);
+    neighbor_sets(&mut w, &rollout.hom_neighbors);
+    for &c in &rollout.collected_per_uv {
+        w.f64(c);
+    }
+    w.u32(rollout.episode_lens.len());
+    for &l in &rollout.episode_lens {
+        w.u32(l);
+    }
+    w.buf
+}
+
+/// Decode a rollout encoded by [`encode_rollout`], validating the version
+/// byte, every length against the shape header, and that no bytes trail
+/// the body.
+pub fn decode_rollout(bytes: &[u8]) -> Result<Rollout, DistError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(DistError::Codec(format!(
+            "segment codec version {version}, this build speaks {CODEC_VERSION}"
+        )));
+    }
+    let k = r.u32()?;
+    let steps = r.u32()?;
+    let obs_dim = r.u32()?;
+    let state_dim = r.u32()?;
+    // Shape sanity before the big reads: the buffer must hold at least the
+    // fixed-width fields the header promises, so a corrupt header fails
+    // here instead of driving a giant allocation loop. u128 keeps a
+    // hostile header from overflowing the product itself.
+    let fixed = (k as u128) * (steps as u128) * (obs_dim as u128 + 4) * 4
+        + (steps as u128) * (state_dim as u128) * 4;
+    if fixed > bytes.len() as u128 {
+        return Err(DistError::Codec(format!(
+            "implausible segment header: k={k} steps={steps} obs_dim={obs_dim}"
+        )));
+    }
+    let mut rollout = Rollout::new(k);
+    for a in 0..k {
+        rollout.obs[a] = (0..steps)
+            .map(|_| (0..obs_dim).map(|_| r.f32()).collect())
+            .collect::<Result<_, _>>()?;
+    }
+    rollout.states =
+        (0..steps).map(|_| (0..state_dim).map(|_| r.f32()).collect()).collect::<Result<_, _>>()?;
+    for a in 0..k {
+        rollout.actions[a] =
+            (0..steps).map(|_| Ok([r.f32()?, r.f32()?])).collect::<Result<_, DistError>>()?;
+    }
+    for a in 0..k {
+        rollout.log_probs[a] = (0..steps).map(|_| r.f32()).collect::<Result<_, _>>()?;
+    }
+    for a in 0..k {
+        rollout.rewards_ext[a] = (0..steps).map(|_| r.f32()).collect::<Result<_, _>>()?;
+    }
+    rollout.het_neighbors = read_neighbor_sets(&mut r, steps, k)?;
+    rollout.hom_neighbors = read_neighbor_sets(&mut r, steps, k)?;
+    rollout.collected_per_uv = (0..k).map(|_| r.f64()).collect::<Result<_, _>>()?;
+    let n_lens = r.u32()?;
+    rollout.episode_lens = (0..n_lens).map(|_| r.u32()).collect::<Result<_, _>>()?;
+    r.finish()?;
+    Ok(rollout)
+}
+
+/// Wrap `raw` in a compression envelope (one mode byte + body).
+pub fn compress(raw: &[u8], mode: Compression) -> Vec<u8> {
+    match mode {
+        Compression::None => {
+            let mut out = Vec::with_capacity(raw.len() + 1);
+            out.push(0);
+            out.extend_from_slice(raw);
+            out
+        }
+        Compression::Rle => {
+            let mut out = Vec::with_capacity(raw.len() / 2 + 1);
+            out.push(1);
+            let mut i = 0;
+            while i < raw.len() {
+                if raw[i] == 0 {
+                    let mut run = 1usize;
+                    while run < 255 && i + run < raw.len() && raw[i + run] == 0 {
+                        run += 1;
+                    }
+                    out.push(0);
+                    out.push(run as u8);
+                    i += run;
+                } else {
+                    out.push(raw[i]);
+                    i += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Undo [`compress`]; the mode byte in the envelope decides the path, so
+/// mixed-mode fleets interoperate.
+pub fn decompress(enveloped: &[u8]) -> Result<Vec<u8>, DistError> {
+    let (&mode, body) = enveloped
+        .split_first()
+        .ok_or_else(|| DistError::Codec("empty compression envelope".into()))?;
+    match mode {
+        0 => Ok(body.to_vec()),
+        1 => {
+            let mut out = Vec::with_capacity(body.len() * 2);
+            let mut i = 0;
+            while i < body.len() {
+                if body[i] == 0 {
+                    let run = *body.get(i + 1).ok_or_else(|| {
+                        DistError::Codec("RLE stream ends inside a zero-run escape".into())
+                    })?;
+                    if run == 0 {
+                        return Err(DistError::Codec("RLE zero-run of length zero".into()));
+                    }
+                    out.resize(out.len() + run as usize, 0);
+                    i += 2;
+                } else {
+                    out.push(body[i]);
+                    i += 1;
+                }
+            }
+            Ok(out)
+        }
+        other => Err(DistError::Codec(format!("unknown compression mode byte {other:#04x}"))),
+    }
+}
+
+/// [`encode_rollout`] + [`compress`] in one call — what workers put on the
+/// wire.
+pub fn encode_segment(rollout: &Rollout, mode: Compression) -> Vec<u8> {
+    compress(&encode_rollout(rollout), mode)
+}
+
+/// [`decompress`] + [`decode_rollout`] — what the learner takes off the
+/// wire.
+pub fn decode_segment(bytes: &[u8]) -> Result<Rollout, DistError> {
+    decode_rollout(&decompress(bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rollout() -> Rollout {
+        let mut r = Rollout::new(2);
+        for t in 0..4 {
+            let obs = vec![vec![t as f32, 0.0, -1.5], vec![0.0, t as f32, 2.5]];
+            let state = vec![t as f32, 0.0, 0.0, 1.0];
+            let actions = [[0.1, -0.2], [f32::MIN_POSITIVE, 4.0]];
+            let log_probs = [-1.0, -2.5];
+            let rewards = [0.0, 2.0];
+            let het = vec![vec![1], vec![0]];
+            let hom = vec![vec![], vec![1]];
+            r.push_step(&obs, state, &actions, &log_probs, &rewards, het, hom);
+        }
+        r.add_collected(&[3.25, 0.0]);
+        r
+    }
+
+    #[test]
+    fn rollout_round_trips_bit_exactly_under_both_modes() {
+        let r = sample_rollout();
+        for mode in [Compression::None, Compression::Rle] {
+            let decoded = decode_segment(&encode_segment(&r, mode)).unwrap();
+            assert_eq!(decoded, r, "mode {mode:?} must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn negative_zero_and_nan_payloads_survive_the_round_trip() {
+        // PartialEq would call -0.0 == 0.0 and NaN != NaN; check raw bits.
+        let mut r = Rollout::new(1);
+        r.push_step(
+            &[vec![-0.0, f32::NAN]],
+            vec![f32::INFINITY],
+            &[[f32::NEG_INFINITY, -0.0]],
+            &[f32::NAN],
+            &[0.0],
+            vec![vec![]],
+            vec![vec![]],
+        );
+        let decoded = decode_segment(&encode_segment(&r, Compression::Rle)).unwrap();
+        assert_eq!(decoded.obs[0][0][0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(decoded.obs[0][0][1].to_bits(), f32::NAN.to_bits());
+        assert_eq!(decoded.log_probs[0][0].to_bits(), f32::NAN.to_bits());
+        assert_eq!(decoded.actions[0][0][1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn empty_rollout_round_trips() {
+        let r = Rollout::new(3);
+        let decoded = decode_segment(&encode_segment(&r, Compression::Rle)).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.num_agents(), 3);
+    }
+
+    #[test]
+    fn rle_shrinks_zero_dense_payloads() {
+        let r = sample_rollout();
+        let raw = encode_segment(&r, Compression::None);
+        let rle = encode_segment(&r, Compression::Rle);
+        assert!(
+            rle.len() < raw.len(),
+            "zero-dense sample must compress ({} vs {} bytes)",
+            rle.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn rle_long_runs_cross_the_255_chunk_boundary() {
+        let zeros = vec![0u8; 1000];
+        assert_eq!(decompress(&compress(&zeros, Compression::Rle)).unwrap(), zeros);
+        let mut mixed = vec![7u8; 3];
+        mixed.extend(vec![0u8; 513]);
+        mixed.push(9);
+        assert_eq!(decompress(&compress(&mixed, Compression::Rle)).unwrap(), mixed);
+    }
+
+    #[test]
+    fn corrupt_streams_fail_typed() {
+        // Truncated body.
+        let good = encode_segment(&sample_rollout(), Compression::None);
+        let err = decode_segment(&good[..good.len() - 3]).unwrap_err();
+        assert!(matches!(err, DistError::Codec(_)), "{err}");
+        // Wrong codec version.
+        let mut bad = good.clone();
+        bad[1] = 99; // byte 0 is the compression mode, byte 1 the codec version
+        assert!(matches!(decode_segment(&bad).unwrap_err(), DistError::Codec(_)));
+        // Torn RLE escape.
+        let torn = vec![1u8, 5, 0];
+        assert!(matches!(decompress(&torn).unwrap_err(), DistError::Codec(_)));
+        // Unknown compression mode.
+        assert!(matches!(decompress(&[9u8, 1, 2]).unwrap_err(), DistError::Codec(_)));
+        // Trailing garbage.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(decode_segment(&trailing).unwrap_err(), DistError::Codec(_)));
+    }
+
+    #[test]
+    fn compression_knob_parses() {
+        assert_eq!(Compression::default(), Compression::Rle);
+    }
+}

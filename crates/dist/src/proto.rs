@@ -1,0 +1,385 @@
+//! The dist wire protocol: typed messages over the shared length-prefixed
+//! framing ([`agsc_serve::wire`]).
+//!
+//! Frames carry one opcode byte followed by fixed-width little-endian
+//! fields; variable payloads (parameter JSON, rollout segments) occupy the
+//! remainder of the frame. The serving protocol's 1 MiB cap is too small
+//! for parameter broadcasts — a default-sized checkpoint's JSON runs to
+//! tens of MiB — so every dist read/write goes through the `_capped` wire
+//! variants with the (configurable) [`max_frame_bytes`] ceiling.
+//!
+//! | dir | opcode | message | fields |
+//! |-----|--------|---------|--------|
+//! | W→L | `0x31` | `Hello` | version u8, worker_id u64 |
+//! | W→L | `0x32` | `SubmitSegment` | generation u64, env_index u32, metrics 5×f64, segment bytes |
+//! | L→W | `0xB1` | `HelloOk` | version u8 |
+//! | L→W | `0xB2` | `Params` | generation u64, checkpoint JSON |
+//! | L→W | `0xB3` | `Work` | generation u64, batch_seed u64, count u32, env indices u32× |
+//! | L→W | `0xB4` | `Ack` | generation u64, env_index u32 |
+//! | L→W | `0xB5` | `Shutdown` | — |
+//! | L→W | `0xBF` | `Error` | UTF-8 message |
+
+use std::io::{Read, Write};
+
+use agsc_env::Metrics;
+use agsc_serve::wire::{read_frame_capped, write_frame_capped};
+
+use crate::error::DistError;
+
+/// Dist protocol version, checked during the hello handshake.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default frame-payload ceiling: 64 MiB fits any realistic parameter
+/// broadcast while still bounding a corrupt length prefix.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// The frame ceiling from `AGSC_DIST_MAX_FRAME_MB` (in MiB, minimum 1),
+/// or [`DEFAULT_MAX_FRAME_BYTES`].
+pub fn max_frame_bytes() -> usize {
+    std::env::var("AGSC_DIST_MAX_FRAME_MB")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|mb| mb.max(1) << 20)
+        .unwrap_or(DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// Messages a worker sends to the learner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMsg {
+    /// Handshake: protocol version and a caller-chosen worker id (appears
+    /// in learner telemetry and logs).
+    Hello {
+        /// Speaker's [`PROTOCOL_VERSION`].
+        version: u8,
+        /// Caller-chosen worker identity.
+        worker_id: u64,
+    },
+    /// One collected shard: the rollout segment for `env_index` of
+    /// `generation`, plus the episode's task metrics.
+    SubmitSegment {
+        /// Generation the segment belongs to.
+        generation: u64,
+        /// Global env index of the shard.
+        env_index: u32,
+        /// End-of-episode task metrics of the shard's env.
+        metrics: Metrics,
+        /// Compressed rollout bytes ([`crate::codec::encode_segment`]).
+        segment: Vec<u8>,
+    },
+}
+
+/// Messages the learner sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnerMsg {
+    /// Handshake accepted.
+    HelloOk {
+        /// Learner's [`PROTOCOL_VERSION`].
+        version: u8,
+    },
+    /// Parameter broadcast: the full checkpoint as JSON (bit-exact f32
+    /// round-trip via `serde_json`'s `float_roundtrip`).
+    Params {
+        /// Generation these parameters begin.
+        generation: u64,
+        /// Checkpoint JSON.
+        json: String,
+    },
+    /// A batch of shard assignments to collect under the already-broadcast
+    /// parameters of `generation`.
+    Work {
+        /// Generation the assignment belongs to.
+        generation: u64,
+        /// The generation's single trainer-RNG draw; with the env index it
+        /// fully determines the shard's env/sampler seed streams.
+        batch_seed: u64,
+        /// Global env indices assigned to this worker.
+        indices: Vec<u32>,
+    },
+    /// Receipt for one submitted segment.
+    Ack {
+        /// Generation of the acknowledged segment.
+        generation: u64,
+        /// Env index of the acknowledged segment.
+        env_index: u32,
+    },
+    /// Training is over; the worker exits cleanly.
+    Shutdown,
+    /// Typed refusal (version mismatch, protocol violation); the
+    /// connection closes after this.
+    Error {
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+fn metrics_bytes(m: &Metrics) -> [u8; 40] {
+    let mut out = [0u8; 40];
+    for (i, v) in
+        [m.data_collection_ratio, m.data_loss_ratio, m.energy_ratio, m.fairness, m.efficiency]
+            .into_iter()
+            .enumerate()
+    {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn metrics_from(b: &[u8]) -> Metrics {
+    let f = |i: usize| {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&b[i * 8..(i + 1) * 8]);
+        f64::from_le_bytes(buf)
+    };
+    Metrics {
+        data_collection_ratio: f(0),
+        data_loss_ratio: f(1),
+        energy_ratio: f(2),
+        fairness: f(3),
+        efficiency: f(4),
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DistError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DistError::Protocol(format!(
+                "frame truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, DistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// Serialize and frame one worker→learner message.
+pub fn write_worker_msg(w: &mut impl Write, msg: &WorkerMsg, cap: usize) -> Result<(), DistError> {
+    let mut p = Vec::new();
+    match msg {
+        WorkerMsg::Hello { version, worker_id } => {
+            p.push(0x31);
+            p.push(*version);
+            p.extend_from_slice(&worker_id.to_le_bytes());
+        }
+        WorkerMsg::SubmitSegment { generation, env_index, metrics, segment } => {
+            p.push(0x32);
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.extend_from_slice(&env_index.to_le_bytes());
+            p.extend_from_slice(&metrics_bytes(metrics));
+            p.extend_from_slice(segment);
+        }
+    }
+    write_frame_capped(w, &p, cap)?;
+    Ok(())
+}
+
+/// Read and parse one worker→learner message; `Ok(None)` is the peer's
+/// clean close between frames.
+pub fn read_worker_msg(r: &mut impl Read, cap: usize) -> Result<Option<WorkerMsg>, DistError> {
+    let Some(frame) = read_frame_capped(r, cap)? else { return Ok(None) };
+    let mut c = Cursor { buf: &frame, pos: 0 };
+    let msg = match c.u8()? {
+        0x31 => WorkerMsg::Hello { version: c.u8()?, worker_id: c.u64()? },
+        0x32 => {
+            let generation = c.u64()?;
+            let env_index = c.u32()?;
+            let metrics = metrics_from(c.take(40)?);
+            WorkerMsg::SubmitSegment { generation, env_index, metrics, segment: c.rest().to_vec() }
+        }
+        op => return Err(DistError::Protocol(format!("unknown worker opcode {op:#04x}"))),
+    };
+    Ok(Some(msg))
+}
+
+/// Serialize and frame one learner→worker message.
+pub fn write_learner_msg(
+    w: &mut impl Write,
+    msg: &LearnerMsg,
+    cap: usize,
+) -> Result<(), DistError> {
+    let mut p = Vec::new();
+    match msg {
+        LearnerMsg::HelloOk { version } => {
+            p.push(0xB1);
+            p.push(*version);
+        }
+        LearnerMsg::Params { generation, json } => {
+            p.push(0xB2);
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.extend_from_slice(json.as_bytes());
+        }
+        LearnerMsg::Work { generation, batch_seed, indices } => {
+            p.push(0xB3);
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.extend_from_slice(&batch_seed.to_le_bytes());
+            p.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+            for i in indices {
+                p.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        LearnerMsg::Ack { generation, env_index } => {
+            p.push(0xB4);
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.extend_from_slice(&env_index.to_le_bytes());
+        }
+        LearnerMsg::Shutdown => p.push(0xB5),
+        LearnerMsg::Error { msg } => {
+            p.push(0xBF);
+            p.extend_from_slice(msg.as_bytes());
+        }
+    }
+    write_frame_capped(w, &p, cap)?;
+    Ok(())
+}
+
+/// Read and parse one learner→worker message; `Ok(None)` is the peer's
+/// clean close between frames.
+pub fn read_learner_msg(r: &mut impl Read, cap: usize) -> Result<Option<LearnerMsg>, DistError> {
+    let Some(frame) = read_frame_capped(r, cap)? else { return Ok(None) };
+    let mut c = Cursor { buf: &frame, pos: 0 };
+    let msg = match c.u8()? {
+        0xB1 => LearnerMsg::HelloOk { version: c.u8()? },
+        0xB2 => {
+            let generation = c.u64()?;
+            let json = String::from_utf8(c.rest().to_vec())
+                .map_err(|_| DistError::Protocol("params JSON is not UTF-8".into()))?;
+            LearnerMsg::Params { generation, json }
+        }
+        0xB3 => {
+            let generation = c.u64()?;
+            let batch_seed = c.u64()?;
+            let count = c.u32()? as usize;
+            let mut indices = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                indices.push(c.u32()?);
+            }
+            LearnerMsg::Work { generation, batch_seed, indices }
+        }
+        0xB4 => LearnerMsg::Ack { generation: c.u64()?, env_index: c.u32()? },
+        0xB5 => LearnerMsg::Shutdown,
+        0xBF => {
+            let msg = String::from_utf8_lossy(c.rest()).into_owned();
+            LearnerMsg::Error { msg }
+        }
+        op => return Err(DistError::Protocol(format!("unknown learner opcode {op:#04x}"))),
+    };
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Metrics {
+        Metrics {
+            data_collection_ratio: 0.75,
+            data_loss_ratio: 0.03,
+            energy_ratio: 0.4,
+            fairness: 0.9,
+            efficiency: 1.64,
+        }
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        let msgs = [
+            WorkerMsg::Hello { version: PROTOCOL_VERSION, worker_id: 42 },
+            WorkerMsg::SubmitSegment {
+                generation: 3,
+                env_index: 7,
+                metrics: metrics(),
+                segment: vec![1, 0, 0, 0, 9],
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_worker_msg(&mut wire, m, 1 << 20).unwrap();
+        }
+        let mut r = &wire[..];
+        for m in &msgs {
+            assert_eq!(read_worker_msg(&mut r, 1 << 20).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_worker_msg(&mut r, 1 << 20).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn learner_messages_round_trip() {
+        let msgs = [
+            LearnerMsg::HelloOk { version: PROTOCOL_VERSION },
+            LearnerMsg::Params { generation: 1, json: "{\"version\":3}".into() },
+            LearnerMsg::Work { generation: 1, batch_seed: 0xDEAD_BEEF, indices: vec![0, 2, 5] },
+            LearnerMsg::Ack { generation: 1, env_index: 2 },
+            LearnerMsg::Shutdown,
+            LearnerMsg::Error { msg: "version mismatch".into() },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_learner_msg(&mut wire, m, 1 << 20).unwrap();
+        }
+        let mut r = &wire[..];
+        for m in &msgs {
+            assert_eq!(read_learner_msg(&mut r, 1 << 20).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_learner_msg(&mut r, 1 << 20).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn metrics_round_trip_bit_exactly() {
+        let m = metrics();
+        let decoded = metrics_from(&metrics_bytes(&m));
+        assert_eq!(decoded.data_collection_ratio.to_bits(), m.data_collection_ratio.to_bits());
+        assert_eq!(decoded.efficiency.to_bits(), m.efficiency.to_bits());
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn unknown_opcodes_and_truncated_fields_fail_typed() {
+        let mut wire = Vec::new();
+        agsc_serve::wire::write_frame_capped(&mut wire, &[0x77, 1, 2], 1 << 20).unwrap();
+        let err = read_worker_msg(&mut &wire[..], 1 << 20).unwrap_err();
+        assert!(matches!(err, DistError::Protocol(_)), "{err}");
+
+        let mut wire = Vec::new();
+        agsc_serve::wire::write_frame_capped(&mut wire, &[0xB3, 1, 2], 1 << 20).unwrap();
+        let err = read_learner_msg(&mut &wire[..], 1 << 20).unwrap_err();
+        assert!(matches!(err, DistError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn oversize_params_refused_by_the_cap_on_both_sides() {
+        let big = LearnerMsg::Params { generation: 1, json: "x".repeat(4096) };
+        let mut wire = Vec::new();
+        let err = write_learner_msg(&mut wire, &big, 1024).unwrap_err();
+        assert!(matches!(err, DistError::Io(_)), "{err}");
+        assert!(wire.is_empty());
+        // A frame legal under a big cap is refused by a small-cap reader.
+        write_learner_msg(&mut wire, &big, 1 << 20).unwrap();
+        let err = read_learner_msg(&mut &wire[..], 1024).unwrap_err();
+        assert!(matches!(err, DistError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn frame_cap_knob_floor_and_default() {
+        assert_eq!(DEFAULT_MAX_FRAME_BYTES, 64 << 20);
+    }
+}

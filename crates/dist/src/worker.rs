@@ -1,0 +1,231 @@
+//! The rollout worker: connects to the learner, receives parameter
+//! broadcasts and shard assignments, collects episodes with the serial
+//! reference collector, and streams encoded segments back.
+//!
+//! Every collected shard is a pure function of (broadcast parameters,
+//! batch_seed, env_index) — the worker holds no RNG state of its own
+//! across assignments (the restored trainer's RNG is never used by
+//! `collect_rollout_indexed`), which is what makes worker count, shard
+//! chunking, and reassignment after faults invisible to training.
+//!
+//! Transport faults reconnect under the serve crate's decorrelated-jitter
+//! [`Backoff`]; any session progress (params or an acked segment) resets
+//! the attempt budget, so a long healthy run survives many transient
+//! faults while a dead learner still fails typed after
+//! `retry.max_attempts` consecutive failures.
+
+use std::net::{SocketAddr, TcpStream};
+
+use agsc_env::AirGroundEnv;
+use agsc_madrl::HiMadrlTrainer;
+use agsc_serve::{Backoff, RetryPolicy};
+use agsc_telemetry as tlm;
+
+use crate::codec::{encode_segment, Compression};
+use crate::error::DistError;
+use crate::proto::{
+    max_frame_bytes, read_learner_msg, write_worker_msg, LearnerMsg, WorkerMsg, PROTOCOL_VERSION,
+};
+
+/// Worker-side tuning.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Learner address.
+    pub addr: SocketAddr,
+    /// Identity reported in the hello handshake (telemetry/logs only).
+    pub worker_id: u64,
+    /// Segment compression mode.
+    pub compression: Compression,
+    /// Reconnect schedule for transport faults. `max_attempts` bounds
+    /// *consecutive* failures without progress.
+    pub retry: RetryPolicy,
+    /// Frame-payload ceiling for reads and writes.
+    pub max_frame_bytes: usize,
+    /// Test hook: desert (drop the connection and exit) after this many
+    /// acked segments — the chaos suite's mid-generation worker loss.
+    pub max_segments: Option<u64>,
+}
+
+impl WorkerConfig {
+    /// A default config for `addr`: RLE compression, env-derived retry
+    /// policy, `AGSC_DIST_MAX_FRAME_MB` ceiling, no desertion hook
+    /// (`AGSC_DIST_MAX_SEGMENTS` arms it).
+    pub fn new(addr: SocketAddr, worker_id: u64) -> Self {
+        Self {
+            addr,
+            worker_id,
+            compression: Compression::from_env(),
+            retry: RetryPolicy::from_env(),
+            max_frame_bytes: max_frame_bytes(),
+            max_segments: std::env::var("AGSC_DIST_MAX_SEGMENTS")
+                .ok()
+                .and_then(|s| s.trim().parse().ok()),
+        }
+    }
+}
+
+/// Why [`run_worker`] returned successfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The learner sent `Shutdown`: training is over.
+    Finished,
+    /// The `max_segments` desertion hook tripped (test-only path).
+    Deserted,
+}
+
+enum SessionEnd {
+    Finished,
+    Deserted,
+}
+
+/// Run a rollout worker against `cfg.addr` until the learner shuts it
+/// down (or the desertion hook trips). `env_proto` must be constructed
+/// identically to the learner's reference environment — shard `i`'s
+/// episode is collected on a clone of it.
+pub fn run_worker(env_proto: &AirGroundEnv, cfg: &WorkerConfig) -> Result<WorkerExit, DistError> {
+    let mut env = env_proto.clone();
+    let mut trainer: Option<HiMadrlTrainer> = None;
+    let mut submitted = 0u64;
+    let mut params_seen = 0u64;
+    let mut backoff = Backoff::new(&cfg.retry);
+    let mut consecutive_failures = 0u32;
+    let max_attempts = cfg.retry.max_attempts.max(1);
+    loop {
+        let before = (submitted, params_seen);
+        let attempt = TcpStream::connect(cfg.addr).map_err(DistError::from).and_then(|mut s| {
+            run_session(&mut s, &mut env, &mut trainer, &mut submitted, &mut params_seen, cfg)
+        });
+        match attempt {
+            Ok(SessionEnd::Finished) => return Ok(WorkerExit::Finished),
+            Ok(SessionEnd::Deserted) => return Ok(WorkerExit::Deserted),
+            Err(DistError::Io(e)) => {
+                // A session that installed params or acked a segment made
+                // progress: earn a fresh failure budget and backoff
+                // schedule, so long healthy runs survive many transients
+                // while a dead learner still fails after `max_attempts`
+                // consecutive strikes.
+                if (submitted, params_seen) != before {
+                    consecutive_failures = 0;
+                    backoff = Backoff::new(&cfg.retry);
+                }
+                consecutive_failures += 1;
+                if consecutive_failures >= max_attempts {
+                    return Err(DistError::Io(e));
+                }
+                tlm::counter_add("dist.worker_reconnects", 1);
+                tlm::warn("dist_worker_transport_fault", |ev| ev.msg(e.to_string()));
+                std::thread::sleep(backoff.next_delay());
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+}
+
+/// One connected session; bumps `submitted` / `params_seen` as it makes
+/// progress (the caller's failure budget watches both).
+fn run_session(
+    stream: &mut TcpStream,
+    env: &mut AirGroundEnv,
+    trainer: &mut Option<HiMadrlTrainer>,
+    submitted: &mut u64,
+    params_seen: &mut u64,
+    cfg: &WorkerConfig,
+) -> Result<SessionEnd, DistError> {
+    let cap = cfg.max_frame_bytes;
+    write_worker_msg(
+        stream,
+        &WorkerMsg::Hello { version: PROTOCOL_VERSION, worker_id: cfg.worker_id },
+        cap,
+    )?;
+    match read_learner_msg(stream, cap)? {
+        Some(LearnerMsg::HelloOk { version: PROTOCOL_VERSION }) => {}
+        Some(LearnerMsg::HelloOk { version }) => {
+            return Err(DistError::Protocol(format!(
+                "learner protocol version {version}, worker speaks {PROTOCOL_VERSION}"
+            )))
+        }
+        Some(LearnerMsg::Error { msg }) => return Err(DistError::Protocol(msg)),
+        Some(_) => return Err(DistError::Protocol("expected HelloOk".into())),
+        None => {
+            return Err(DistError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "learner closed during handshake",
+            )))
+        }
+    }
+    loop {
+        let msg = match read_learner_msg(stream, cap) {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                return Err(DistError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "learner closed the session",
+                )))
+            }
+            Err(e) => return Err(e),
+        };
+        match msg {
+            LearnerMsg::Params { generation, json } => {
+                let ckpt: agsc_madrl::Checkpoint =
+                    serde_json::from_str(&json).map_err(|e| DistError::Params(e.to_string()))?;
+                let restored = HiMadrlTrainer::restore(&ckpt, 0)
+                    .map_err(|e| DistError::Params(e.to_string()))?;
+                if restored.obs_dim() != env.obs_dim() {
+                    return Err(DistError::ShapeMismatch(format!(
+                        "params obs_dim {} vs env obs_dim {}",
+                        restored.obs_dim(),
+                        env.obs_dim()
+                    )));
+                }
+                *trainer = Some(restored);
+                *params_seen += 1;
+                tlm::counter_add("dist.params_rx", 1);
+                tlm::gauge_set("dist.worker_generation", generation as f64);
+            }
+            LearnerMsg::Work { generation, batch_seed, indices } => {
+                let t = trainer
+                    .as_ref()
+                    .ok_or_else(|| DistError::Protocol("Work before any Params".into()))?;
+                for &idx in &indices {
+                    let _span = tlm::span("dist_collect_segment");
+                    let rollout = t.collect_rollout_indexed(env, batch_seed, idx as usize);
+                    let metrics = env.metrics();
+                    let segment = encode_segment(&rollout, cfg.compression);
+                    let bytes = segment.len() as u64;
+                    write_worker_msg(
+                        stream,
+                        &WorkerMsg::SubmitSegment { generation, env_index: idx, metrics, segment },
+                        cap,
+                    )?;
+                    match read_learner_msg(stream, cap)? {
+                        Some(LearnerMsg::Ack { generation: g, env_index })
+                            if g == generation && env_index == idx => {}
+                        Some(other) => {
+                            return Err(DistError::Protocol(format!(
+                                "expected Ack for ({generation}, {idx}), got {other:?}"
+                            )))
+                        }
+                        None => {
+                            return Err(DistError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "learner closed awaiting ack",
+                            )))
+                        }
+                    }
+                    *submitted += 1;
+                    tlm::counter_add("dist.segments_tx", 1);
+                    tlm::counter_add("dist.segment_bytes_tx", bytes);
+                    if cfg.max_segments.is_some_and(|max| *submitted >= max) {
+                        tlm::counter_add("dist.worker_deserted", 1);
+                        return Ok(SessionEnd::Deserted);
+                    }
+                }
+            }
+            LearnerMsg::Shutdown => return Ok(SessionEnd::Finished),
+            LearnerMsg::Error { msg } => return Err(DistError::Protocol(msg)),
+            LearnerMsg::HelloOk { .. } | LearnerMsg::Ack { .. } => {
+                return Err(DistError::Protocol("unexpected message outside assignment".into()))
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@ pub mod metrics;
 pub mod obs;
 pub mod recorder;
 pub mod render;
+pub mod shard;
 pub mod types;
 pub mod vec_env;
 
@@ -31,5 +32,6 @@ pub use metrics::{MetricInputs, Metrics};
 pub use obs::{global_state, local_observation, obs_dim};
 pub use recorder::{EpisodeRecorder, SlotRecord};
 pub use render::{render_ascii, trajectories_csv};
+pub use shard::{shard_owner, shard_ranges, shard_size};
 pub use types::{UvAction, UvKind, UvState};
 pub use vec_env::{derive_env_seed, derive_sampler_seed, VecEnv};

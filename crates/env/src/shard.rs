@@ -1,0 +1,77 @@
+//! Contiguous shard assignment over vectorized env replicas.
+//!
+//! Both the in-process parallel collector (`collect_rollout_vec_seeded`) and
+//! the distributed learner (`agsc-dist`) split `total` replicas into
+//! contiguous chunks. Keeping the chunk arithmetic here — one ceil-divided
+//! shard size, chunks in env-index order — is what makes the two layouts
+//! provably the same: a rollout's env index, and therefore its derived
+//! env/sampler seed streams, never depends on who collected it.
+
+use std::ops::Range;
+
+/// Replicas per shard when `total` replicas are split across `workers`
+/// shards: `ceil(total / workers)`, floored at 1 so a degenerate call still
+/// makes progress. Mirrors the `div_ceil` chunking of the in-process
+/// collector exactly.
+pub fn shard_size(total: usize, workers: usize) -> usize {
+    total.div_ceil(workers.max(1)).max(1)
+}
+
+/// The contiguous env-index ranges assigned to each shard, in shard order.
+///
+/// Every index in `0..total` appears in exactly one range; ranges are
+/// ascending and non-empty, and there are at most `workers` of them (fewer
+/// when `total < workers` — trailing shards simply get no range, matching
+/// `chunks(shard_size)` semantics).
+pub fn shard_ranges(total: usize, workers: usize) -> Vec<Range<usize>> {
+    let size = shard_size(total, workers);
+    (0..total).step_by(size).map(|start| start..(start + size).min(total)).collect()
+}
+
+/// Which shard owns env index `index` under the contiguous layout.
+pub fn shard_owner(index: usize, total: usize, workers: usize) -> usize {
+    index / shard_size(total, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_every_index_in_order() {
+        for total in 1..=24 {
+            for workers in 1..=8 {
+                let ranges = shard_ranges(total, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..total).collect::<Vec<_>>(), "total={total} workers={workers}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn owner_agrees_with_the_ranges() {
+        for total in 1..=24 {
+            for workers in 1..=8 {
+                let ranges = shard_ranges(total, workers);
+                for idx in 0..total {
+                    let owner = shard_owner(idx, total, workers);
+                    assert!(
+                        ranges[owner].contains(&idx),
+                        "total={total} workers={workers} idx={idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_size_matches_the_in_process_chunking() {
+        assert_eq!(shard_size(8, 3), 3);
+        assert_eq!(shard_size(8, 8), 1);
+        assert_eq!(shard_size(3, 8), 1);
+        assert_eq!(shard_size(5, 0), 5, "degenerate worker count still makes progress");
+        assert_eq!(shard_size(0, 4), 1, "empty total yields a floor of one");
+    }
+}

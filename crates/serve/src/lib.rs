@@ -25,6 +25,8 @@
 //!   see `src/bin/loadgen.rs`), with connect/read/write deadlines.
 //! * [`retry`] — exponential backoff with decorrelated jitter and an
 //!   overall deadline budget, wrapped as [`retry::RetryingClient`].
+//! * [`wire`] — the length-prefixed framing (and its allocation cap) shared
+//!   with the distributed-training protocol in `agsc-dist`.
 //! * [`admin`] — the observability plane: a std-only HTTP listener serving
 //!   `/metrics` (Prometheus text) and `/healthz`, fed by the same registry
 //!   as the wire-level `Stats` frame.
@@ -60,6 +62,7 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 pub mod testsupport;
+pub mod wire;
 
 pub use admin::{AdminServer, Health};
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosPlan, ChaosProxy, ConnFate};
@@ -68,6 +71,6 @@ pub use client::{
 };
 pub use policy::{checkpoint_loader, PolicyLoader, PolicyStore, ServePolicy};
 pub use protocol::{ProtocolError, Request, Response, StageTimings, TraceContext};
-pub use retry::{RetryPolicy, RetryStats, RetryingClient};
+pub use retry::{delay_fits, Backoff, RetryPolicy, RetryStats, RetryingClient};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use testsupport::FakePolicy;

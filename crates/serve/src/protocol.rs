@@ -46,12 +46,12 @@
 //! envelope evolve without burning opcodes; the only version today is 1.
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 
-/// Hard ceiling on a frame payload: large enough for any realistic
-/// observation vector, small enough that a corrupt length prefix cannot
-/// trigger a giant allocation.
-pub const MAX_FRAME_BYTES: usize = 1 << 20;
+// Framing (length prefix, allocation cap, clean-EOF semantics) is shared
+// with the distributed-training protocol via [`crate::wire`]; re-exported
+// here so existing callers keep their paths.
+pub use crate::wire::{read_frame, write_frame, MAX_FRAME_BYTES};
 
 /// The traced-envelope version this build understands.
 pub const TRACE_VERSION: u8 = 1;
@@ -429,39 +429,6 @@ impl Response {
         c.finish()?;
         Ok(resp)
     }
-}
-
-/// Write one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Read one length-prefixed frame. A clean EOF before the first length byte
-/// returns `Ok(None)` (the peer hung up between frames); EOF mid-frame is an
-/// [`io::ErrorKind::UnexpectedEof`] error.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    // Distinguish "no next frame" from "torn frame": read the first byte
-    // separately so a clean close is not an error.
-    match r.read(&mut len_buf[..1])? {
-        0 => return Ok(None),
-        1 => {}
-        _ => unreachable!("read of 1 byte returned more"),
-    }
-    r.read_exact(&mut len_buf[1..])?;
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
 }
 
 /// Encode `req` and write it as one frame.

@@ -94,7 +94,12 @@ impl SplitMix {
 }
 
 /// The decorrelated-jitter backoff sequence for one retry loop.
-struct Backoff {
+///
+/// Public so other transports (the dist worker's reconnect loop) reuse the
+/// exact schedule, and so the property suite can pin its bounds: every
+/// delay lies in `[base, max(base, cap)]`, and equal seeds replay equal
+/// schedules.
+pub struct Backoff {
     base: Duration,
     cap: Duration,
     prev: Duration,
@@ -102,7 +107,8 @@ struct Backoff {
 }
 
 impl Backoff {
-    fn new(policy: &RetryPolicy) -> Self {
+    /// A fresh schedule drawn from `policy`'s base/cap/seed.
+    pub fn new(policy: &RetryPolicy) -> Self {
         Self {
             base: policy.base,
             cap: policy.cap.max(policy.base),
@@ -112,7 +118,7 @@ impl Backoff {
     }
 
     /// Next delay: `min(cap, rand(base, 3·prev))`, never below `base`.
-    fn next_delay(&mut self) -> Duration {
+    pub fn next_delay(&mut self) -> Duration {
         let base = self.base.as_secs_f64();
         let hi = (self.prev.as_secs_f64() * 3.0).max(base);
         let jittered = base + (hi - base) * self.rng.next_f64();
@@ -120,6 +126,15 @@ impl Backoff {
         self.prev = delay;
         delay
     }
+}
+
+/// The budget gate the retry loop applies before every sleep: sleeping
+/// `delay` after `elapsed` of the operation's wall-clock must still land
+/// strictly inside `budget` (a `None` budget always fits). Pure, so the
+/// property suite can walk whole schedules against it and prove the total
+/// sleep time never exceeds the budget.
+pub fn delay_fits(elapsed: Duration, delay: Duration, budget: Option<Duration>) -> bool {
+    budget.map_or(true, |b| elapsed + delay < b)
 }
 
 /// Cumulative tallies of one [`RetryingClient`]'s lifetime.
@@ -237,7 +252,7 @@ impl RetryingClient {
         mut op: impl FnMut(&mut Client) -> Result<Option<T>, ClientError>,
     ) -> Result<T, ClientError> {
         self.stats.operations += 1;
-        let deadline = self.policy.budget.map(|b| Instant::now() + b);
+        let started = Instant::now();
         let mut backoff = Backoff::new(&self.policy);
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempts = 0u32;
@@ -245,10 +260,8 @@ impl RetryingClient {
         while attempts < max_attempts {
             if attempts > 0 {
                 let delay = backoff.next_delay();
-                if let Some(d) = deadline {
-                    if Instant::now() + delay >= d {
-                        break;
-                    }
+                if !delay_fits(started.elapsed(), delay, self.policy.budget) {
+                    break;
                 }
                 std::thread::sleep(delay);
                 tlm::counter_add("client.retries", 1);

@@ -1,0 +1,124 @@
+//! Length-prefixed frame I/O shared by every TCP protocol in the stack.
+//!
+//! Both the serving protocol ([`crate::protocol`]) and the distributed
+//! training protocol (`agsc-dist`) speak the same framing: a `u32`
+//! little-endian payload length followed by the payload. This module is the
+//! single implementation of that framing and its allocation cap, so the two
+//! wire formats cannot drift apart.
+//!
+//! The default cap [`MAX_FRAME_BYTES`] (1 MiB) bounds every serving frame; a
+//! protocol that moves bigger payloads (parameter broadcasts, rollout
+//! segments) passes its own ceiling through the `_capped` variants. The cap
+//! exists so a corrupt or hostile length prefix can never drive a giant
+//! allocation.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a serving-frame payload: large enough for any realistic
+/// observation vector, small enough that a corrupt length prefix cannot
+/// trigger a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Write one length-prefixed frame under the default serving cap.
+///
+/// The cap is a debug assertion here (serving payloads are tiny by
+/// construction); use [`write_frame_capped`] for a hard runtime check.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Write one length-prefixed frame, failing with
+/// [`io::ErrorKind::InvalidInput`] when the payload exceeds `cap` — the
+/// sender-side mirror of the reader's allocation guard.
+pub fn write_frame_capped(w: &mut impl Write, payload: &[u8], cap: usize) -> io::Result<()> {
+    if payload.len() > cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds cap {cap}", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame under the default serving cap. A clean EOF
+/// before the first length byte returns `Ok(None)` (the peer hung up between
+/// frames); EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    read_frame_capped(r, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with an explicit payload ceiling: a declared length above
+/// `cap` is an [`io::ErrorKind::InvalidData`] error before any allocation.
+pub fn read_frame_capped(r: &mut impl Read, cap: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no next frame" from "torn frame": read the first byte
+    // separately so a clean close is not an error.
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1 byte returned more"),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {cap}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_the_capped_paths() {
+        let mut wire = Vec::new();
+        write_frame_capped(&mut wire, b"hello", 16).unwrap();
+        write_frame_capped(&mut wire, b"", 16).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame_capped(&mut r, 16).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame_capped(&mut r, 16).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame_capped(&mut r, 16).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn write_cap_is_a_hard_error() {
+        let mut wire = Vec::new();
+        let err = write_frame_capped(&mut wire, &[0u8; 17], 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(wire.is_empty(), "nothing may hit the wire on a refused frame");
+    }
+
+    #[test]
+    fn read_cap_rejects_oversize_prefixes_per_protocol() {
+        // A frame legal for a big-payload protocol must still be refused by
+        // a reader holding the small serving cap.
+        let mut wire = Vec::new();
+        write_frame_capped(&mut wire, &vec![7u8; MAX_FRAME_BYTES + 1], 1 << 26).unwrap();
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut r = &wire[..];
+        let got = read_frame_capped(&mut r, 1 << 26).unwrap().expect("frame");
+        assert_eq!(got.len(), MAX_FRAME_BYTES + 1);
+    }
+
+    #[test]
+    fn torn_capped_frame_is_an_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame_capped(&mut wire, b"payload", 64).unwrap();
+        let mut r = &wire[..wire.len() - 2];
+        let err = read_frame_capped(&mut r, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -36,6 +36,21 @@
 //! assert!(tlm::profile_table().unwrap().contains("train_iteration/ppo_epochs"));
 //! tlm::shutdown();
 //! ```
+//!
+//! ## Metric families
+//!
+//! Names are dot-separated, prefixed by subsystem: `train.*` (trainer
+//! iteration stats, `train.samples_per_sec`), `serve.*` (request
+//! counters, stage latencies, queue gauges — exported to Prometheus by
+//! the admin plane), `checkpoint.*` (durable-store sweeps and
+//! recoveries), `gemm.*` (FLOP accounting), and `dist.*` (the
+//! distributed actor–learner fleet: `dist.segments_rx/tx` and byte
+//! volumes, `dist.params_rx/tx`, `dist.workers`, `dist.generation` and
+//! `dist.generation_lag`, `dist.generation_wall_ms`,
+//! `dist.reassigned_shards` / `dist.duplicate_segments` /
+//! `dist.worker_reconnects` / `dist.worker_deserted`, plus the
+//! `dist_generation` and `dist_collect_segment` spans). Instrumented
+//! crates own their family; this crate stays name-agnostic.
 
 #![warn(missing_docs)]
 

@@ -730,3 +730,90 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // --- retry backoff (serve clients, dist worker reconnects) --------------
+
+    #[test]
+    fn backoff_delays_stay_within_policy_bounds(
+        base_ms in 0u64..2_000,
+        cap_ms in 0u64..3_000,
+        attempts in 2u32..16,
+        seed: u64,
+        draws in 1usize..64,
+    ) {
+        // Every delay the decorrelated-jitter schedule ever produces lies in
+        // [base, max(base, cap)] — the floor is the floor even when the
+        // configured cap is below it.
+        let policy = agsc_serve::RetryPolicy {
+            max_attempts: attempts,
+            base: std::time::Duration::from_millis(base_ms),
+            cap: std::time::Duration::from_millis(cap_ms),
+            budget: None,
+            seed,
+        };
+        let lo = policy.base;
+        let hi = policy.cap.max(policy.base);
+        let mut b = agsc_serve::Backoff::new(&policy);
+        for i in 0..draws {
+            let d = b.next_delay();
+            prop_assert!(d >= lo, "draw {i}: {d:?} under base {lo:?}");
+            prop_assert!(d <= hi, "draw {i}: {d:?} over cap {hi:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_the_policy(
+        base_ms in 1u64..500,
+        cap_ms in 1u64..2_000,
+        seed: u64,
+    ) {
+        // Replayable jitter: two Backoffs from one policy walk the same
+        // sequence — what makes reconnect storms diagnosable from a seed.
+        let policy = agsc_serve::RetryPolicy {
+            base: std::time::Duration::from_millis(base_ms),
+            cap: std::time::Duration::from_millis(cap_ms),
+            seed,
+            ..agsc_serve::RetryPolicy::default()
+        };
+        let mut a = agsc_serve::Backoff::new(&policy);
+        let mut b = agsc_serve::Backoff::new(&policy);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn budget_gate_never_lets_cumulative_sleep_exceed_the_budget(
+        base_ms in 1u64..200,
+        cap_ms in 1u64..1_000,
+        budget_ms in 1u64..5_000,
+        seed: u64,
+    ) {
+        // Walk the retry loop's exact gate: sleep only when
+        // `delay_fits(elapsed, delay, budget)` — the cumulative sleep stays
+        // strictly inside the budget for every jitter stream.
+        let policy = agsc_serve::RetryPolicy {
+            base: std::time::Duration::from_millis(base_ms),
+            cap: std::time::Duration::from_millis(cap_ms),
+            seed,
+            ..agsc_serve::RetryPolicy::default()
+        };
+        let budget = std::time::Duration::from_millis(budget_ms);
+        let mut b = agsc_serve::Backoff::new(&policy);
+        let mut elapsed = std::time::Duration::ZERO;
+        let mut slept = 0usize;
+        loop {
+            let d = b.next_delay();
+            if !agsc_serve::delay_fits(elapsed, d, Some(budget)) {
+                break;
+            }
+            elapsed += d;
+            slept += 1;
+            prop_assert!(elapsed < budget, "after sleep {slept}: {elapsed:?} >= {budget:?}");
+            prop_assert!(slept <= 1 + budget_ms as usize / base_ms.max(1) as usize,
+                "gate must terminate: {slept} sleeps");
+        }
+        prop_assert!(elapsed < budget);
+    }
+}
